@@ -1,0 +1,33 @@
+// Command syncbench regenerates the experiment tables of EXPERIMENTS.md.
+//
+// Usage:
+//
+//	syncbench            # run every experiment
+//	syncbench -exp E5    # run one experiment (E1..E12)
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/bench"
+)
+
+func main() {
+	os.Exit(run())
+}
+
+func run() int {
+	exp := flag.String("exp", "", "experiment id (E1..E12); empty = all")
+	flag.Parse()
+	if *exp == "" {
+		bench.All(os.Stdout)
+		return 0
+	}
+	if !bench.ByName(os.Stdout, *exp) {
+		fmt.Fprintf(os.Stderr, "unknown experiment %q (want E1..E12)\n", *exp)
+		return 2
+	}
+	return 0
+}

@@ -1,0 +1,189 @@
+// Package dsync is the public API of this reproduction of "A Near-Optimal
+// Deterministic Distributed Synchronizer" (Ghaffari & Trygub, PODC 2023).
+//
+// It exposes:
+//
+//   - graph construction (re-exported from the graph substrate),
+//   - the lockstep synchronous runner for event-driven algorithms,
+//   - the paper's deterministic synchronizer plus Awerbuch's α/β/γ,
+//   - the asynchronous BFS family of §4,
+//   - and ready-made deterministic asynchronous leader election and MST
+//     (Corollaries 1.2–1.4).
+//
+// See README.md for a quickstart and DESIGN.md for the system inventory.
+package dsync
+
+import (
+	"repro/internal/abfs"
+	"repro/internal/apps"
+	"repro/internal/async"
+	"repro/internal/core"
+	"repro/internal/cover"
+	"repro/internal/graph"
+	"repro/internal/syncrun"
+)
+
+// Re-exported substrate types.
+type (
+	// Graph is an undirected network.
+	Graph = graph.Graph
+	// NodeID identifies a node.
+	NodeID = graph.NodeID
+	// Adversary chooses asynchronous message delays.
+	Adversary = async.Adversary
+	// AsyncResult summarizes an asynchronous run.
+	AsyncResult = async.Result
+	// SyncResult summarizes a lockstep synchronous run.
+	SyncResult = syncrun.Result
+	// Algorithm is an event-driven synchronous node program.
+	Algorithm = syncrun.Handler
+	// API is the node-side surface an Algorithm sees.
+	API = syncrun.API
+	// Incoming is one received message.
+	Incoming = syncrun.Incoming
+	// Layered is a layered sparse cover family.
+	Layered = cover.Layered
+	// BFSResult is the per-node BFS output.
+	BFSResult = apps.BFSResult
+	// MSTResult is the per-node MST output.
+	MSTResult = apps.MSTResult
+	// TBFSResult is the per-node thresholded-BFS output.
+	TBFSResult = apps.TBFSResult
+	// Unreachable marks nodes beyond a BFS threshold (the paper's ∞).
+	Unreachable = abfs.Unreachable
+)
+
+// Graph generators (deterministic; random families take a seed).
+var (
+	NewGraph           = graph.New
+	Path               = graph.Path
+	Cycle              = graph.Cycle
+	Grid               = graph.Grid
+	Star               = graph.Star
+	Complete           = graph.Complete
+	CompleteBinaryTree = graph.CompleteBinaryTree
+	RandomConnected    = graph.RandomConnected
+	Dumbbell           = graph.Dumbbell
+	Lollipop           = graph.Lollipop
+	StarOfPaths        = graph.StarOfPaths
+	WithRandomWeights  = graph.WithRandomWeights
+)
+
+// Delay adversaries for the asynchronous model (τ = 1 normalization).
+func FixedDelays(d float64) Adversary    { return async.Fixed{D: d} }
+func RandomDelays(seed uint64) Adversary { return async.SeededRandom{Seed: seed} }
+func StandardAdversaries(n int, seed uint64) []Adversary {
+	return async.StandardAdversaries(n, seed)
+}
+
+// RunSync executes an event-driven synchronous algorithm in lockstep rounds
+// and measures T(A) and M(A).
+func RunSync(g *Graph, mk func(NodeID) Algorithm) SyncResult {
+	return syncrun.New(g, mk).Run()
+}
+
+// Synchronize runs the algorithm under the paper's deterministic
+// synchronizer (Theorem 1.1 / 5.5): the asynchronous execution produces
+// exactly the synchronous outputs. bound must exceed the last pulse at
+// which the algorithm sends.
+func Synchronize(g *Graph, bound int, adv Adversary, mk func(NodeID) Algorithm) AsyncResult {
+	return core.Synchronize(core.Config{Graph: g, Bound: bound, Adversary: adv}, mk)
+}
+
+// SynchronizeWithCovers is Synchronize with prebuilt layered covers
+// (amortize cover construction across runs; see BuildCovers).
+func SynchronizeWithCovers(g *Graph, bound int, adv Adversary, l *Layered,
+	mk func(NodeID) Algorithm) AsyncResult {
+	return core.Synchronize(core.Config{Graph: g, Bound: bound, Adversary: adv, Layered: l}, mk)
+}
+
+// BuildCovers constructs the layered sparse covers the synchronizer needs
+// for the given pulse bound (the synchronizer's initialization).
+func BuildCovers(g *Graph, bound int) *Layered { return core.BuildLayeredFor(g, bound) }
+
+// SynchronizeUnknownBound is the Theorem 5.4 setting — no bound on T(A) is
+// known: doubling attempts until one completes. Returns the result and the
+// discovered pulse bound.
+func SynchronizeUnknownBound(g *Graph, adv Adversary, mk func(NodeID) Algorithm) (AsyncResult, int) {
+	return core.SynchronizeUnknownBound(g, adv, mk)
+}
+
+// Baseline synchronizers (Appendix A).
+var (
+	// SynchronizeAlpha: O(1) time overhead, Θ(m) messages per pulse.
+	SynchronizeAlpha = core.SynchronizeAlpha
+	// SynchronizeBeta: Θ(D) time per pulse, Θ(n) messages per pulse.
+	SynchronizeBeta = core.SynchronizeBeta
+	// SynchronizeGamma: the cluster-based tradeoff between α and β.
+	SynchronizeGamma = core.SynchronizeGamma
+)
+
+// NewBFS returns the synchronous (multi-)source BFS algorithm of
+// Corollary 1.2 for use with RunSync or any synchronizer.
+func NewBFS(sources []NodeID) func(NodeID) Algorithm {
+	return func(NodeID) Algorithm { return &apps.BFS{Sources: sources} }
+}
+
+// NewFlood returns the flooding broadcast (each node outputs its hop
+// distance from the source).
+func NewFlood(source NodeID) func(NodeID) Algorithm {
+	return func(NodeID) Algorithm { return &apps.Flood{Source: source} }
+}
+
+// NewEcho returns the flood-and-echo algorithm (the root outputs n).
+func NewEcho(root NodeID) func(NodeID) Algorithm {
+	return func(NodeID) Algorithm { return &apps.Echo{Root: root} }
+}
+
+// NewLeaderElection returns the §6 epoch algorithm plus the pulse bound it
+// needs. The elected leader is the minimum node ID; every node outputs it.
+func NewLeaderElection(g *Graph) (func(NodeID) Algorithm, int) {
+	d := g.Diameter()
+	if d < 1 {
+		d = 1
+	}
+	layered := cover.BuildLayered(g, d, nil)
+	spans := apps.LeaderSpansAll(g, layered)
+	mk := func(NodeID) Algorithm { return &apps.Leader{Covers: layered, SpansAll: spans} }
+	res := syncrun.New(g, mk).Run()
+	return mk, res.Rounds + 2
+}
+
+// NewMST returns the Borůvka-style MST algorithm plus its pulse bound.
+// Edge weights must be distinct (WithRandomWeights).
+func NewMST(g *Graph) (func(NodeID) Algorithm, int) {
+	tree := cover.BFSTreeCluster(g, 0)
+	weights := make([]int64, g.M())
+	for i, e := range g.Edges {
+		weights[i] = e.Weight
+	}
+	mk := func(NodeID) Algorithm { return &apps.MST{Barrier: tree, Weights: weights} }
+	res := syncrun.New(g, mk).Run()
+	return mk, res.Rounds + 2
+}
+
+// AsyncLeaderElection elects a leader asynchronously (Corollary 1.3):
+// deterministic, Õ(D) time, Õ(m) messages. Every node outputs the leader.
+func AsyncLeaderElection(g *Graph, adv Adversary) AsyncResult {
+	mk, bound := NewLeaderElection(g)
+	return Synchronize(g, bound, adv, mk)
+}
+
+// AsyncMST computes the minimum spanning tree asynchronously
+// (Corollary 1.4). Every node outputs an MSTResult.
+func AsyncMST(g *Graph, adv Adversary) AsyncResult {
+	mk, bound := NewMST(g)
+	return Synchronize(g, bound, adv, mk)
+}
+
+// AsyncBFS runs the complete asynchronous (multi-)source BFS of Theorems
+// 4.23/4.24: Õ(D1) time, Õ(m) messages, no prior knowledge of D.
+func AsyncBFS(g *Graph, sources []NodeID, adv Adversary) abfs.FullResult {
+	return abfs.Full(g, sources, adv)
+}
+
+// ThresholdedBFS runs the τ-thresholded asynchronous BFS of Theorem 4.15;
+// nodes beyond τ output Unreachable.
+func ThresholdedBFS(g *Graph, sources []NodeID, tau int, adv Adversary) abfs.Result {
+	return abfs.Thresholded(abfs.Config{Graph: g, Sources: sources, Threshold: tau, Adversary: adv})
+}

@@ -1,0 +1,31 @@
+// Leader election (Corollary 1.3): the first deterministic asynchronous
+// leader election with Õ(D) time and Õ(m) messages. This example runs it
+// under every standard delay adversary and shows the elected leader is
+// identical — determinism in an asynchronous world.
+package main
+
+import (
+	"fmt"
+
+	dsync "repro"
+)
+
+func main() {
+	// A wheel-ish network: ring plus chords. Node IDs are the "machine
+	// identifiers"; the algorithm elects the global minimum.
+	g := dsync.RandomConnected(48, 140, 11)
+	fmt.Printf("network: n=%d m=%d D=%d\n", g.N(), g.M(), g.Diameter())
+
+	for _, adv := range dsync.StandardAdversaries(g.N(), 5) {
+		res := dsync.AsyncLeaderElection(g, adv)
+		leader := res.Outputs[dsync.NodeID(17)] // any node knows the answer
+		agree := true
+		for v := 0; v < g.N(); v++ {
+			if res.Outputs[dsync.NodeID(v)] != leader {
+				agree = false
+			}
+		}
+		fmt.Printf("adversary %-12s -> leader=%v, all-agree=%v, time=%.1f, msgs=%d\n",
+			adv.Name(), leader, agree, res.Time, res.Msgs)
+	}
+}

@@ -1,0 +1,107 @@
+// Package apps provides the event-driven synchronous algorithms the paper
+// feeds to the synchronizer: flooding/echo, single- and multi-source BFS,
+// the epoch-based leader election of §6, and a Borůvka-style minimum
+// spanning tree. All of them follow the event-driven interpretation of
+// Appendix B — no node ever references the round number; every send is
+// triggered by a receive (or by Init).
+package apps
+
+import (
+	"repro/internal/graph"
+	"repro/internal/syncrun"
+)
+
+// Flood broadcasts a token from Source; every node outputs the pulse at
+// which the token reached it (its BFS distance). T = ecc(Source), M = 2m.
+type Flood struct {
+	Source graph.NodeID
+	seen   bool
+}
+
+var _ syncrun.Handler = (*Flood)(nil)
+
+// Init implements syncrun.Handler.
+func (h *Flood) Init(n syncrun.API) {
+	if n.ID() == h.Source {
+		h.seen = true
+		n.Output(0)
+		for _, nb := range n.Neighbors() {
+			n.Send(nb.Node, "flood")
+		}
+	}
+}
+
+// Pulse implements syncrun.Handler.
+func (h *Flood) Pulse(n syncrun.API, p int, recvd []syncrun.Incoming) {
+	if h.seen || len(recvd) == 0 {
+		return
+	}
+	h.seen = true
+	n.Output(p)
+	for _, nb := range n.Neighbors() {
+		n.Send(nb.Node, "flood")
+	}
+}
+
+// Echo floods a token from Root and converges acknowledgments back up the
+// resulting tree; every node outputs its subtree size, the root's output
+// is n. Crossing tokens answer each other, so each edge carries at most
+// one message per direction per pulse.
+type Echo struct {
+	Root    graph.NodeID
+	parent  graph.NodeID
+	joined  bool
+	pending int
+	count   int
+}
+
+var _ syncrun.Handler = (*Echo)(nil)
+
+type echoToken struct{}
+
+// EchoCount carries a subtree size to the parent.
+type EchoCount struct{ Sub int }
+
+// Init implements syncrun.Handler.
+func (h *Echo) Init(n syncrun.API) {
+	h.parent = -1
+	if n.ID() == h.Root {
+		h.joined = true
+		h.count = 1
+		h.pending = n.Degree()
+		for _, nb := range n.Neighbors() {
+			n.Send(nb.Node, echoToken{})
+		}
+	}
+}
+
+// Pulse implements syncrun.Handler.
+func (h *Echo) Pulse(n syncrun.API, p int, recvd []syncrun.Incoming) {
+	for _, in := range recvd {
+		switch m := in.Body.(type) {
+		case echoToken:
+			if h.joined {
+				h.pending-- // crossing token answers ours
+				continue
+			}
+			h.joined = true
+			h.parent = in.From
+			h.count = 1
+			for _, nb := range n.Neighbors() {
+				if nb.Node != h.parent {
+					n.Send(nb.Node, echoToken{})
+					h.pending++
+				}
+			}
+		case EchoCount:
+			h.pending--
+			h.count += m.Sub
+		}
+	}
+	if h.joined && h.pending == 0 && !n.HasOutput() {
+		if h.parent >= 0 {
+			n.Send(h.parent, EchoCount{Sub: h.count})
+		}
+		n.Output(h.count)
+	}
+}

@@ -1,0 +1,91 @@
+package async
+
+// outbox holds the messages a node has queued on one directed link but not
+// yet injected (the ack discipline allows one in-flight message per link).
+// Scheduling follows the paper's two composition rules:
+//
+//   - Stage priority (Lemma 2.5): a message of a lower stage is always
+//     injected before any message of a higher stage.
+//   - Round-robin across protocols within a stage (Lemma 2.2 / Cor 2.3):
+//     the link cycles fairly through the protocols that have pending
+//     messages, simulating "one copy of the edge per subroutine" with a
+//     k-factor slowdown for k contending subroutines.
+type outbox struct {
+	busy   bool
+	stages []*stageQueue // sorted ascending by stage
+	queued int
+}
+
+type stageQueue struct {
+	stage  int
+	protos []Proto // rotation order (first-appearance order)
+	queues map[Proto][]Msg
+	next   int // round-robin cursor into protos
+}
+
+func (o *outbox) push(m Msg) {
+	o.queued++
+	// Find or insert the stage queue, keeping stages sorted.
+	lo, hi := 0, len(o.stages)
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if o.stages[mid].stage < m.Stage {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	if lo == len(o.stages) || o.stages[lo].stage != m.Stage {
+		sq := &stageQueue{stage: m.Stage, queues: make(map[Proto][]Msg)}
+		o.stages = append(o.stages, nil)
+		copy(o.stages[lo+1:], o.stages[lo:])
+		o.stages[lo] = sq
+	}
+	sq := o.stages[lo]
+	if _, ok := sq.queues[m.Proto]; !ok {
+		sq.protos = append(sq.protos, m.Proto)
+	}
+	sq.queues[m.Proto] = append(sq.queues[m.Proto], m)
+}
+
+// pop removes and returns the next message per the scheduling discipline.
+// The second return is false when the outbox is empty.
+func (o *outbox) pop() (Msg, bool) {
+	for len(o.stages) > 0 {
+		sq := o.stages[0]
+		if m, ok := sq.pop(); ok {
+			o.queued--
+			if sq.empty() {
+				o.stages = o.stages[1:]
+			}
+			return m, true
+		}
+		o.stages = o.stages[1:]
+	}
+	return Msg{}, false
+}
+
+func (sq *stageQueue) pop() (Msg, bool) {
+	n := len(sq.protos)
+	for i := 0; i < n; i++ {
+		p := sq.protos[(sq.next+i)%n]
+		q := sq.queues[p]
+		if len(q) == 0 {
+			continue
+		}
+		m := q[0]
+		sq.queues[p] = q[1:]
+		sq.next = (sq.next + i + 1) % n
+		return m, true
+	}
+	return Msg{}, false
+}
+
+func (sq *stageQueue) empty() bool {
+	for _, q := range sq.queues {
+		if len(q) > 0 {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,215 @@
+package async
+
+import (
+	"container/heap"
+	"fmt"
+
+	"repro/internal/graph"
+)
+
+// Sim is a deterministic discrete-event simulation of one asynchronous
+// execution: a graph, one Handler per node, and a delay adversary.
+type Sim struct {
+	g        *graph.Graph
+	adv      Adversary
+	handlers []Handler
+	nodes    []Node
+
+	events  eventHeap
+	eventSq uint64
+	now     float64
+
+	// One outbox and one transmission counter per directed link, keyed by
+	// srcIndex*n + dstIndex.
+	out   map[int64]*outbox
+	txSeq map[int64]uint64
+	n     int64
+
+	outputs        map[graph.NodeID]any
+	lastOutputTime float64
+	msgs           uint64
+	acks           uint64
+	perProto       map[Proto]uint64
+
+	maxEvents uint64
+	steps     uint64
+	running   bool
+}
+
+// Result summarizes one asynchronous run.
+type Result struct {
+	// Time is the normalized time (τ = 1) at which the last node produced
+	// its output — the paper's time complexity measure (Appendix B).
+	Time float64
+	// QuiesceTime is when the last event of any kind fired (auxiliary
+	// cleanup may continue after outputs, §1.3.1).
+	QuiesceTime float64
+	// Msgs counts algorithm messages (excludes link-level acks).
+	Msgs uint64
+	// Acks counts link-level acknowledgments (the model's 2x factor).
+	Acks uint64
+	// PerProto breaks Msgs down by protocol tag.
+	PerProto map[Proto]uint64
+	// Outputs maps node -> output for nodes that called Output.
+	Outputs map[graph.NodeID]any
+}
+
+// New builds a simulation. mk is called once per node, in ascending node
+// order, to create that node's Handler.
+func New(g *graph.Graph, adv Adversary, mk func(id graph.NodeID) Handler) *Sim {
+	s := &Sim{
+		g:         g,
+		adv:       adv,
+		handlers:  make([]Handler, g.N()),
+		nodes:     make([]Node, g.N()),
+		out:       make(map[int64]*outbox),
+		txSeq:     make(map[int64]uint64),
+		n:         int64(g.N()),
+		outputs:   make(map[graph.NodeID]any, g.N()),
+		perProto:  make(map[Proto]uint64),
+		maxEvents: 1 << 34,
+	}
+	for i := 0; i < g.N(); i++ {
+		id := graph.NodeID(i)
+		s.nodes[i] = Node{id: id, sim: s}
+		s.handlers[i] = mk(id)
+	}
+	return s
+}
+
+// SetMaxEvents caps the number of processed events; exceeding it panics
+// (runaway protocols are bugs, not conditions to limp through).
+func (s *Sim) SetMaxEvents(limit uint64) { s.maxEvents = limit }
+
+// Handler returns node v's handler (tests use this to inspect final state).
+func (s *Sim) Handler(v graph.NodeID) Handler { return s.handlers[v] }
+
+// Run executes the simulation to quiescence and returns the result.
+func (s *Sim) Run() Result {
+	if s.running {
+		panic("async: Run called twice")
+	}
+	s.running = true
+	for i := range s.handlers {
+		s.handlers[i].Init(&s.nodes[i])
+	}
+	for s.events.Len() > 0 {
+		ev := heap.Pop(&s.events).(event)
+		if ev.t < s.now {
+			panic(fmt.Sprintf("async: time went backwards: %g < %g", ev.t, s.now))
+		}
+		s.now = ev.t
+		s.steps++
+		if s.steps > s.maxEvents {
+			panic(fmt.Sprintf("async: exceeded %d events at t=%g (livelock?)", s.maxEvents, s.now))
+		}
+		switch ev.kind {
+		case evDeliver:
+			s.handlers[ev.dst].Recv(&s.nodes[ev.dst], ev.src, ev.msg)
+			// Ack travels back; its arrival frees the link.
+			s.acks++
+			back := s.linkKey(ev.dst, ev.src)
+			d := s.adv.Delay(ev.dst, ev.src, s.txSeq[back], ev.msg.Proto)
+			s.txSeq[back]++
+			s.schedule(event{t: s.now + d, kind: evAckArrive, src: ev.src, dst: ev.dst, msg: ev.msg})
+		case evAckArrive:
+			// ev.src is the original sender whose link is now free.
+			ob := s.out[s.linkKey(ev.src, ev.dst)]
+			ob.busy = false
+			s.dispatch(ev.src, ev.dst, ob)
+			s.handlers[ev.src].Ack(&s.nodes[ev.src], ev.dst, ev.msg)
+		}
+	}
+	return Result{
+		Time:        s.lastOutputTime,
+		QuiesceTime: s.now,
+		Msgs:        s.msgs,
+		Acks:        s.acks,
+		PerProto:    s.perProto,
+		Outputs:     s.outputs,
+	}
+}
+
+func (s *Sim) linkKey(from, to graph.NodeID) int64 {
+	return int64(from)*s.n + int64(to)
+}
+
+func (s *Sim) send(from, to graph.NodeID, m Msg) {
+	if s.g.EdgeBetween(from, to) < 0 {
+		panic(fmt.Sprintf("async: node %d sending to non-neighbor %d", from, to))
+	}
+	s.msgs++
+	s.perProto[m.Proto]++
+	key := s.linkKey(from, to)
+	ob := s.out[key]
+	if ob == nil {
+		ob = &outbox{}
+		s.out[key] = ob
+	}
+	ob.push(m)
+	if !ob.busy {
+		s.dispatch(from, to, ob)
+	}
+}
+
+// dispatch injects the next scheduled message of the (from,to) link, if any.
+func (s *Sim) dispatch(from, to graph.NodeID, ob *outbox) {
+	m, ok := ob.pop()
+	if !ok {
+		return
+	}
+	ob.busy = true
+	key := s.linkKey(from, to)
+	d := s.adv.Delay(from, to, s.txSeq[key], m.Proto)
+	s.txSeq[key]++
+	if d <= 0 || d > 1 {
+		panic(fmt.Sprintf("async: adversary %q returned delay %g outside (0,1]", s.adv.Name(), d))
+	}
+	s.schedule(event{t: s.now + d, kind: evDeliver, src: from, dst: to, msg: m})
+}
+
+func (s *Sim) setOutput(id graph.NodeID, v any) {
+	if _, had := s.outputs[id]; !had && s.now > s.lastOutputTime {
+		s.lastOutputTime = s.now
+	}
+	s.outputs[id] = v
+}
+
+func (s *Sim) schedule(ev event) {
+	ev.seq = s.eventSq
+	s.eventSq++
+	heap.Push(&s.events, ev)
+}
+
+const (
+	evDeliver = iota + 1
+	evAckArrive
+)
+
+type event struct {
+	t    float64
+	seq  uint64
+	kind int
+	src  graph.NodeID // sender of the original message
+	dst  graph.NodeID // receiver of the original message
+	msg  Msg
+}
+
+type eventHeap []event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].t != h[j].t {
+		return h[i].t < h[j].t
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
+func (h *eventHeap) Push(x any)   { *h = append(*h, x.(event)) }
+func (h *eventHeap) Pop() any {
+	old := *h
+	n := len(old)
+	ev := old[n-1]
+	*h = old[:n-1]
+	return ev
+}

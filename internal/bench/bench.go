@@ -1,0 +1,77 @@
+// Package bench implements the experiment harness: one function per
+// experiment in DESIGN.md's index (E1–E12), each regenerating its table of
+// measured time/message complexities against the paper's predicted shape.
+// Root bench_test.go and cmd/syncbench both call into this package.
+package bench
+
+import (
+	"fmt"
+	"io"
+	"text/tabwriter"
+)
+
+// table accumulates aligned rows.
+type table struct {
+	w   *tabwriter.Writer
+	out io.Writer
+}
+
+func newTable(out io.Writer, title, note string) *table {
+	fmt.Fprintf(out, "\n=== %s ===\n", title)
+	if note != "" {
+		fmt.Fprintf(out, "%s\n", note)
+	}
+	return &table{w: tabwriter.NewWriter(out, 2, 4, 2, ' ', 0), out: out}
+}
+
+func (t *table) row(cols ...any) {
+	for i, c := range cols {
+		if i > 0 {
+			fmt.Fprint(t.w, "\t")
+		}
+		switch v := c.(type) {
+		case float64:
+			fmt.Fprintf(t.w, "%.1f", v)
+		default:
+			fmt.Fprintf(t.w, "%v", v)
+		}
+	}
+	fmt.Fprintln(t.w)
+}
+
+func (t *table) flush() { t.w.Flush() }
+
+// All runs every experiment.
+func All(w io.Writer) {
+	E1SynchronizerOverheads(w)
+	E2BFSTimeVsD(w)
+	E3BFSMessagesVsM(w)
+	E4MultiSourceD1(w)
+	E5LeaderElection(w)
+	E6MST(w)
+	E7RegistrationCongestion(w)
+	E8AlphaBlowup(w)
+	E9AdversaryRobustness(w)
+	E10CoverQuality(w)
+	E11StagePipelining(w)
+	E12GatherCost(w)
+}
+
+// ByName runs one experiment by its id ("E1".."E12"); it reports whether
+// the id was known.
+func ByName(w io.Writer, id string) bool {
+	fns := map[string]func(io.Writer){
+		"E1": E1SynchronizerOverheads, "E2": E2BFSTimeVsD,
+		"E3": E3BFSMessagesVsM, "E4": E4MultiSourceD1,
+		"E5": E5LeaderElection, "E6": E6MST,
+		"E7": E7RegistrationCongestion, "E8": E8AlphaBlowup,
+		"E9": E9AdversaryRobustness, "E10": E10CoverQuality,
+		"E11": E11StagePipelining, "E12": E12GatherCost,
+	}
+	fn, ok := fns[id]
+	if !ok {
+		return false
+	}
+	fn(w)
+	return true
+}

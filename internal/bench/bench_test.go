@@ -1,0 +1,31 @@
+package bench
+
+import (
+	"io"
+	"strings"
+	"testing"
+)
+
+func TestByName(t *testing.T) {
+	var sb strings.Builder
+	if !ByName(&sb, "E10") {
+		t.Fatal("E10 unknown")
+	}
+	if !strings.Contains(sb.String(), "sparse cover quality") {
+		t.Fatalf("unexpected output: %s", sb.String())
+	}
+	if ByName(io.Discard, "E99") {
+		t.Fatal("E99 should be unknown")
+	}
+}
+
+func TestCheapExperimentsRun(t *testing.T) {
+	if testing.Short() {
+		t.Skip("experiment sweeps")
+	}
+	for _, id := range []string{"E7", "E9", "E11", "E12"} {
+		if !ByName(io.Discard, id) {
+			t.Fatalf("%s missing", id)
+		}
+	}
+}

@@ -1,0 +1,220 @@
+package bench
+
+import (
+	"io"
+
+	"repro/internal/abfs"
+	"repro/internal/apps"
+	"repro/internal/async"
+	"repro/internal/core"
+	"repro/internal/cover"
+	"repro/internal/graph"
+	"repro/internal/syncrun"
+)
+
+func bfsMk(sources []graph.NodeID) func(graph.NodeID) syncrun.Handler {
+	return func(graph.NodeID) syncrun.Handler { return &apps.BFS{Sources: sources} }
+}
+
+// E1SynchronizerOverheads compares α, β, γ, and the main synchronizer on
+// the same synchronous BFS: time overhead T(A')/T(A) and message overhead
+// M(A')/M(A) per Appendix A and Theorem 1.1. Expected shape: α wins time
+// and loses messages as T·m grows; β pays Θ(D) time per pulse; the main
+// synchronizer keeps both overheads polylogarithmic.
+func E1SynchronizerOverheads(w io.Writer) {
+	t := newTable(w, "E1: synchronizer overheads (sync BFS workload)",
+		"overheads = async/sync; α time ≈ O(1)/pulse, β time ≈ Θ(D)/pulse, main = polylog")
+	t.row("graph", "n", "m", "D", "T(A)", "M(A)", "sync", "time-ovh", "msg-ovh")
+	graphs := []struct {
+		name string
+		g    *graph.Graph
+	}{
+		{"cycle64", graph.Cycle(64)},
+		{"grid8x8", graph.Grid(8, 8)},
+		{"er96", graph.RandomConnected(96, 300, 7)},
+	}
+	for _, tc := range graphs {
+		g := tc.g
+		mk := bfsMk([]graph.NodeID{0})
+		sres := syncrun.New(g, mk).Run()
+		bound := sres.Rounds + 2
+		adv := async.SeededRandom{Seed: 3}
+		runs := []struct {
+			name string
+			res  async.Result
+		}{
+			{"alpha", core.SynchronizeAlpha(g, bound, adv, mk)},
+			{"beta", core.SynchronizeBeta(g, bound, adv, mk)},
+			{"gamma", core.SynchronizeGamma(g, bound, adv, mk)},
+			{"main", core.Synchronize(core.Config{Graph: g, Bound: bound, Adversary: adv}, mk)},
+		}
+		for _, r := range runs {
+			t.row(tc.name, g.N(), g.M(), g.Diameter(), sres.T, sres.M, r.name,
+				r.res.Time/float64(sres.T), float64(r.res.Msgs)/float64(sres.M))
+		}
+	}
+	t.flush()
+}
+
+// E2BFSTimeVsD measures the complete asynchronous BFS (Theorem 4.23):
+// time should scale near-linearly in D (polylog factors on top).
+func E2BFSTimeVsD(w io.Writer) {
+	t := newTable(w, "E2: async BFS time vs diameter (Thm 4.23)",
+		"time/D should stay within polylog factors as D doubles")
+	t.row("graph", "n", "m", "D", "iters", "time", "time/D", "msgs")
+	for _, tc := range []struct {
+		name string
+		g    *graph.Graph
+	}{
+		{"cycle32", graph.Cycle(32)},
+		{"cycle64", graph.Cycle(64)},
+		{"cycle128", graph.Cycle(128)},
+		{"grid6x6", graph.Grid(6, 6)},
+		{"grid8x12", graph.Grid(8, 12)},
+	} {
+		g := tc.g
+		res := abfs.Full(g, []graph.NodeID{0}, async.SeededRandom{Seed: 5})
+		d := g.Diameter()
+		t.row(tc.name, g.N(), g.M(), d, res.Iterations, res.Time,
+			res.Time/float64(d), res.Msgs)
+	}
+	t.flush()
+}
+
+// E3BFSMessagesVsM fixes n and sweeps m: messages should scale near-
+// linearly in m (Theorem 4.23's Õ(m)).
+func E3BFSMessagesVsM(w io.Writer) {
+	t := newTable(w, "E3: async BFS messages vs edge count (Thm 4.23)",
+		"msgs/m should stay within polylog factors as m grows")
+	t.row("n", "m", "D", "time", "msgs", "msgs/m")
+	n := 96
+	for _, m := range []int{150, 300, 600, 1200} {
+		g := graph.RandomConnected(n, m, 11)
+		res := abfs.Full(g, []graph.NodeID{0}, async.SeededRandom{Seed: 5})
+		t.row(n, g.M(), g.Diameter(), res.Time, res.Msgs,
+			float64(res.Msgs)/float64(g.M()))
+	}
+	t.flush()
+}
+
+// E4MultiSourceD1 shows Theorem 4.24: multi-source BFS terminates in time
+// governed by D1 (max distance to the closest source), not the diameter.
+func E4MultiSourceD1(w io.Writer) {
+	t := newTable(w, "E4: multi-source BFS time vs D1 (Thm 4.24)",
+		"with more sources D1 shrinks and so should the time, at fixed D")
+	t.row("sources", "D", "D1", "iters", "time", "time/D1", "msgs")
+	g := graph.Grid(10, 10)
+	d := g.Diameter()
+	sets := [][]graph.NodeID{
+		{0},
+		{0, 99},
+		{0, 9, 90, 99},
+		{0, 9, 90, 99, 44, 45, 54, 55},
+	}
+	for _, sources := range sets {
+		d1 := g.BallRadius(sources)
+		res := abfs.Full(g, sources, async.SeededRandom{Seed: 9})
+		t.row(len(sources), d, d1, res.Iterations, res.Time,
+			res.Time/float64(d1), res.Msgs)
+	}
+	t.flush()
+}
+
+// E5LeaderElection measures Corollary 1.3: deterministic asynchronous
+// leader election in Õ(D) time and Õ(m) messages.
+func E5LeaderElection(w io.Writer) {
+	t := newTable(w, "E5: async deterministic leader election (Cor 1.3)",
+		"time/D and msgs/m should stay within polylog factors")
+	t.row("graph", "n", "m", "D", "T(A)", "M(A)", "time", "time/D", "msgs", "msgs/m")
+	for _, tc := range []struct {
+		name string
+		g    *graph.Graph
+	}{
+		{"cycle32", graph.Cycle(32)},
+		{"cycle64", graph.Cycle(64)},
+		{"grid6x6", graph.Grid(6, 6)},
+		{"grid8x8", graph.Grid(8, 8)},
+		{"er64", graph.RandomConnected(64, 200, 13)},
+	} {
+		g := tc.g
+		d := g.Diameter()
+		layered := cover.BuildLayered(g, d, nil)
+		spans := apps.LeaderSpansAll(g, layered)
+		mk := func(graph.NodeID) syncrun.Handler {
+			return &apps.Leader{Covers: layered, SpansAll: spans}
+		}
+		sres := syncrun.New(g, mk).Run()
+		res := core.Synchronize(core.Config{Graph: g, Bound: sres.Rounds + 2,
+			Adversary: async.SeededRandom{Seed: 17}}, mk)
+		t.row(tc.name, g.N(), g.M(), d, sres.T, sres.M, res.Time,
+			res.Time/float64(d), res.Msgs, float64(res.Msgs)/float64(g.M()))
+	}
+	t.flush()
+}
+
+// E6MST measures Corollary 1.4 (with the documented Borůvka substitution):
+// asynchronous deterministic MST with Õ(m) messages.
+func E6MST(w io.Writer) {
+	t := newTable(w, "E6: async deterministic MST (Cor 1.4)",
+		"msgs/m should stay within polylog factors; MST verified against Kruskal")
+	t.row("graph", "n", "m", "T(A)", "M(A)", "time", "msgs", "msgs/m", "correct")
+	for _, tc := range []struct {
+		name string
+		g    *graph.Graph
+	}{
+		{"er24", graph.WithRandomWeights(graph.RandomConnected(24, 70, 3), 5)},
+		{"er48", graph.WithRandomWeights(graph.RandomConnected(48, 150, 3), 5)},
+		{"grid6x6", graph.WithRandomWeights(graph.Grid(6, 6), 5)},
+	} {
+		g := tc.g
+		tree := cover.BFSTreeCluster(g, 0)
+		weights := make([]int64, g.M())
+		for i, e := range g.Edges {
+			weights[i] = e.Weight
+		}
+		mk := func(graph.NodeID) syncrun.Handler {
+			return &apps.MST{Barrier: tree, Weights: weights}
+		}
+		sres := syncrun.New(g, mk).Run()
+		res := core.Synchronize(core.Config{Graph: g, Bound: sres.Rounds + 2,
+			Adversary: async.SeededRandom{Seed: 19}}, mk)
+		t.row(tc.name, g.N(), g.M(), sres.T, sres.M, res.Time, res.Msgs,
+			float64(res.Msgs)/float64(g.M()), mstCorrect(g, res.Outputs))
+	}
+	t.flush()
+}
+
+func mstCorrect(g *graph.Graph, outputs map[graph.NodeID]any) bool {
+	want := make(map[[2]graph.NodeID]bool)
+	for _, id := range g.KruskalMST() {
+		e := g.Edges[id]
+		want[[2]graph.NodeID{e.U, e.V}] = true
+	}
+	got := make(map[[2]graph.NodeID]bool)
+	for v := 0; v < g.N(); v++ {
+		out, ok := outputs[graph.NodeID(v)]
+		if !ok {
+			return false
+		}
+		res, ok := out.(apps.MSTResult)
+		if !ok {
+			return false
+		}
+		for _, nb := range res.TreeNeighbors {
+			key := [2]graph.NodeID{graph.NodeID(v), nb}
+			if key[0] > key[1] {
+				key[0], key[1] = key[1], key[0]
+			}
+			got[key] = true
+		}
+	}
+	if len(got) != len(want) {
+		return false
+	}
+	for e := range want {
+		if !got[e] {
+			return false
+		}
+	}
+	return true
+}

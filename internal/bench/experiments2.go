@@ -1,0 +1,306 @@
+package bench
+
+import (
+	"io"
+
+	"repro/internal/async"
+	"repro/internal/core"
+	"repro/internal/cover"
+	"repro/internal/gather"
+	"repro/internal/graph"
+	"repro/internal/reg"
+	"repro/internal/syncrun"
+)
+
+// regClient drives one node for E7: register in all clusters at Start,
+// deregister as soon as registered, stop at the Go-Ahead.
+type regClient struct {
+	mod interface {
+		async.Module
+		Register(n *async.Node, c cover.ClusterID, session int)
+		Deregister(n *async.Node, c cover.ClusterID, session int)
+	}
+	clusters []cover.ClusterID
+}
+
+func (c *regClient) Start(n *async.Node) {
+	for _, cid := range c.clusters {
+		c.mod.Register(n, cid, 0)
+	}
+}
+func (c *regClient) Recv(*async.Node, graph.NodeID, async.Msg) {}
+func (c *regClient) Ack(*async.Node, graph.NodeID, async.Msg)  {}
+
+// Registered implements reg.Callbacks.
+func (c *regClient) Registered(n *async.Node, cid cover.ClusterID, s int) {
+	c.mod.Deregister(n, cid, s)
+}
+
+// GoAhead implements reg.Callbacks.
+func (c *regClient) GoAhead(n *async.Node, _ cover.ClusterID, _ int) {
+	n.Output(true)
+}
+
+// E7RegistrationCongestion reproduces §3.2's core claim: the "natural"
+// route-everything-to-the-root registration needs Ω(n) time on a shallow
+// tree with many registrants behind one edge, while the wave-based
+// algorithm stays proportional to the tree height per operation.
+func E7RegistrationCongestion(w io.Writer) {
+	t := newTable(w, "E7: registration congestion — wave (§3.2) vs naive root-routing ([AP90a])",
+		"star-of-paths: every node registers once; naive funnels Θ(n) messages through the hub")
+	t.row("deg", "pathLen", "n", "scheme", "time", "msgs")
+	for _, tc := range []struct{ deg, plen int }{{4, 8}, {8, 16}, {8, 32}} {
+		g := graph.StarOfPaths(tc.deg, tc.plen)
+		cl := cover.BFSTreeCluster(g, 0)
+		cov := cover.NewExplicit(g.N(), g.N(), []*cover.Cluster{cl})
+		for _, scheme := range []string{"wave", "naive"} {
+			sim := async.New(g, async.Fixed{D: 1}, func(id graph.NodeID) async.Handler {
+				client := &regClient{clusters: []cover.ClusterID{0}}
+				if scheme == "wave" {
+					client.mod = reg.New(1, cov, client, nil)
+				} else {
+					client.mod = reg.NewNaive(1, cov, client, nil)
+				}
+				mux := async.NewMux()
+				mux.Register(1, client.mod)
+				mux.Register(2, client)
+				return mux
+			})
+			res := sim.Run()
+			t.row(tc.deg, tc.plen, g.N(), scheme, res.QuiesceTime, res.Msgs)
+		}
+	}
+	t.flush()
+}
+
+// E8AlphaBlowup isolates Appendix A's α message term M(A) + Θ(T(A)·m):
+// a token ping-pong (T = M = rounds) on a dense low-diameter graph.
+func E8AlphaBlowup(w io.Writer) {
+	t := newTable(w, "E8: α message blow-up vs main synchronizer (App. A)",
+		"ping workload: M(A)=T(A)=n on ER(n, 6n); α pays Θ(T·m), main stays polylog/pulse")
+	t.row("n", "m", "M(A)", "alpha-msgs", "main-msgs", "ratio", "alpha-time", "main-time")
+	for _, n := range []int{64, 128, 256} {
+		g := graph.RandomConnected(n, 6*n, 5)
+		rounds := n
+		mk := func(graph.NodeID) syncrun.Handler { return &pingAlgo{rounds: rounds} }
+		alpha := core.SynchronizeAlpha(g, rounds+1, async.Fixed{D: 1}, mk)
+		main := core.Synchronize(core.Config{Graph: g, Bound: rounds + 1,
+			Adversary: async.Fixed{D: 1}}, mk)
+		t.row(n, g.M(), rounds, alpha.Msgs, main.Msgs,
+			float64(alpha.Msgs)/float64(main.Msgs), alpha.Time, main.Time)
+	}
+	t.flush()
+}
+
+// pingAlgo bounces a token between nodes 0 and 1 (T = M = rounds).
+type pingAlgo struct{ rounds int }
+
+func (h *pingAlgo) Init(n syncrun.API) {
+	if n.ID() == 0 {
+		n.Send(1, 0)
+	}
+}
+
+func (h *pingAlgo) Pulse(n syncrun.API, _ int, recvd []syncrun.Incoming) {
+	if len(recvd) == 0 {
+		return
+	}
+	k := recvd[0].Body.(int)
+	if k+1 >= h.rounds {
+		n.Output(k)
+		return
+	}
+	n.Send(recvd[0].From, k+1)
+}
+
+// E9AdversaryRobustness runs the synchronized BFS under every standard
+// delay adversary: outputs must be identical (determinism of the
+// synchronized algorithm, Theorem 5.2); time varies within the bound.
+func E9AdversaryRobustness(w io.Writer) {
+	t := newTable(w, "E9: delay-adversary robustness (worst-case model, §1.1)",
+		"synchronized BFS on grid 6x6; outputs must match the lockstep run under every adversary")
+	t.row("adversary", "time", "msgs", "outputs-match")
+	g := graph.Grid(6, 6)
+	mk := bfsMk([]graph.NodeID{0})
+	sres := syncrun.New(g, mk).Run()
+	for _, adv := range async.StandardAdversaries(g.N(), 77) {
+		res := core.Synchronize(core.Config{Graph: g, Bound: sres.Rounds + 2, Adversary: adv}, mk)
+		match := len(res.Outputs) == len(sres.Outputs)
+		for v, want := range sres.Outputs {
+			if res.Outputs[v] != want {
+				match = false
+			}
+		}
+		t.row(adv.Name(), res.Time, res.Msgs, match)
+	}
+	t.flush()
+}
+
+// E10CoverQuality verifies Theorem 4.21's construction quality empirically:
+// tree stretch (depth/d), per-edge tree congestion, per-node membership.
+func E10CoverQuality(w io.Writer) {
+	t := newTable(w, "E10: sparse cover quality (Thm 4.21)",
+		"bounds: depth = O(d·log³n), congestion = O(log⁴n), membership = O(log n)")
+	t.row("graph", "d", "clusters", "maxDepth", "depth/d", "maxCongestion", "maxMembership")
+	for _, tc := range []struct {
+		name string
+		g    *graph.Graph
+	}{
+		{"grid10x10", graph.Grid(10, 10)},
+		{"er128", graph.RandomConnected(128, 400, 21)},
+	} {
+		for _, d := range []int{1, 2, 4, 8} {
+			cov := cover.Build(tc.g, d, nil)
+			maxDepth, maxMem := 0, 0
+			cong := map[[2]graph.NodeID]int{}
+			for _, cl := range cov.Clusters {
+				if dep := cl.Tree.Depth(); dep > maxDepth {
+					maxDepth = dep
+				}
+				for _, e := range cl.Tree.Edges() {
+					key := e
+					if key[0] > key[1] {
+						key[0], key[1] = key[1], key[0]
+					}
+					cong[key]++
+				}
+			}
+			maxCong := 0
+			for _, c := range cong {
+				if c > maxCong {
+					maxCong = c
+				}
+			}
+			for v := 0; v < tc.g.N(); v++ {
+				if len(cov.MemberOf(graph.NodeID(v))) > maxMem {
+					maxMem = len(cov.MemberOf(graph.NodeID(v)))
+				}
+			}
+			t.row(tc.name, d, len(cov.Clusters), maxDepth,
+				float64(maxDepth)/float64(d), maxCong, maxMem)
+		}
+	}
+	t.flush()
+}
+
+// floodK is the E11 workload: node 0 starts k floods (one per proto); every
+// node outputs once it has seen all k.
+type floodK struct {
+	k      int
+	staged bool
+	seen   map[async.Proto]bool
+}
+
+func (h *floodK) Start(n *async.Node) {
+	h.seen = make(map[async.Proto]bool)
+	if n.ID() != 0 {
+		return
+	}
+	for i := 0; i < h.k; i++ {
+		p := async.Proto(10 + i)
+		h.seen[p] = true
+		stage := 0
+		if h.staged {
+			stage = i
+		}
+		for _, nb := range n.Neighbors() {
+			n.Send(nb.Node, async.Msg{Proto: p, Stage: stage, Body: "f"})
+		}
+	}
+	if h.k == len(h.seen) && n.ID() == 0 {
+		n.Output(true)
+	}
+}
+
+func (h *floodK) Init(n *async.Node) { h.Start(n) }
+
+func (h *floodK) Recv(n *async.Node, _ graph.NodeID, m async.Msg) {
+	if h.seen[m.Proto] {
+		return
+	}
+	h.seen[m.Proto] = true
+	for _, nb := range n.Neighbors() {
+		n.Send(nb.Node, m)
+	}
+	if len(h.seen) == h.k {
+		n.Output(true)
+	}
+}
+
+func (h *floodK) Ack(*async.Node, graph.NodeID, async.Msg) {}
+
+// E11StagePipelining measures the composition machinery of §2.2: k
+// simultaneous floods share every link of a path. Round-robin multiplexing
+// (Cor 2.3) pipelines them in ≈ D + k time rather than k·D; stage
+// priorities (Lem 2.5) preserve the same completion bound while strictly
+// ordering the flows.
+func E11StagePipelining(w io.Writer) {
+	t := newTable(w, "E11: link multiplexing & stage priorities (Cor 2.3 / Lem 2.5)",
+		"k floods over one path: pipelined completion ≈ D+k, far below the naive k·D")
+	t.row("k", "D", "scheduling", "time", "time/(D+k)", "k·D")
+	g := graph.Path(64)
+	d := g.Diameter()
+	for _, k := range []int{1, 2, 4, 8} {
+		for _, staged := range []bool{false, true} {
+			name := "round-robin"
+			if staged {
+				name = "staged"
+			}
+			kk := k
+			sim := async.New(g, async.Fixed{D: 1}, func(graph.NodeID) async.Handler {
+				return &floodK{k: kk, staged: staged}
+			})
+			res := sim.Run()
+			t.row(k, d, name, res.Time, res.Time/float64(d+k), k*d)
+		}
+	}
+	t.flush()
+}
+
+// gatherBench drives one gather session for E12.
+type gatherBench struct {
+	mod *gather.Module
+}
+
+func (c *gatherBench) Start(n *async.Node)                       { c.mod.MarkDone(n, 0) }
+func (c *gatherBench) Recv(*async.Node, graph.NodeID, async.Msg) {}
+func (c *gatherBench) Ack(*async.Node, graph.NodeID, async.Msg)  {}
+
+// NeighborhoodDone implements gather.Callbacks.
+func (c *gatherBench) NeighborhoodDone(n *async.Node, _ int) { n.Output(true) }
+
+// E12GatherCost measures Theorem 3.1: completion detection in a sparse
+// d-cover costs O(1) messages per tree edge per cluster and O(d·polylog)
+// time.
+func E12GatherCost(w io.Writer) {
+	t := newTable(w, "E12: gather-in-covers cost (Thm 3.1)",
+		"msgs vs 2·Σ|tree| budget; time grows with d, not n")
+	t.row("graph", "d", "time", "msgs", "budget", "msgs/budget")
+	for _, tc := range []struct {
+		name string
+		g    *graph.Graph
+	}{
+		{"grid8x8", graph.Grid(8, 8)},
+		{"er96", graph.RandomConnected(96, 250, 33)},
+	} {
+		for _, d := range []int{1, 2, 4} {
+			cov := cover.Build(tc.g, d, nil)
+			budget := uint64(0)
+			for _, cl := range cov.Clusters {
+				budget += uint64(2 * len(cl.Tree.DepthOf))
+			}
+			sim := async.New(tc.g, async.SeededRandom{Seed: 3}, func(graph.NodeID) async.Handler {
+				gb := &gatherBench{}
+				gb.mod = gather.New(1, cov, gb, nil)
+				mux := async.NewMux()
+				mux.Register(1, gb.mod)
+				mux.Register(2, gb)
+				return mux
+			})
+			res := sim.Run()
+			t.row(tc.name, d, res.Time, res.Msgs, budget,
+				float64(res.Msgs)/float64(budget))
+		}
+	}
+	t.flush()
+}

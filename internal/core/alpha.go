@@ -1,0 +1,161 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/async"
+	"repro/internal/graph"
+	"repro/internal/syncrun"
+)
+
+// AlphaSynchronizer is Awerbuch's α synchronizer (Appendix A): every node
+// generates every pulse 1..B. A node is safe for pulse p once all its
+// pulse-p messages are acknowledged (the simulator's link acks already
+// provide this), after which it tells every neighbor SAFE(p); a node
+// generates pulse p+1 once it holds SAFE(p) from all neighbors.
+//
+// Time overhead is O(1) per pulse — optimal — but the safety traffic costs
+// Θ(m) messages per pulse, i.e. M(A') = M(A) + Θ(T(A)·m): the blow-up
+// experiment E8 measures exactly this term.
+type alphaNode struct {
+	algo  syncrun.Handler
+	bound int
+
+	pulse     int
+	recvd     map[int][]syncrun.Incoming
+	safeFrom  map[int]map[graph.NodeID]bool
+	sendAcked map[int]int // pulse -> outstanding acks for algorithm sends
+	selfSafe  map[int]bool
+	sentSafe  map[int]bool
+}
+
+const protoAlphaSafe async.Proto = 3
+
+type alphaSafe struct{ Pulse int }
+
+var _ async.Handler = (*alphaNode)(nil)
+
+// NewAlpha builds the α-synchronized handler for one node.
+func NewAlpha(algo syncrun.Handler, bound int) async.Handler {
+	return &alphaNode{
+		algo:      algo,
+		bound:     bound,
+		recvd:     make(map[int][]syncrun.Incoming),
+		safeFrom:  make(map[int]map[graph.NodeID]bool),
+		sendAcked: make(map[int]int),
+		selfSafe:  make(map[int]bool),
+		sentSafe:  make(map[int]bool),
+	}
+}
+
+// Init implements async.Handler: run pulse 0.
+func (a *alphaNode) Init(n *async.Node) {
+	a.runPulse(n, 0)
+}
+
+func (a *alphaNode) runPulse(n *async.Node, p int) {
+	a.pulse = p
+	api := &alphaAPI{n: n, a: a, pulse: p}
+	if p == 0 {
+		a.algo.Init(api)
+	} else {
+		batch := a.recvd[p-1]
+		sort.Slice(batch, func(i, j int) bool { return batch[i].From < batch[j].From })
+		a.algo.Pulse(api, p, batch)
+	}
+	a.maybeSafe(n, p)
+}
+
+// maybeSafe declares this node safe for pulse p once its pulse-p sends are
+// all acknowledged, then floods SAFE(p) to neighbors.
+func (a *alphaNode) maybeSafe(n *async.Node, p int) {
+	if a.sentSafe[p] || a.sendAcked[p] > 0 {
+		return
+	}
+	a.sentSafe[p] = true
+	a.selfSafe[p] = true
+	for _, nb := range n.Neighbors() {
+		n.Send(nb.Node, async.Msg{Proto: protoAlphaSafe, Stage: p, Body: alphaSafe{Pulse: p}})
+	}
+	a.maybeAdvance(n, p)
+}
+
+func (a *alphaNode) maybeAdvance(n *async.Node, p int) {
+	if a.pulse != p || p+1 > a.bound {
+		return
+	}
+	if !a.selfSafe[p] || len(a.safeFrom[p]) < n.Degree() {
+		return
+	}
+	a.runPulse(n, p+1)
+}
+
+// Recv implements async.Handler.
+func (a *alphaNode) Recv(n *async.Node, from graph.NodeID, m async.Msg) {
+	switch body := m.Body.(type) {
+	case algoMsg:
+		a.recvd[body.Pulse] = append(a.recvd[body.Pulse], syncrun.Incoming{From: from, Body: body.Body})
+	case alphaSafe:
+		set := a.safeFrom[body.Pulse]
+		if set == nil {
+			set = make(map[graph.NodeID]bool)
+			a.safeFrom[body.Pulse] = set
+		}
+		set[from] = true
+		a.maybeAdvance(n, body.Pulse)
+	default:
+		panic(fmt.Sprintf("core: alpha node %d got payload %T", n.ID(), m.Body))
+	}
+}
+
+// Ack implements async.Handler: algorithm-message acks gate safety.
+func (a *alphaNode) Ack(n *async.Node, _ graph.NodeID, m async.Msg) {
+	body, ok := m.Body.(algoMsg)
+	if !ok {
+		return
+	}
+	a.sendAcked[body.Pulse]--
+	a.maybeSafe(n, body.Pulse)
+}
+
+// alphaAPI is the synchronous API bound to one α pulse.
+type alphaAPI struct {
+	n      *async.Node
+	a      *alphaNode
+	pulse  int
+	sentTo map[graph.NodeID]bool
+}
+
+var _ syncrun.API = (*alphaAPI)(nil)
+
+func (x *alphaAPI) ID() graph.NodeID            { return x.n.ID() }
+func (x *alphaAPI) Neighbors() []graph.Neighbor { return x.n.Neighbors() }
+func (x *alphaAPI) Degree() int                 { return x.n.Degree() }
+func (x *alphaAPI) Output(v any)                { x.n.Output(v) }
+func (x *alphaAPI) HasOutput() bool             { return x.n.HasOutput() }
+
+func (x *alphaAPI) Send(to graph.NodeID, body any) {
+	if x.sentTo == nil {
+		x.sentTo = make(map[graph.NodeID]bool)
+	}
+	if x.sentTo[to] {
+		panic(fmt.Sprintf("core: alpha node %d sent twice to %d", x.n.ID(), to))
+	}
+	x.sentTo[to] = true
+	x.a.sendAcked[x.pulse]++
+	x.n.Send(to, async.Msg{Proto: ProtoAlgo, Stage: x.pulse, Body: algoMsg{Pulse: x.pulse, Body: body}})
+}
+
+// SynchronizeAlpha runs the algorithm under the α synchronizer for exactly
+// `bound` pulses.
+func SynchronizeAlpha(g *graph.Graph, bound int, adv async.Adversary,
+	mk func(id graph.NodeID) syncrun.Handler) async.Result {
+	if adv == nil {
+		adv = async.SeededRandom{Seed: 1}
+	}
+	sim := async.New(g, adv, func(id graph.NodeID) async.Handler {
+		return NewAlpha(mk(id), bound)
+	})
+	return sim.Run()
+}

@@ -1,0 +1,48 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/async"
+	"repro/internal/graph"
+	"repro/internal/pulse"
+	"repro/internal/syncrun"
+)
+
+// captureAPI adapts the asynchronous node to the synchronous algorithm's
+// API. During Init it captures sends into the originator buffer; during
+// Pulse it releases them as pulse-tagged algorithm messages.
+type captureAPI struct {
+	n       *async.Node
+	core    *nodeCore
+	vn      *vnode // nil while capturing Init
+	capture bool
+	sentTo  map[graph.NodeID]bool
+}
+
+var _ syncrun.API = (*captureAPI)(nil)
+
+func (a *captureAPI) ID() graph.NodeID            { return a.n.ID() }
+func (a *captureAPI) Neighbors() []graph.Neighbor { return a.n.Neighbors() }
+func (a *captureAPI) Degree() int                 { return a.n.Degree() }
+func (a *captureAPI) Output(v any)                { a.n.Output(v) }
+func (a *captureAPI) HasOutput() bool             { return a.n.HasOutput() }
+
+func (a *captureAPI) Send(to graph.NodeID, body any) {
+	if a.sentTo == nil {
+		a.sentTo = make(map[graph.NodeID]bool)
+	}
+	if a.sentTo[to] {
+		panic(fmt.Sprintf("core: node %d sent twice to %d in one pulse", a.n.ID(), to))
+	}
+	a.sentTo[to] = true
+	if a.capture {
+		a.core.initSends = append(a.core.initSends, capturedSend{to: to, body: body})
+		return
+	}
+	a.vn.sentAny = true
+	a.core.sendAlgo(a.n, a.vn, to, body)
+}
+
+func prevOf(p int) int   { return pulse.Prev(p) }
+func prevPrev(p int) int { return pulse.Prev2(p) }

@@ -1,0 +1,168 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/async"
+	"repro/internal/cover"
+	"repro/internal/graph"
+	"repro/internal/syncrun"
+)
+
+// BetaSynchronizer is Awerbuch's β (Appendix A): a global BFS tree carries,
+// per pulse, a convergecast of "my subtree is safe for p" followed by a
+// broadcast of "advance to p+1". Time overhead Θ(D) per pulse; message
+// overhead Θ(n) per pulse.
+type betaNode struct {
+	algo  syncrun.Handler
+	bound int
+	tree  *cover.Cluster
+
+	pulse      int
+	recvd      map[int][]syncrun.Incoming
+	sendAcked  map[int]int
+	selfSafe   map[int]bool
+	childSafe  map[int]int // pulse -> children subtrees reported safe
+	reportSent map[int]bool
+}
+
+const protoBetaTree async.Proto = 4
+
+type betaSafeUp struct{ Pulse int }
+type betaAdvance struct{ Pulse int } // run pulse Pulse
+
+var _ async.Handler = (*betaNode)(nil)
+
+// NewBeta builds the β-synchronized handler for one node; tree is the
+// shared BFS-tree cluster (its construction is β's initialization, which
+// Appendix A ignores in the overhead accounting).
+func NewBeta(algo syncrun.Handler, bound int, tree *cover.Cluster) async.Handler {
+	return &betaNode{
+		algo:       algo,
+		bound:      bound,
+		tree:       tree,
+		recvd:      make(map[int][]syncrun.Incoming),
+		sendAcked:  make(map[int]int),
+		selfSafe:   make(map[int]bool),
+		childSafe:  make(map[int]int),
+		reportSent: make(map[int]bool),
+	}
+}
+
+// Init implements async.Handler.
+func (b *betaNode) Init(n *async.Node) { b.runPulse(n, 0) }
+
+func (b *betaNode) runPulse(n *async.Node, p int) {
+	b.pulse = p
+	api := &betaAPI{n: n, b: b, pulse: p}
+	if p == 0 {
+		b.algo.Init(api)
+	} else {
+		batch := b.recvd[p-1]
+		sort.Slice(batch, func(i, j int) bool { return batch[i].From < batch[j].From })
+		b.algo.Pulse(api, p, batch)
+	}
+	b.maybeSafe(n, p)
+}
+
+func (b *betaNode) maybeSafe(n *async.Node, p int) {
+	if b.sendAcked[p] > 0 || b.pulse < p {
+		return
+	}
+	b.selfSafe[p] = true
+	b.maybeReport(n, p)
+}
+
+// maybeReport sends the subtree-safe report up the BFS tree once this node
+// is safe and all tree children reported.
+func (b *betaNode) maybeReport(n *async.Node, p int) {
+	if b.reportSent[p] || !b.selfSafe[p] {
+		return
+	}
+	if b.childSafe[p] < len(b.tree.ChildrenOf(n.ID())) {
+		return
+	}
+	b.reportSent[p] = true
+	if par, ok := b.tree.ParentOf(n.ID()); ok {
+		n.Send(par, async.Msg{Proto: protoBetaTree, Stage: p, Body: betaSafeUp{Pulse: p}})
+		return
+	}
+	// Root: the whole network is safe for p; advance everyone.
+	b.advance(n, p+1)
+}
+
+func (b *betaNode) advance(n *async.Node, next int) {
+	if next > b.bound {
+		return
+	}
+	for _, ch := range b.tree.ChildrenOf(n.ID()) {
+		n.Send(ch, async.Msg{Proto: protoBetaTree, Stage: next, Body: betaAdvance{Pulse: next}})
+	}
+	b.runPulse(n, next)
+}
+
+// Recv implements async.Handler.
+func (b *betaNode) Recv(n *async.Node, from graph.NodeID, m async.Msg) {
+	switch body := m.Body.(type) {
+	case algoMsg:
+		b.recvd[body.Pulse] = append(b.recvd[body.Pulse], syncrun.Incoming{From: from, Body: body.Body})
+	case betaSafeUp:
+		b.childSafe[body.Pulse]++
+		b.maybeReport(n, body.Pulse)
+	case betaAdvance:
+		b.advance(n, body.Pulse)
+	default:
+		panic(fmt.Sprintf("core: beta node %d got payload %T", n.ID(), m.Body))
+	}
+}
+
+// Ack implements async.Handler.
+func (b *betaNode) Ack(n *async.Node, _ graph.NodeID, m async.Msg) {
+	body, ok := m.Body.(algoMsg)
+	if !ok {
+		return
+	}
+	b.sendAcked[body.Pulse]--
+	b.maybeSafe(n, body.Pulse)
+}
+
+type betaAPI struct {
+	n      *async.Node
+	b      *betaNode
+	pulse  int
+	sentTo map[graph.NodeID]bool
+}
+
+var _ syncrun.API = (*betaAPI)(nil)
+
+func (x *betaAPI) ID() graph.NodeID            { return x.n.ID() }
+func (x *betaAPI) Neighbors() []graph.Neighbor { return x.n.Neighbors() }
+func (x *betaAPI) Degree() int                 { return x.n.Degree() }
+func (x *betaAPI) Output(v any)                { x.n.Output(v) }
+func (x *betaAPI) HasOutput() bool             { return x.n.HasOutput() }
+
+func (x *betaAPI) Send(to graph.NodeID, body any) {
+	if x.sentTo == nil {
+		x.sentTo = make(map[graph.NodeID]bool)
+	}
+	if x.sentTo[to] {
+		panic(fmt.Sprintf("core: beta node %d sent twice to %d", x.n.ID(), to))
+	}
+	x.sentTo[to] = true
+	x.b.sendAcked[x.pulse]++
+	x.n.Send(to, async.Msg{Proto: ProtoAlgo, Stage: x.pulse, Body: algoMsg{Pulse: x.pulse, Body: body}})
+}
+
+// SynchronizeBeta runs the algorithm under β for exactly `bound` pulses.
+func SynchronizeBeta(g *graph.Graph, bound int, adv async.Adversary,
+	mk func(id graph.NodeID) syncrun.Handler) async.Result {
+	if adv == nil {
+		adv = async.SeededRandom{Seed: 1}
+	}
+	tree := cover.BFSTreeCluster(g, 0)
+	sim := async.New(g, adv, func(id graph.NodeID) async.Handler {
+		return NewBeta(mk(id), bound, tree)
+	})
+	return sim.Run()
+}

@@ -1,0 +1,322 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/async"
+	"repro/internal/decomp"
+	"repro/internal/graph"
+	"repro/internal/syncrun"
+)
+
+// GammaSynchronizer is Awerbuch's γ (Appendix A): a low-diameter partition
+// runs β inside each cluster and α between adjacent clusters over one
+// designated edge per cluster pair. Per pulse p, each cluster (1)
+// convergecasts member safety to its root, (2) broadcasts CLUSTER-SAFE and
+// exchanges it over designated inter-cluster edges, (3) convergecasts
+// "every member heard all its designated peers", and (4) broadcasts
+// ADVANCE(p+1).
+//
+// Cluster trees are the weak-diameter Steiner trees of the decomposition,
+// so a node may relay traffic for clusters it is not a member of; all tree
+// messages therefore carry the cluster index.
+type gammaNode struct {
+	algo  syncrun.Handler
+	bound int
+	part  *GammaPartition
+
+	pulse     int
+	recvd     map[int][]syncrun.Incoming
+	sendAcked map[int]int
+	safe      map[int]bool // own pulse-p sends all acked
+
+	ph map[gKey]*gammaPhase
+}
+
+type gKey struct {
+	cluster int
+	pulse   int
+}
+
+// gammaPhase is per-(cluster,pulse) convergecast state at one tree node.
+type gammaPhase struct {
+	p1Count int
+	p1Sent  bool
+	cSafe   bool
+	extSafe int
+	p2Count int
+	p2Sent  bool
+}
+
+// GammaPartition is the γ clustering: a vertex partition into weak-diameter
+// clusters with Steiner trees, plus one designated edge per adjacent
+// cluster pair.
+type GammaPartition struct {
+	clusters []*decomp.Cluster
+	// clusterOf maps members to their cluster index.
+	clusterOf map[graph.NodeID]int
+	// treesOf maps every node to the cluster indices whose Steiner tree it
+	// participates in.
+	treesOf map[graph.NodeID][]int
+	// designated[v] lists peers v exchanges CLUSTER-SAFE with.
+	designated map[graph.NodeID][]graph.NodeID
+}
+
+// NewGammaPartition builds the clustering (γ's initialization).
+func NewGammaPartition(g *graph.Graph) *GammaPartition {
+	dec := decomp.Build(g, 1, nil)
+	p := &GammaPartition{
+		clusterOf:  make(map[graph.NodeID]int),
+		treesOf:    make(map[graph.NodeID][]int),
+		designated: make(map[graph.NodeID][]graph.NodeID),
+	}
+	p.clusters = dec.Clusters()
+	for i, c := range p.clusters {
+		for _, v := range c.Members {
+			p.clusterOf[v] = i
+		}
+		for tv := range c.Tree.DepthOf {
+			p.treesOf[tv] = append(p.treesOf[tv], i)
+		}
+	}
+	seen := make(map[[2]int]bool)
+	for _, e := range g.Edges {
+		a, b := p.clusterOf[e.U], p.clusterOf[e.V]
+		if a == b {
+			continue
+		}
+		key := [2]int{a, b}
+		if a > b {
+			key = [2]int{b, a}
+		}
+		if seen[key] {
+			continue
+		}
+		seen[key] = true
+		p.designated[e.U] = append(p.designated[e.U], e.V)
+		p.designated[e.V] = append(p.designated[e.V], e.U)
+	}
+	return p
+}
+
+// DesignatedEdgeCount returns the number of designated inter-cluster edges.
+func (p *GammaPartition) DesignatedEdgeCount() int {
+	total := 0
+	for _, peers := range p.designated {
+		total += len(peers)
+	}
+	return total / 2
+}
+
+// ClusterCount returns the number of clusters.
+func (p *GammaPartition) ClusterCount() int { return len(p.clusters) }
+
+const protoGammaTree async.Proto = 5
+
+type gammaP1Up struct{ Cluster, Pulse int }
+type gammaClusterSafe struct{ Cluster, Pulse int }
+type gammaCSafe struct{ Pulse int }
+type gammaP2Up struct{ Cluster, Pulse int }
+type gammaAdvance struct{ Cluster, Pulse int }
+
+var _ async.Handler = (*gammaNode)(nil)
+
+// NewGamma builds the γ-synchronized handler for one node.
+func NewGamma(algo syncrun.Handler, bound int, part *GammaPartition) async.Handler {
+	return &gammaNode{
+		algo:      algo,
+		bound:     bound,
+		part:      part,
+		recvd:     make(map[int][]syncrun.Incoming),
+		sendAcked: make(map[int]int),
+		safe:      make(map[int]bool),
+		ph:        make(map[gKey]*gammaPhase),
+	}
+}
+
+func (gm *gammaNode) phase(c, p int) *gammaPhase {
+	k := gKey{cluster: c, pulse: p}
+	st := gm.ph[k]
+	if st == nil {
+		st = &gammaPhase{}
+		gm.ph[k] = st
+	}
+	return st
+}
+
+func (gm *gammaNode) tree(c int) *decomp.Tree { return gm.part.clusters[c].Tree }
+
+func (gm *gammaNode) isMember(n *async.Node, c int) bool {
+	return gm.part.clusterOf[n.ID()] == c
+}
+
+// Init implements async.Handler.
+func (gm *gammaNode) Init(n *async.Node) { gm.runPulse(n, 0) }
+
+func (gm *gammaNode) runPulse(n *async.Node, p int) {
+	gm.pulse = p
+	api := &gammaAPI{n: n, g: gm, pulse: p}
+	if p == 0 {
+		gm.algo.Init(api)
+	} else {
+		batch := gm.recvd[p-1]
+		sort.Slice(batch, func(i, j int) bool { return batch[i].From < batch[j].From })
+		gm.algo.Pulse(api, p, batch)
+	}
+	gm.maybeSelfSafe(n, p)
+}
+
+func (gm *gammaNode) maybeSelfSafe(n *async.Node, p int) {
+	if gm.safe[p] || gm.sendAcked[p] > 0 || gm.pulse < p {
+		return
+	}
+	gm.safe[p] = true
+	// Kick the convergecast in every tree this node serves: members gate
+	// on their own safety, pure relays (Steiner nonterminals) just needed
+	// a trigger to report their (empty) subtrees for pulse p.
+	for _, c := range gm.part.treesOf[n.ID()] {
+		gm.maybeP1(n, c, p)
+	}
+}
+
+// maybeP1 advances the member-safety convergecast at this tree node.
+func (gm *gammaNode) maybeP1(n *async.Node, c, p int) {
+	st := gm.phase(c, p)
+	if st.p1Sent {
+		return
+	}
+	if gm.isMember(n, c) && !gm.safe[p] {
+		return
+	}
+	if st.p1Count < len(gm.tree(c).Children[n.ID()]) {
+		return
+	}
+	st.p1Sent = true
+	if par, ok := gm.tree(c).Parent[n.ID()]; ok {
+		n.Send(par, async.Msg{Proto: protoGammaTree, Stage: p, Body: gammaP1Up{Cluster: c, Pulse: p}})
+		return
+	}
+	gm.onClusterSafe(n, c, p)
+}
+
+// onClusterSafe handles the CLUSTER-SAFE broadcast at a tree node.
+func (gm *gammaNode) onClusterSafe(n *async.Node, c, p int) {
+	st := gm.phase(c, p)
+	st.cSafe = true
+	for _, ch := range gm.tree(c).Children[n.ID()] {
+		n.Send(ch, async.Msg{Proto: protoGammaTree, Stage: p, Body: gammaClusterSafe{Cluster: c, Pulse: p}})
+	}
+	if gm.isMember(n, c) {
+		for _, peer := range gm.part.designated[n.ID()] {
+			n.Send(peer, async.Msg{Proto: protoGammaTree, Stage: p, Body: gammaCSafe{Pulse: p}})
+		}
+	}
+	gm.maybeP2(n, c, p)
+}
+
+// maybeP2 advances the all-neighbors-safe convergecast.
+func (gm *gammaNode) maybeP2(n *async.Node, c, p int) {
+	st := gm.phase(c, p)
+	if st.p2Sent || !st.cSafe {
+		return
+	}
+	if gm.isMember(n, c) && st.extSafe < len(gm.part.designated[n.ID()]) {
+		return
+	}
+	if st.p2Count < len(gm.tree(c).Children[n.ID()]) {
+		return
+	}
+	st.p2Sent = true
+	if par, ok := gm.tree(c).Parent[n.ID()]; ok {
+		n.Send(par, async.Msg{Proto: protoGammaTree, Stage: p, Body: gammaP2Up{Cluster: c, Pulse: p}})
+		return
+	}
+	gm.broadcastAdvance(n, c, p+1)
+}
+
+func (gm *gammaNode) broadcastAdvance(n *async.Node, c, next int) {
+	if next > gm.bound {
+		return
+	}
+	for _, ch := range gm.tree(c).Children[n.ID()] {
+		n.Send(ch, async.Msg{Proto: protoGammaTree, Stage: next, Body: gammaAdvance{Cluster: c, Pulse: next}})
+	}
+	if gm.isMember(n, c) {
+		gm.runPulse(n, next)
+	}
+}
+
+// Recv implements async.Handler.
+func (gm *gammaNode) Recv(n *async.Node, from graph.NodeID, m async.Msg) {
+	switch body := m.Body.(type) {
+	case algoMsg:
+		gm.recvd[body.Pulse] = append(gm.recvd[body.Pulse], syncrun.Incoming{From: from, Body: body.Body})
+	case gammaP1Up:
+		gm.phase(body.Cluster, body.Pulse).p1Count++
+		gm.maybeP1(n, body.Cluster, body.Pulse)
+	case gammaClusterSafe:
+		gm.onClusterSafe(n, body.Cluster, body.Pulse)
+	case gammaCSafe:
+		c := gm.part.clusterOf[n.ID()]
+		gm.phase(c, body.Pulse).extSafe++
+		gm.maybeP2(n, c, body.Pulse)
+	case gammaP2Up:
+		gm.phase(body.Cluster, body.Pulse).p2Count++
+		gm.maybeP2(n, body.Cluster, body.Pulse)
+	case gammaAdvance:
+		gm.broadcastAdvance(n, body.Cluster, body.Pulse)
+	default:
+		panic(fmt.Sprintf("core: gamma node %d got payload %T", n.ID(), m.Body))
+	}
+}
+
+// Ack implements async.Handler.
+func (gm *gammaNode) Ack(n *async.Node, _ graph.NodeID, m async.Msg) {
+	body, ok := m.Body.(algoMsg)
+	if !ok {
+		return
+	}
+	gm.sendAcked[body.Pulse]--
+	gm.maybeSelfSafe(n, body.Pulse)
+}
+
+type gammaAPI struct {
+	n      *async.Node
+	g      *gammaNode
+	pulse  int
+	sentTo map[graph.NodeID]bool
+}
+
+var _ syncrun.API = (*gammaAPI)(nil)
+
+func (x *gammaAPI) ID() graph.NodeID            { return x.n.ID() }
+func (x *gammaAPI) Neighbors() []graph.Neighbor { return x.n.Neighbors() }
+func (x *gammaAPI) Degree() int                 { return x.n.Degree() }
+func (x *gammaAPI) Output(v any)                { x.n.Output(v) }
+func (x *gammaAPI) HasOutput() bool             { return x.n.HasOutput() }
+
+func (x *gammaAPI) Send(to graph.NodeID, body any) {
+	if x.sentTo == nil {
+		x.sentTo = make(map[graph.NodeID]bool)
+	}
+	if x.sentTo[to] {
+		panic(fmt.Sprintf("core: gamma node %d sent twice to %d", x.n.ID(), to))
+	}
+	x.sentTo[to] = true
+	x.g.sendAcked[x.pulse]++
+	x.n.Send(to, async.Msg{Proto: ProtoAlgo, Stage: x.pulse, Body: algoMsg{Pulse: x.pulse, Body: body}})
+}
+
+// SynchronizeGamma runs the algorithm under γ for exactly `bound` pulses.
+func SynchronizeGamma(g *graph.Graph, bound int, adv async.Adversary,
+	mk func(id graph.NodeID) syncrun.Handler) async.Result {
+	if adv == nil {
+		adv = async.SeededRandom{Seed: 1}
+	}
+	part := NewGammaPartition(g)
+	sim := async.New(g, adv, func(id graph.NodeID) async.Handler {
+		return NewGamma(mk(id), bound, part)
+	})
+	return sim.Run()
+}

@@ -1,0 +1,49 @@
+package core
+
+import "repro/internal/async"
+
+// Protocol tags used by the synchronizer. Registration and barrier modules
+// get one proto per cover level on top of these bases.
+const (
+	// ProtoAlgo carries algorithm messages and their chosen/declined
+	// replies (the execution forest's edges).
+	ProtoAlgo async.Proto = 1
+	// ProtoTree carries safety-status reports and Go-Ahead propagation on
+	// the execution forest.
+	ProtoTree async.Proto = 2
+	// ProtoRegBase + coverLevel carries §3.2 registration traffic.
+	ProtoRegBase async.Proto = 100
+	// ProtoBarrierBase + coverLevel carries §4.2 originator barriers.
+	ProtoBarrierBase async.Proto = 200
+)
+
+// algoMsg is one synchronous-algorithm message: sent by virtual node
+// (sender, Pulse), creating or feeding virtual node (receiver, Pulse+1).
+type algoMsg struct {
+	Pulse int
+	Body  any
+}
+
+// replyMsg answers an algoMsg: whether the receiver chose the sender as
+// its execution-forest parent. Pulse echoes the algoMsg's pulse.
+type replyMsg struct {
+	Pulse  int
+	Chosen bool
+}
+
+// statusMsg is a safety-convergecast report: the sender's virtual node of
+// pulse ChildPulse reports its subtree's Q-status (ready = non-Q-empty and
+// Q-safe; !Ready = Q-empty, which per §4.1.2 also implies Q-safe) to its
+// execution-forest parent of pulse ChildPulse-1.
+type statusMsg struct {
+	Q          int
+	ChildPulse int
+	Ready      bool
+}
+
+// gaMsg propagates Go-Ahead(Q) down the execution forest; the receiver's
+// virtual node has pulse ChildPulse.
+type gaMsg struct {
+	Q          int
+	ChildPulse int
+}

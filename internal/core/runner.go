@@ -1,0 +1,98 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/async"
+	"repro/internal/cover"
+	"repro/internal/gather"
+	"repro/internal/graph"
+	"repro/internal/reg"
+	"repro/internal/syncrun"
+)
+
+// Config describes one synchronized run (the Theorem 5.5 setting: the
+// pulse bound is known, covers are given or built up front).
+type Config struct {
+	// Graph is the network.
+	Graph *graph.Graph
+	// Bound B: the synchronous algorithm must send only at pulses 0..B-1.
+	// Exceeding it panics (it is a correctness contract, Appendix B).
+	Bound int
+	// Adversary controls message delays; nil means SeededRandom{1}.
+	Adversary async.Adversary
+	// Layered optionally supplies prebuilt covers (they must reach level
+	// ℓ(B)+5); nil builds them from the graph.
+	Layered *cover.Layered
+}
+
+// BuildLayeredFor constructs the layered covers the synchronizer needs for
+// pulse bound b on g. Building them is the synchronizer's initialization
+// (§4.6 / Theorem 4.22 do it asynchronously; this implementation builds
+// them centrally and reports their cost separately — see DESIGN.md).
+func BuildLayeredFor(g *graph.Graph, b int) *cover.Layered {
+	sched := NewSchedule(b)
+	return cover.BuildLayered(g, 1<<uint(sched.MaxCoverLevel), nil)
+}
+
+// Synchronize runs the synchronous algorithm produced by mk under the
+// deterministic synchronizer on cfg.Graph and returns the asynchronous
+// run's measurements. The outputs are exactly those of the synchronous
+// execution (Theorem 5.2).
+func Synchronize(cfg Config, mk func(id graph.NodeID) syncrun.Handler) async.Result {
+	if cfg.Graph == nil {
+		panic("core: Config.Graph is nil")
+	}
+	if cfg.Bound < 1 {
+		panic(fmt.Sprintf("core: Config.Bound must be >= 1, got %d", cfg.Bound))
+	}
+	adv := cfg.Adversary
+	if adv == nil {
+		adv = async.SeededRandom{Seed: 1}
+	}
+	sched := NewSchedule(cfg.Bound)
+	layered := cfg.Layered
+	if layered == nil {
+		layered = BuildLayeredFor(cfg.Graph, cfg.Bound)
+	}
+	if layered.MaxLevel() < sched.MaxCoverLevel {
+		panic(fmt.Sprintf("core: layered covers reach level %d, need %d",
+			layered.MaxLevel(), sched.MaxCoverLevel))
+	}
+	sim := async.New(cfg.Graph, adv, func(id graph.NodeID) async.Handler {
+		return NewNodeHandler(sched, layered, mk(id))
+	})
+	return sim.Run()
+}
+
+// NewNodeHandler wires one node's synchronizer stack: the core engine plus
+// one registration module and one barrier module per cover level in use.
+// Callers may register additional modules on unused protos of the returned
+// Mux before the simulation starts.
+func NewNodeHandler(sched *Schedule, layered *cover.Layered, algo syncrun.Handler) *async.Mux {
+	c := &nodeCore{
+		sched:       sched,
+		layered:     layered,
+		algo:        algo,
+		regMods:     make(map[int]*reg.Module),
+		barMods:     make(map[int]*gather.Module),
+		vnodes:      make(map[int]*vnode),
+		recvd:       make(map[int][]syncrun.Incoming),
+		recvdClosed: make(map[int]bool),
+	}
+	mux := async.NewMux()
+	mux.Register(ProtoAlgo, c)
+	mux.Register(ProtoTree, c)
+	stagePulse := func(session int) int { return session }
+	stageBarrier := func(session int) int { return session / 2 }
+	for lvl := 5; lvl <= sched.MaxCoverLevel; lvl++ {
+		cov := layered.Level(lvl)
+		rm := reg.New(ProtoRegBase+async.Proto(lvl), cov, c, stagePulse)
+		bm := gather.New(ProtoBarrierBase+async.Proto(lvl), cov, c, stageBarrier)
+		c.regMods[lvl] = rm
+		c.barMods[lvl] = bm
+		mux.Register(ProtoRegBase+async.Proto(lvl), rm)
+		mux.Register(ProtoBarrierBase+async.Proto(lvl), bm)
+	}
+	return mux
+}

@@ -1,0 +1,98 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/graph"
+)
+
+// vnode is one virtual node (v, pulse) of the execution forest (§5.2): the
+// pulse-π send-step of a physical node. It is created tentatively at the
+// first pulse-(π-1) trigger (message received, or own send at π-1) and
+// evaluated — the synchronous algorithm run and its pulse-π messages
+// released — when Go-Ahead(π) arrives.
+type vnode struct {
+	pulse int
+
+	// Execution-forest parentage. Originator vnodes (pulse 0) have neither.
+	parentPhys graph.NodeID
+	parentSelf bool
+	hasParent  bool
+
+	// evaluated: Go-Ahead(pulse) processed and the algorithm's Pulse run.
+	evaluated bool
+	// sentAny: the algorithm sent >= 1 message at this pulse.
+	sentAny bool
+	// outstandingReplies counts sent pulse-π messages not yet answered
+	// with a chosen/declined reply.
+	outstandingReplies int
+
+	// childPhys lists neighbors whose (w, π+1) chose this vnode as parent.
+	childPhys []graph.NodeID
+	// selfChild: (v, π+1) exists with this vnode as parent.
+	selfChild bool
+
+	// q holds one safety-convergecast state per tracked pulse.
+	q map[int]*qstate
+
+	// Wave-registration bookkeeping (consumer/gate pulses only).
+	regOutstanding map[int]int  // session -> clusters awaiting Registered
+	registered     map[int]bool // session -> fully registered
+	gaOutstanding  map[int]int  // session -> clusters awaiting GoAhead
+}
+
+// qstate tracks the q-status convergecast at one vnode: resolved when the
+// vnode's own sends are all answered and every execution-forest child has
+// reported; ready when the subtree contains a pulse-q vnode (and, per the
+// report semantics of §4.1.2, everything of pulse < q in it is safe).
+type qstate struct {
+	q               int
+	reports         int
+	anyReady        bool
+	resolved        bool
+	ready           bool
+	forwarded       bool
+	gateOutstanding int // sessions still registering before forwarding
+	// GA routing: children that reported q-ready.
+	readyPhys []graph.NodeID
+	readySelf bool
+}
+
+func newVnode(s *Schedule, p int) *vnode {
+	v := &vnode{
+		pulse:          p,
+		parentPhys:     -1,
+		q:              make(map[int]*qstate),
+		regOutstanding: make(map[int]int),
+		registered:     make(map[int]bool),
+		gaOutstanding:  make(map[int]int),
+	}
+	for _, q := range s.Tracked(p) {
+		v.q[q] = &qstate{q: q}
+	}
+	return v
+}
+
+// answersDone reports whether the vnode's children set is final: it has
+// evaluated (so its sends happened) and every send was answered.
+func (v *vnode) answersDone() bool {
+	return v.evaluated && v.outstandingReplies == 0
+}
+
+// childCount returns the final number of execution-forest children; only
+// meaningful once answersDone.
+func (v *vnode) childCount() int {
+	n := len(v.childPhys)
+	if v.selfChild {
+		n++
+	}
+	return n
+}
+
+func (v *vnode) qstate(q int) *qstate {
+	qs := v.q[q]
+	if qs == nil {
+		panic(fmt.Sprintf("core: vnode pulse %d has no q-state for %d", v.pulse, q))
+	}
+	return qs
+}

@@ -1,0 +1,267 @@
+// Package cover builds sparse d-covers (Definition 2.1) and layered covers
+// from the k-separated network decomposition, following Theorem 4.21:
+// construct a (2d+1)-separated weak-diameter decomposition, then expand
+// every cluster to its d-neighborhood. Same-color clusters are more than
+// 2d+1 apart, so the d-expansions stay disjoint per color, every node lands
+// in O(log n) clusters (at most one per color), and for every node v the
+// expansion of v's own decomposition cluster contains v's entire d-ball.
+package cover
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/decomp"
+	"repro/internal/graph"
+)
+
+// ClusterID identifies a cluster within one Cover.
+type ClusterID int
+
+// Cluster is one cover cluster: member nodes plus a rooted cluster tree
+// (weak: the tree may pass through non-member Steiner nodes).
+type Cluster struct {
+	ID      ClusterID
+	Root    graph.NodeID
+	Members []graph.NodeID // ascending
+	Tree    *decomp.Tree
+}
+
+// Has reports whether v is a member (terminal) of the cluster.
+func (c *Cluster) Has(v graph.NodeID) bool {
+	i := sort.Search(len(c.Members), func(i int) bool { return c.Members[i] >= v })
+	return i < len(c.Members) && c.Members[i] == v
+}
+
+// ParentOf returns v's parent in the cluster tree; ok=false at the root.
+func (c *Cluster) ParentOf(v graph.NodeID) (graph.NodeID, bool) {
+	p, ok := c.Tree.Parent[v]
+	return p, ok
+}
+
+// ChildrenOf returns v's children in the cluster tree (ascending); the
+// returned slice must not be mutated.
+func (c *Cluster) ChildrenOf(v graph.NodeID) []graph.NodeID {
+	return c.Tree.Children[v]
+}
+
+// Cover is a sparse d-cover: a set of clusters such that every node is in
+// O(log n) clusters and every node's d-ball is fully inside at least one
+// cluster.
+type Cover struct {
+	// D is the covered radius: any two nodes at distance <= D share a
+	// cluster.
+	D        int
+	Clusters []*Cluster
+	// memberOf[v] lists clusters that contain v as a member.
+	memberOf [][]ClusterID
+	// treeOf[v] lists clusters whose tree v participates in (superset of
+	// memberOf: Steiner nonterminals relay but are not covered).
+	treeOf [][]ClusterID
+	// home[v] is a cluster guaranteed to contain Ball(v, D).
+	home []ClusterID
+}
+
+// MemberOf returns the clusters containing v, ascending by id. Do not
+// mutate.
+func (c *Cover) MemberOf(v graph.NodeID) []ClusterID { return c.memberOf[v] }
+
+// TreeOf returns the clusters whose tree v participates in, ascending by
+// id. Do not mutate.
+func (c *Cover) TreeOf(v graph.NodeID) []ClusterID { return c.treeOf[v] }
+
+// Home returns a cluster whose member set contains every node within
+// distance D of v (the strengthened covering property of Definition 2.1).
+func (c *Cover) Home(v graph.NodeID) ClusterID { return c.home[v] }
+
+// Cluster returns the cluster with the given id.
+func (c *Cover) Cluster(id ClusterID) *Cluster { return c.Clusters[id] }
+
+// MaxTreeDepth returns the deepest cluster tree in the cover.
+func (c *Cover) MaxTreeDepth() int {
+	max := 0
+	for _, cl := range c.Clusters {
+		if d := cl.Tree.Depth(); d > max {
+			max = d
+		}
+	}
+	return max
+}
+
+// Build constructs a sparse d-cover of the nodes in s (nil = all nodes) by
+// Theorem 4.21. Deterministic.
+func Build(g *graph.Graph, d int, s []graph.NodeID) *Cover {
+	if d < 1 {
+		panic(fmt.Sprintf("cover: d must be >= 1, got %d", d))
+	}
+	dec := decomp.Build(g, 2*d+1, s)
+	cov := &Cover{
+		D:        d,
+		memberOf: make([][]ClusterID, g.N()),
+		treeOf:   make([][]ClusterID, g.N()),
+		home:     make([]ClusterID, g.N()),
+	}
+	for i := range cov.home {
+		cov.home[i] = -1
+	}
+	inS := make([]bool, g.N())
+	if s == nil {
+		for i := range inS {
+			inS[i] = true
+		}
+	} else {
+		for _, v := range s {
+			inS[v] = true
+		}
+	}
+	// decClusterIdx maps a decomposition cluster to its expanded cover
+	// cluster id, to fill home[].
+	type expanded struct {
+		cl  *Cluster
+		dec *decomp.Cluster
+	}
+	var all []expanded
+	for _, colorClusters := range dec.Colors {
+		for _, dc := range colorClusters {
+			all = append(all, expanded{cl: expandCluster(g, d, dc, inS), dec: dc})
+		}
+	}
+	for i, ex := range all {
+		ex.cl.ID = ClusterID(i)
+		cov.Clusters = append(cov.Clusters, ex.cl)
+		for _, v := range ex.cl.Members {
+			cov.memberOf[v] = append(cov.memberOf[v], ex.cl.ID)
+		}
+		for tv := range ex.cl.Tree.DepthOf {
+			cov.treeOf[tv] = append(cov.treeOf[tv], ex.cl.ID)
+		}
+		for _, v := range ex.dec.Members {
+			cov.home[v] = ex.cl.ID
+		}
+	}
+	return cov
+}
+
+// expandCluster grows dc to its d-neighborhood among nodes of s, extending
+// the Steiner tree along BFS paths (through any relay nodes in G).
+func expandCluster(g *graph.Graph, d int, dc *decomp.Cluster, inS []bool) *Cluster {
+	tree := cloneTree(dc.Tree)
+	// Multi-source BFS from the cluster members through all of G.
+	dist := make([]int, g.N())
+	par := make([]graph.NodeID, g.N())
+	for i := range dist {
+		dist[i] = -1
+		par[i] = -1
+	}
+	var queue, order []graph.NodeID
+	for _, v := range dc.Members {
+		dist[v] = 0
+		queue = append(queue, v)
+	}
+	for len(queue) > 0 {
+		v := queue[0]
+		queue = queue[1:]
+		if dist[v] == d {
+			continue
+		}
+		for _, nb := range g.Neighbors(v) {
+			if dist[nb.Node] < 0 {
+				dist[nb.Node] = dist[v] + 1
+				par[nb.Node] = v
+				queue = append(queue, nb.Node)
+				order = append(order, nb.Node)
+			}
+		}
+	}
+	members := append([]graph.NodeID(nil), dc.Members...)
+	for _, v := range order {
+		if !inS[v] {
+			continue // only cover nodes of the target set
+		}
+		members = append(members, v)
+		attachPath(tree, v, par)
+	}
+	sort.Slice(members, func(i, j int) bool { return members[i] < members[j] })
+	return &Cluster{Root: tree.Root, Members: members, Tree: tree}
+}
+
+// attachPath splices the BFS path from v back to the tree into the tree.
+func attachPath(tree *decomp.Tree, v graph.NodeID, par []graph.NodeID) {
+	var chain []graph.NodeID
+	w := v
+	for !tree.Has(w) {
+		chain = append(chain, w)
+		w = par[w]
+		if w < 0 {
+			panic("cover: BFS path did not reach the cluster tree")
+		}
+	}
+	for i := len(chain) - 1; i >= 0; i-- {
+		c := chain[i]
+		tree.Parent[c] = w
+		tree.Children[w] = insertSorted(tree.Children[w], c)
+		tree.DepthOf[c] = tree.DepthOf[w] + 1
+		w = c
+	}
+}
+
+func cloneTree(t *decomp.Tree) *decomp.Tree {
+	out := &decomp.Tree{
+		Root:     t.Root,
+		Parent:   make(map[graph.NodeID]graph.NodeID, len(t.Parent)),
+		Children: make(map[graph.NodeID][]graph.NodeID, len(t.Children)),
+		DepthOf:  make(map[graph.NodeID]int, len(t.DepthOf)),
+	}
+	for k, v := range t.Parent {
+		out.Parent[k] = v
+	}
+	for k, v := range t.Children {
+		out.Children[k] = append([]graph.NodeID(nil), v...)
+	}
+	for k, v := range t.DepthOf {
+		out.DepthOf[k] = v
+	}
+	return out
+}
+
+func insertSorted(s []graph.NodeID, v graph.NodeID) []graph.NodeID {
+	i := sort.Search(len(s), func(i int) bool { return s[i] >= v })
+	s = append(s, 0)
+	copy(s[i+1:], s[i:])
+	s[i] = v
+	return s
+}
+
+// Layered is a layered sparse d-cover: sparse 2^j-covers for all
+// j in 0..⌈log₂ d⌉ (§2.1).
+type Layered struct {
+	// Levels[j] is a sparse 2^j-cover.
+	Levels []*Cover
+}
+
+// BuildLayered constructs the layered sparse cover up to radius d.
+func BuildLayered(g *graph.Graph, d int, s []graph.NodeID) *Layered {
+	if d < 1 {
+		panic(fmt.Sprintf("cover: layered d must be >= 1, got %d", d))
+	}
+	var levels []*Cover
+	for j := 0; ; j++ {
+		r := 1 << uint(j)
+		levels = append(levels, Build(g, r, s))
+		if r >= d {
+			break
+		}
+	}
+	return &Layered{Levels: levels}
+}
+
+// Level returns the sparse 2^j-cover; panics when j exceeds what was built.
+func (l *Layered) Level(j int) *Cover {
+	if j < 0 || j >= len(l.Levels) {
+		panic(fmt.Sprintf("cover: level %d not built (have %d)", j, len(l.Levels)))
+	}
+	return l.Levels[j]
+}
+
+// MaxLevel returns the largest built level index.
+func (l *Layered) MaxLevel() int { return len(l.Levels) - 1 }

@@ -1,0 +1,108 @@
+package cover
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/decomp"
+	"repro/internal/graph"
+)
+
+// NewExplicit assembles a Cover from hand-built clusters. It is used by
+// tests and by the baseline synchronizers (β uses a single BFS-tree
+// cluster; γ uses a partition). Home(v) is the first cluster listing v as
+// a member; callers are responsible for the covering property if they rely
+// on it.
+func NewExplicit(n, d int, clusters []*Cluster) *Cover {
+	cov := &Cover{
+		D:        d,
+		Clusters: clusters,
+		memberOf: make([][]ClusterID, n),
+		treeOf:   make([][]ClusterID, n),
+		home:     make([]ClusterID, n),
+	}
+	for i := range cov.home {
+		cov.home[i] = -1
+	}
+	for i, cl := range clusters {
+		if cl.ID != ClusterID(i) {
+			panic(fmt.Sprintf("cover: explicit cluster %d has ID %d", i, cl.ID))
+		}
+		for _, v := range cl.Members {
+			cov.memberOf[v] = append(cov.memberOf[v], cl.ID)
+			if cov.home[v] < 0 {
+				cov.home[v] = cl.ID
+			}
+		}
+		for tv := range cl.Tree.DepthOf {
+			cov.treeOf[tv] = append(cov.treeOf[tv], cl.ID)
+		}
+	}
+	return cov
+}
+
+// BFSTreeCluster builds a single cluster spanning all of g: the BFS tree
+// rooted at root. Every node is a member.
+func BFSTreeCluster(g *graph.Graph, root graph.NodeID) *Cluster {
+	tree := &decomp.Tree{
+		Root:     root,
+		Parent:   make(map[graph.NodeID]graph.NodeID),
+		Children: make(map[graph.NodeID][]graph.NodeID),
+		DepthOf:  map[graph.NodeID]int{root: 0},
+	}
+	dist := g.BFS(root)
+	// Parent = smallest-ID neighbor one level closer.
+	order := make([]graph.NodeID, 0, g.N())
+	for v := 0; v < g.N(); v++ {
+		if dist[v] < 0 {
+			panic(fmt.Sprintf("cover: BFSTreeCluster on graph disconnected at %d", v))
+		}
+		order = append(order, graph.NodeID(v))
+	}
+	sort.Slice(order, func(i, j int) bool {
+		if dist[order[i]] != dist[order[j]] {
+			return dist[order[i]] < dist[order[j]]
+		}
+		return order[i] < order[j]
+	})
+	members := make([]graph.NodeID, 0, g.N())
+	for _, v := range order {
+		members = append(members, v)
+		if v == root {
+			continue
+		}
+		for _, nb := range g.Neighbors(v) {
+			if dist[nb.Node] == dist[v]-1 {
+				tree.Parent[v] = nb.Node
+				tree.Children[nb.Node] = insertSorted(tree.Children[nb.Node], v)
+				tree.DepthOf[v] = dist[v]
+				break
+			}
+		}
+	}
+	sort.Slice(members, func(i, j int) bool { return members[i] < members[j] })
+	return &Cluster{ID: 0, Root: root, Members: members, Tree: tree}
+}
+
+// PathCluster builds one cluster whose tree is the path v0-v1-…-vk rooted
+// at v0; all path nodes are members. Test helper for controlled tree
+// shapes.
+func PathCluster(id ClusterID, nodes []graph.NodeID) *Cluster {
+	if len(nodes) == 0 {
+		panic("cover: empty PathCluster")
+	}
+	tree := &decomp.Tree{
+		Root:     nodes[0],
+		Parent:   make(map[graph.NodeID]graph.NodeID),
+		Children: make(map[graph.NodeID][]graph.NodeID),
+		DepthOf:  map[graph.NodeID]int{nodes[0]: 0},
+	}
+	for i := 1; i < len(nodes); i++ {
+		tree.Parent[nodes[i]] = nodes[i-1]
+		tree.Children[nodes[i-1]] = append(tree.Children[nodes[i-1]], nodes[i])
+		tree.DepthOf[nodes[i]] = i
+	}
+	members := append([]graph.NodeID(nil), nodes...)
+	sort.Slice(members, func(i, j int) bool { return members[i] < members[j] })
+	return &Cluster{ID: id, Root: nodes[0], Members: members, Tree: tree}
+}

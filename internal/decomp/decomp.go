@@ -1,0 +1,446 @@
+// Package decomp builds the k-separated weak-diameter network decomposition
+// of Rozhon–Ghaffari (Theorem 4.20, Appendix C): O(log n) color classes,
+// each a set of clusters pairwise more than k apart, each cluster with a
+// Steiner tree of radius O(k·log³n) in G, and every edge of G appearing in
+// O(log⁴n) Steiner trees overall.
+//
+// The builder follows the published phase/step schedule faithfully —
+// b = ⌈log₂ n⌉ phases over label bits, each phase a sequence of grow-steps
+// in which blue clusters BFS out to distance k and either absorb or kill
+// the red nodes that propose — and is deterministic. It executes centrally
+// (the asynchronous distributed construction of §4.5 lives in
+// internal/abfs and reuses this package's step structure); DESIGN.md
+// records this substitution.
+package decomp
+
+import (
+	"fmt"
+	"math/bits"
+	"sort"
+
+	"repro/internal/graph"
+)
+
+// Tree is a rooted Steiner tree in G. Terminals are the cluster's member
+// nodes; the tree may route through non-member (nonterminal) nodes.
+type Tree struct {
+	Root graph.NodeID
+	// Parent maps every tree node except the root to its parent.
+	Parent map[graph.NodeID]graph.NodeID
+	// Children is the reverse of Parent, each list in ascending order.
+	Children map[graph.NodeID][]graph.NodeID
+	// DepthOf maps every tree node to its hop distance from the root.
+	DepthOf map[graph.NodeID]int
+}
+
+// Has reports whether v participates in the tree (as terminal or Steiner
+// node).
+func (t *Tree) Has(v graph.NodeID) bool {
+	if v == t.Root {
+		return true
+	}
+	_, ok := t.Parent[v]
+	return ok
+}
+
+// Depth returns the height of the tree (max depth over nodes).
+func (t *Tree) Depth() int {
+	max := 0
+	for _, d := range t.DepthOf {
+		if d > max {
+			max = d
+		}
+	}
+	return max
+}
+
+// Nodes returns all tree nodes in ascending order.
+func (t *Tree) Nodes() []graph.NodeID {
+	out := make([]graph.NodeID, 0, len(t.DepthOf))
+	for v := range t.DepthOf {
+		out = append(out, v)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// Edges returns the (parent, child) tree edges.
+func (t *Tree) Edges() [][2]graph.NodeID {
+	out := make([][2]graph.NodeID, 0, len(t.Parent))
+	for c, p := range t.Parent {
+		out = append(out, [2]graph.NodeID{p, c})
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i][0] != out[j][0] {
+			return out[i][0] < out[j][0]
+		}
+		return out[i][1] < out[j][1]
+	})
+	return out
+}
+
+// Cluster is one decomposition cluster: a set of member (terminal) nodes
+// plus its Steiner tree.
+type Cluster struct {
+	// Label is the final b-bit label shared by members.
+	Label uint64
+	// Color is the color class index.
+	Color int
+	// Members lists terminal nodes in ascending order.
+	Members []graph.NodeID
+	// Tree spans Members (and possibly nonterminals).
+	Tree *Tree
+}
+
+// Decomposition is the output of Build.
+type Decomposition struct {
+	K int
+	// Colors[c] lists the clusters of color c.
+	Colors [][]*Cluster
+	// ColorOf maps each clustered node to its color.
+	ColorOf map[graph.NodeID]int
+	// ClusterOf maps each clustered node to its cluster.
+	ClusterOf map[graph.NodeID]*Cluster
+}
+
+// Clusters returns all clusters across colors.
+func (d *Decomposition) Clusters() []*Cluster {
+	var out []*Cluster
+	for _, cs := range d.Colors {
+		out = append(out, cs...)
+	}
+	return out
+}
+
+// Build computes a k-separated weak-diameter network decomposition of the
+// nodes in S (nil means all nodes). Deterministic.
+func Build(g *graph.Graph, k int, s []graph.NodeID) *Decomposition {
+	if k < 1 {
+		panic(fmt.Sprintf("decomp: k must be >= 1, got %d", k))
+	}
+	living := make([]bool, g.N())
+	remaining := 0
+	if s == nil {
+		for i := range living {
+			living[i] = true
+		}
+		remaining = g.N()
+	} else {
+		for _, v := range s {
+			if !living[v] {
+				living[v] = true
+				remaining++
+			}
+		}
+	}
+	d := &Decomposition{
+		K:         k,
+		ColorOf:   make(map[graph.NodeID]int),
+		ClusterOf: make(map[graph.NodeID]*Cluster),
+	}
+	maxColors := 4*bits.Len(uint(g.N())) + 4
+	for color := 0; remaining > 0; color++ {
+		if color >= maxColors {
+			panic("decomp: color count exceeded 4·log n — clustering is not halving")
+		}
+		clusters := onePartition(g, k, living)
+		cleared := 0
+		for _, c := range clusters {
+			c.Color = color
+			for _, v := range c.Members {
+				living[v] = false
+				cleared++
+				d.ColorOf[v] = color
+				d.ClusterOf[v] = c
+			}
+		}
+		if cleared == 0 {
+			panic("decomp: partition clustered zero nodes")
+		}
+		remaining -= cleared
+		d.Colors = append(d.Colors, clusters)
+	}
+	return d
+}
+
+// phaseState carries the mutable per-run state of onePartition.
+type phaseState struct {
+	g      *graph.Graph
+	k      int
+	b      int
+	alive  []bool   // alive within this partition run
+	label  []uint64 // current label of alive nodes
+	trees  map[uint64]*Tree
+	member map[uint64]map[graph.NodeID]bool
+}
+
+// onePartition runs Lemma C.1: clusters at least half of the living nodes
+// into >k-separated clusters and returns them. Nodes it kills stay for the
+// next color.
+func onePartition(g *graph.Graph, k int, living []bool) []*Cluster {
+	st := &phaseState{
+		g:      g,
+		k:      k,
+		alive:  make([]bool, g.N()),
+		label:  make([]uint64, g.N()),
+		trees:  make(map[uint64]*Tree),
+		member: make(map[uint64]map[graph.NodeID]bool),
+	}
+	nLiving := 0
+	for v := 0; v < g.N(); v++ {
+		if living[v] {
+			st.alive[v] = true
+			nLiving++
+			lab := uint64(v)
+			st.label[v] = lab
+			st.trees[lab] = &Tree{
+				Root:     graph.NodeID(v),
+				Parent:   make(map[graph.NodeID]graph.NodeID),
+				Children: make(map[graph.NodeID][]graph.NodeID),
+				DepthOf:  map[graph.NodeID]int{graph.NodeID(v): 0},
+			}
+			st.member[lab] = map[graph.NodeID]bool{graph.NodeID(v): true}
+		}
+	}
+	if nLiving == 0 {
+		return nil
+	}
+	st.b = bits.Len(uint(g.N()))
+	for phase := 0; phase < st.b; phase++ {
+		st.runPhase(phase)
+	}
+	// Survivors with the same label form the clusters.
+	var labels []uint64
+	for lab, mem := range st.member {
+		if len(mem) > 0 {
+			labels = append(labels, lab)
+		}
+	}
+	sort.Slice(labels, func(i, j int) bool { return labels[i] < labels[j] })
+	clusters := make([]*Cluster, 0, len(labels))
+	for _, lab := range labels {
+		mem := make([]graph.NodeID, 0, len(st.member[lab]))
+		for v := range st.member[lab] {
+			mem = append(mem, v)
+		}
+		sort.Slice(mem, func(i, j int) bool { return mem[i] < mem[j] })
+		clusters = append(clusters, &Cluster{Label: lab, Members: mem, Tree: st.trees[lab]})
+	}
+	// Invariant (III) aggregate: at least half the living nodes survive.
+	survived := 0
+	for _, c := range clusters {
+		survived += len(c.Members)
+	}
+	if 2*survived < nLiving {
+		panic(fmt.Sprintf("decomp: only %d of %d nodes survived a partition", survived, nLiving))
+	}
+	return clusters
+}
+
+func (st *phaseState) runPhase(phase int) {
+	bit := uint64(1) << uint(phase)
+	// Active blue clusters this phase: labels with phase-bit 0 and >= 1
+	// member. stopped[lab] marks clusters done for the phase.
+	stopped := make(map[uint64]bool)
+	maxSteps := 10 * st.b * st.b // R = O(log² n); early break below
+	for step := 0; step < maxSteps; step++ {
+		sources := st.activeBlueSources(bit, stopped)
+		if len(sources) == 0 {
+			return
+		}
+		dist, claim, parent := st.claimBFS(sources)
+		// Gather proposals: living red nodes reached within k.
+		proposals := make(map[uint64][]graph.NodeID)
+		for v := 0; v < st.g.N(); v++ {
+			id := graph.NodeID(v)
+			if !st.alive[v] || st.label[v]&bit == 0 {
+				continue // dead or blue
+			}
+			if dist[v] < 0 || dist[v] > st.k {
+				continue
+			}
+			lab := claim[v]
+			// Invariant (I'): only same-suffix reds can be within k.
+			suffixMask := bit - 1
+			if st.label[v]&suffixMask != lab&suffixMask {
+				panic(fmt.Sprintf("decomp: separation invariant broken at node %d", v))
+			}
+			proposals[lab] = append(proposals[lab], id)
+		}
+		progressed := false
+		var labs []uint64
+		for lab := range proposals {
+			labs = append(labs, lab)
+		}
+		sort.Slice(labs, func(i, j int) bool { return labs[i] < labs[j] })
+		for _, lab := range labs {
+			props := proposals[lab]
+			sort.Slice(props, func(i, j int) bool { return props[i] < props[j] })
+			if 2*len(props)*st.b <= len(st.member[lab]) {
+				// Deny: proposers die; cluster stops for the phase.
+				for _, u := range props {
+					st.kill(u)
+				}
+				stopped[lab] = true
+				continue
+			}
+			progressed = true
+			for _, u := range props {
+				st.absorb(u, lab, parent)
+			}
+		}
+		// Clusters that received no proposals at all stop too (nothing
+		// within k remains to grab).
+		for _, lab := range st.blueLabels(bit) {
+			if !stopped[lab] && len(proposals[lab]) == 0 {
+				stopped[lab] = true
+			}
+		}
+		if !progressed {
+			return
+		}
+	}
+	panic("decomp: phase did not converge within R steps")
+}
+
+// activeBlueSources returns the living terminals of all non-stopped blue
+// clusters, each annotated with its cluster label, sorted by (label, node).
+func (st *phaseState) activeBlueSources(bit uint64, stopped map[uint64]bool) []sourceSeed {
+	var out []sourceSeed
+	for _, lab := range st.blueLabels(bit) {
+		if stopped[lab] {
+			continue
+		}
+		mems := make([]graph.NodeID, 0, len(st.member[lab]))
+		for v := range st.member[lab] {
+			mems = append(mems, v)
+		}
+		sort.Slice(mems, func(i, j int) bool { return mems[i] < mems[j] })
+		for _, v := range mems {
+			out = append(out, sourceSeed{node: v, label: lab})
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].label != out[j].label {
+			return out[i].label < out[j].label
+		}
+		return out[i].node < out[j].node
+	})
+	return out
+}
+
+func (st *phaseState) blueLabels(bit uint64) []uint64 {
+	var labs []uint64
+	for lab, mem := range st.member {
+		if lab&bit == 0 && len(mem) > 0 {
+			labs = append(labs, lab)
+		}
+	}
+	sort.Slice(labs, func(i, j int) bool { return labs[i] < labs[j] })
+	return labs
+}
+
+type sourceSeed struct {
+	node  graph.NodeID
+	label uint64
+}
+
+// claimBFS runs a multi-source BFS (through every node of G, any state) to
+// depth k from the given sources. It returns, per node: distance (-1 when
+// beyond k), the claiming cluster label (nearest; ties to smallest label),
+// and the BFS parent toward that cluster.
+func (st *phaseState) claimBFS(sources []sourceSeed) (dist []int, claim []uint64, parent []graph.NodeID) {
+	n := st.g.N()
+	dist = make([]int, n)
+	claim = make([]uint64, n)
+	parent = make([]graph.NodeID, n)
+	for i := range dist {
+		dist[i] = -1
+		parent[i] = -1
+	}
+	var order []graph.NodeID
+	var queue []graph.NodeID
+	for _, s := range sources {
+		if dist[s.node] != 0 {
+			dist[s.node] = 0
+			claim[s.node] = s.label
+			queue = append(queue, s.node)
+			order = append(order, s.node)
+		}
+	}
+	for len(queue) > 0 {
+		v := queue[0]
+		queue = queue[1:]
+		if dist[v] == st.k {
+			continue
+		}
+		for _, nb := range st.g.Neighbors(v) {
+			if dist[nb.Node] < 0 {
+				dist[nb.Node] = dist[v] + 1
+				queue = append(queue, nb.Node)
+				order = append(order, nb.Node)
+			}
+		}
+	}
+	// Claim pass in BFS order: adopt the smallest-label claim among
+	// predecessors (neighbors one level closer).
+	for _, u := range order {
+		if dist[u] == 0 {
+			continue
+		}
+		best := uint64(1<<63 - 1)
+		bestParent := graph.NodeID(-1)
+		for _, nb := range st.g.Neighbors(u) {
+			w := nb.Node
+			if dist[w] == dist[u]-1 && claim[w] < best {
+				best = claim[w]
+				bestParent = w
+			}
+		}
+		claim[u] = best
+		parent[u] = bestParent
+	}
+	return dist, claim, parent
+}
+
+// kill removes u from the living set and from its cluster's terminals (its
+// tree keeps u as a nonterminal).
+func (st *phaseState) kill(u graph.NodeID) {
+	st.alive[u] = false
+	delete(st.member[st.label[u]], u)
+}
+
+// absorb moves living red node u into the blue cluster lab, relabeling it
+// and splicing the BFS path from u to the cluster into lab's Steiner tree.
+func (st *phaseState) absorb(u graph.NodeID, lab uint64, parent []graph.NodeID) {
+	delete(st.member[st.label[u]], u)
+	st.label[u] = lab
+	st.member[lab][u] = true
+	tree := st.trees[lab]
+	// Walk u -> parent(u) -> ... until a node already in the tree; collect
+	// the chain, then attach it rootward-first.
+	var chain []graph.NodeID
+	w := u
+	for !tree.Has(w) {
+		chain = append(chain, w)
+		w = parent[w]
+		if w < 0 {
+			panic("decomp: BFS path did not reach the cluster tree")
+		}
+	}
+	for i := len(chain) - 1; i >= 0; i-- {
+		c := chain[i]
+		tree.Parent[c] = w
+		tree.Children[w] = insertSorted(tree.Children[w], c)
+		tree.DepthOf[c] = tree.DepthOf[w] + 1
+		w = c
+	}
+}
+
+func insertSorted(s []graph.NodeID, v graph.NodeID) []graph.NodeID {
+	i := sort.Search(len(s), func(i int) bool { return s[i] >= v })
+	s = append(s, 0)
+	copy(s[i+1:], s[i:])
+	s[i] = v
+	return s
+}

@@ -1,0 +1,290 @@
+// Package gather implements the information-collecting abstraction of §3.1
+// (Theorems 3.1 and 3.2): given a sparse d-cover and a process P that every
+// node eventually finishes locally, each node learns when every node in its
+// d-neighborhood (or d·ℓ-neighborhood, via chained stages) is done with P.
+//
+// Per cluster the module runs a convergecast up the cluster tree — a node
+// reports once it is locally done and all its tree children have reported —
+// followed by a confirmation broadcast from the root. A member node's
+// neighborhood is done once every cluster containing it has confirmed,
+// because any node within distance d shares at least one cluster with it.
+//
+// Cost per session: O(1) messages per tree edge per cluster, i.e.
+// O(m·log⁴n) messages and O(d·polylog) isolated time (Theorem 3.1).
+package gather
+
+import (
+	"fmt"
+
+	"repro/internal/async"
+	"repro/internal/cover"
+	"repro/internal/graph"
+)
+
+// Callbacks receives gather completions.
+type Callbacks interface {
+	// NeighborhoodDone fires on a member node when, for the given session,
+	// every cluster containing it has confirmed cluster-wide completion.
+	NeighborhoodDone(n *async.Node, session int)
+}
+
+type gKind int8
+
+const (
+	kindDoneUp gKind = iota + 1
+	kindConfirmDown
+)
+
+type payload struct {
+	Kind    gKind
+	Cluster cover.ClusterID
+	Session int
+}
+
+type clusterState struct {
+	began     bool
+	localDone bool
+	childDone map[graph.NodeID]bool
+	reported  bool
+	confirmed bool
+}
+
+type nodeSession struct {
+	began     bool
+	markedAll bool
+	confirmed int  // clusters containing me that confirmed
+	fired     bool // callback delivered
+}
+
+type key struct {
+	c cover.ClusterID
+	s int
+}
+
+// Module is the per-node gather engine for one cover.
+type Module struct {
+	proto    async.Proto
+	cov      *cover.Cover
+	cb       Callbacks
+	stageOf  func(session int) int
+	states   map[key]*clusterState
+	sessions map[int]*nodeSession
+}
+
+var _ async.Module = (*Module)(nil)
+
+// New creates the per-node module. stageOf maps sessions to link stages
+// (nil = all zero).
+func New(proto async.Proto, cov *cover.Cover, cb Callbacks, stageOf func(int) int) *Module {
+	if stageOf == nil {
+		stageOf = func(int) int { return 0 }
+	}
+	return &Module{
+		proto:    proto,
+		cov:      cov,
+		cb:       cb,
+		stageOf:  stageOf,
+		states:   make(map[key]*clusterState),
+		sessions: make(map[int]*nodeSession),
+	}
+}
+
+// Start implements async.Module.
+func (m *Module) Start(*async.Node) {}
+
+// Ack implements async.Module.
+func (m *Module) Ack(*async.Node, graph.NodeID, async.Msg) {}
+
+func (m *Module) state(c cover.ClusterID, s int) *clusterState {
+	k := key{c: c, s: s}
+	st := m.states[k]
+	if st == nil {
+		st = &clusterState{childDone: make(map[graph.NodeID]bool)}
+		m.states[k] = st
+	}
+	return st
+}
+
+func (m *Module) session(s int) *nodeSession {
+	ns := m.sessions[s]
+	if ns == nil {
+		ns = &nodeSession{}
+		m.sessions[s] = ns
+	}
+	return ns
+}
+
+// Begin announces the session at this node: every cluster tree this node
+// participates in becomes live here. Nonterminal nodes (pure relays) count
+// as locally done. Idempotent. Every tree participant must eventually call
+// Begin (or MarkDone) for every session, or convergecasts stall.
+func (m *Module) Begin(n *async.Node, session int) {
+	ns := m.session(session)
+	if ns.began {
+		return
+	}
+	ns.began = true
+	for _, cid := range m.cov.TreeOf(n.ID()) {
+		st := m.state(cid, session)
+		st.began = true
+		if !m.cov.Cluster(cid).Has(n.ID()) {
+			st.localDone = true // nonterminals have no process to finish
+		}
+		m.maybeReport(n, cid, session, st)
+	}
+	// A node in no cluster at all has a trivially-done neighborhood.
+	if len(m.cov.MemberOf(n.ID())) == 0 {
+		m.maybeFire(n, session, ns)
+	}
+}
+
+// MarkDone records that this node's local process P for the session is
+// finished. Implies Begin.
+func (m *Module) MarkDone(n *async.Node, session int) {
+	m.Begin(n, session)
+	ns := m.session(session)
+	if ns.markedAll {
+		return
+	}
+	ns.markedAll = true
+	for _, cid := range m.cov.MemberOf(n.ID()) {
+		st := m.state(cid, session)
+		st.localDone = true
+		m.maybeReport(n, cid, session, st)
+	}
+	m.maybeFire(n, session, ns)
+}
+
+// Recv implements async.Module.
+func (m *Module) Recv(n *async.Node, from graph.NodeID, msg async.Msg) {
+	p, ok := msg.Body.(payload)
+	if !ok {
+		panic(fmt.Sprintf("gather: node %d got payload %T", n.ID(), msg.Body))
+	}
+	st := m.state(p.Cluster, p.Session)
+	switch p.Kind {
+	case kindDoneUp:
+		st.childDone[from] = true
+		m.maybeReport(n, p.Cluster, p.Session, st)
+	case kindConfirmDown:
+		m.confirm(n, p.Cluster, p.Session, st)
+	default:
+		panic(fmt.Sprintf("gather: unknown kind %d", p.Kind))
+	}
+}
+
+// maybeReport sends the subtree-done report upward (or starts the
+// confirmation broadcast at the root) once this node is locally done, has
+// begun, and has heard from every tree child.
+func (m *Module) maybeReport(n *async.Node, c cover.ClusterID, session int, st *clusterState) {
+	if st.reported || !st.began || !st.localDone {
+		return
+	}
+	cl := m.cov.Cluster(c)
+	for _, ch := range cl.ChildrenOf(n.ID()) {
+		if !st.childDone[ch] {
+			return
+		}
+	}
+	st.reported = true
+	if cl.Root == n.ID() {
+		m.confirm(n, c, session, st)
+		return
+	}
+	par, _ := cl.ParentOf(n.ID())
+	n.Send(par, async.Msg{Proto: m.proto, Stage: m.stageOf(session), Body: payload{Kind: kindDoneUp, Cluster: c, Session: session}})
+}
+
+// confirm marks the cluster complete at this node and forwards the
+// broadcast to tree children.
+func (m *Module) confirm(n *async.Node, c cover.ClusterID, session int, st *clusterState) {
+	if st.confirmed {
+		return
+	}
+	st.confirmed = true
+	cl := m.cov.Cluster(c)
+	for _, ch := range cl.ChildrenOf(n.ID()) {
+		n.Send(ch, async.Msg{Proto: m.proto, Stage: m.stageOf(session), Body: payload{Kind: kindConfirmDown, Cluster: c, Session: session}})
+	}
+	if cl.Has(n.ID()) {
+		ns := m.session(session)
+		ns.confirmed++
+		m.maybeFire(n, session, ns)
+	}
+}
+
+// maybeFire delivers NeighborhoodDone when every containing cluster has
+// confirmed and the local process finished (a member's own completion is
+// part of "everyone within distance d is done").
+func (m *Module) maybeFire(n *async.Node, session int, ns *nodeSession) {
+	if ns.fired {
+		return
+	}
+	member := m.cov.MemberOf(n.ID())
+	if len(member) > 0 && (!ns.markedAll || ns.confirmed < len(member)) {
+		return
+	}
+	if len(member) == 0 && !ns.began {
+		return
+	}
+	ns.fired = true
+	m.cb.NeighborhoodDone(n, session)
+}
+
+// Done reports whether the session's NeighborhoodDone fired at this node.
+func (m *Module) Done(session int) bool {
+	ns := m.sessions[session]
+	return ns != nil && ns.fired
+}
+
+// Chain runs Theorem 3.2's staged gather: stage i learns that the
+// (i+1)·d-neighborhood is done, by gathering "stage i-1 done" in the
+// d-cover. Sessions used are base+0 … base+(L-1).
+type Chain struct {
+	Mod  *Module
+	L    int // number of stages ℓ
+	Base int // first session id
+	// Final fires when the d·L-neighborhood is done with P.
+	Final func(n *async.Node)
+
+	marked bool
+	stage  int
+}
+
+// Begin announces all chain sessions at this node (relays included).
+func (ch *Chain) Begin(n *async.Node) {
+	for i := 0; i < ch.L; i++ {
+		ch.Mod.Begin(n, ch.Base+i)
+	}
+}
+
+// MarkDone records local completion of P, starting stage 0.
+func (ch *Chain) MarkDone(n *async.Node) {
+	if ch.marked {
+		return
+	}
+	ch.marked = true
+	ch.Begin(n)
+	ch.Mod.MarkDone(n, ch.Base)
+}
+
+// OnNeighborhoodDone must be called from the owner's Callbacks for sessions
+// in [Base, Base+L); it advances the chain and fires Final at the end.
+func (ch *Chain) OnNeighborhoodDone(n *async.Node, session int) {
+	if session != ch.Base+ch.stage {
+		panic(fmt.Sprintf("gather: chain got session %d at stage %d", session, ch.stage))
+	}
+	ch.stage++
+	if ch.stage == ch.L {
+		if ch.Final != nil {
+			ch.Final(n)
+		}
+		return
+	}
+	ch.Mod.MarkDone(n, ch.Base+ch.stage)
+}
+
+// Owns reports whether the session belongs to this chain.
+func (ch *Chain) Owns(session int) bool {
+	return session >= ch.Base && session < ch.Base+ch.L
+}

@@ -1,0 +1,184 @@
+package graph
+
+// BFS returns the distance from src to every node; unreachable nodes get -1.
+func (g *Graph) BFS(src NodeID) []int {
+	dist := make([]int, g.n)
+	for i := range dist {
+		dist[i] = -1
+	}
+	dist[src] = 0
+	queue := []NodeID{src}
+	for len(queue) > 0 {
+		v := queue[0]
+		queue = queue[1:]
+		for _, nb := range g.adj[v] {
+			if dist[nb.Node] < 0 {
+				dist[nb.Node] = dist[v] + 1
+				queue = append(queue, nb.Node)
+			}
+		}
+	}
+	return dist
+}
+
+// MultiBFS returns, for every node, the distance to the closest source and
+// the NodeID of that closest source (smallest-ID source wins ties, matching
+// the deterministic tie-break used by the distributed algorithms).
+// Unreachable nodes get distance -1 and source -1.
+func (g *Graph) MultiBFS(sources []NodeID) (dist []int, closest []NodeID) {
+	dist = make([]int, g.n)
+	closest = make([]NodeID, g.n)
+	for i := range dist {
+		dist[i] = -1
+		closest[i] = -1
+	}
+	var queue []NodeID
+	for _, s := range sources {
+		if dist[s] != 0 {
+			dist[s] = 0
+			closest[s] = s
+			queue = append(queue, s)
+		}
+	}
+	order := append([]NodeID(nil), queue...)
+	for len(queue) > 0 {
+		v := queue[0]
+		queue = queue[1:]
+		for _, nb := range g.adj[v] {
+			if dist[nb.Node] < 0 {
+				dist[nb.Node] = dist[v] + 1
+				queue = append(queue, nb.Node)
+				order = append(order, nb.Node)
+			}
+		}
+	}
+	// Second pass in non-decreasing distance order: the closest source of u
+	// is the minimum closest source among neighbors one level below.
+	for _, u := range order {
+		if dist[u] == 0 {
+			continue
+		}
+		for _, nb := range g.adj[u] {
+			v := nb.Node
+			if dist[v] == dist[u]-1 && (closest[u] < 0 || closest[v] < closest[u]) {
+				closest[u] = closest[v]
+			}
+		}
+	}
+	return dist, closest
+}
+
+// Ecc returns the eccentricity of v (max distance to any reachable node).
+func (g *Graph) Ecc(v NodeID) int {
+	max := 0
+	for _, d := range g.BFS(v) {
+		if d > max {
+			max = d
+		}
+	}
+	return max
+}
+
+// Diameter returns the exact diameter (max over all pairs). O(n·m); fine at
+// experiment scale. Returns 0 for n <= 1; panics on disconnected graphs.
+func (g *Graph) Diameter() int {
+	diam := 0
+	for v := 0; v < g.n; v++ {
+		dist := g.BFS(NodeID(v))
+		for _, d := range dist {
+			if d < 0 {
+				panic("graph: Diameter on disconnected graph")
+			}
+			if d > diam {
+				diam = d
+			}
+		}
+	}
+	return diam
+}
+
+// BallRadius returns max over nodes v of dist(v, sources): the paper's D1
+// for multi-source BFS (Thm 4.24).
+func (g *Graph) BallRadius(sources []NodeID) int {
+	dist, _ := g.MultiBFS(sources)
+	max := 0
+	for _, d := range dist {
+		if d > max {
+			max = d
+		}
+	}
+	return max
+}
+
+// Ball returns all nodes within distance d of v, in ascending ID order.
+func (g *Graph) Ball(v NodeID, d int) []NodeID {
+	dist := g.bfsBounded(v, d)
+	var out []NodeID
+	for u, du := range dist {
+		if du >= 0 {
+			out = append(out, NodeID(u))
+		}
+	}
+	return out
+}
+
+// bfsBounded is BFS truncated at depth bound; unreached nodes get -1.
+func (g *Graph) bfsBounded(src NodeID, bound int) []int {
+	dist := make([]int, g.n)
+	for i := range dist {
+		dist[i] = -1
+	}
+	dist[src] = 0
+	queue := []NodeID{src}
+	for len(queue) > 0 {
+		v := queue[0]
+		queue = queue[1:]
+		if dist[v] == bound {
+			continue
+		}
+		for _, nb := range g.adj[v] {
+			if dist[nb.Node] < 0 {
+				dist[nb.Node] = dist[v] + 1
+				queue = append(queue, nb.Node)
+			}
+		}
+	}
+	return dist
+}
+
+// DistanceBetweenSets returns min over a in A, b in B of dist(a,b).
+// Returns -1 if unreachable.
+func (g *Graph) DistanceBetweenSets(a, b []NodeID) int {
+	if len(a) == 0 || len(b) == 0 {
+		return -1
+	}
+	inB := make(map[NodeID]bool, len(b))
+	for _, v := range b {
+		inB[v] = true
+	}
+	dist := make([]int, g.n)
+	for i := range dist {
+		dist[i] = -1
+	}
+	var queue []NodeID
+	for _, v := range a {
+		if dist[v] != 0 {
+			dist[v] = 0
+			queue = append(queue, v)
+		}
+	}
+	for len(queue) > 0 {
+		v := queue[0]
+		queue = queue[1:]
+		if inB[v] {
+			return dist[v]
+		}
+		for _, nb := range g.adj[v] {
+			if dist[nb.Node] < 0 {
+				dist[nb.Node] = dist[v] + 1
+				queue = append(queue, nb.Node)
+			}
+		}
+	}
+	return -1
+}

@@ -1,0 +1,219 @@
+package graph
+
+import "fmt"
+
+// The generators are all deterministic: random families take an explicit
+// seed and use the local xorshift PRNG below, so every experiment is
+// reproducible bit-for-bit without pulling in math/rand global state.
+
+// rng is a small deterministic xorshift64* generator.
+type rng struct{ s uint64 }
+
+func newRNG(seed uint64) *rng {
+	if seed == 0 {
+		seed = 0x9E3779B97F4A7C15
+	}
+	return &rng{s: seed}
+}
+
+func (r *rng) next() uint64 {
+	r.s ^= r.s >> 12
+	r.s ^= r.s << 25
+	r.s ^= r.s >> 27
+	return r.s * 0x2545F4914F6CDD1D
+}
+
+// Intn returns a uniform int in [0, n).
+func (r *rng) Intn(n int) int {
+	if n <= 0 {
+		panic("rng: Intn with n <= 0")
+	}
+	return int(r.next() % uint64(n))
+}
+
+// Path returns the path graph 0-1-2-…-(n-1). Diameter n-1.
+func Path(n int) *Graph {
+	g := New(n)
+	for i := 0; i+1 < n; i++ {
+		g.AddEdge(NodeID(i), NodeID(i+1), 0)
+	}
+	return g.Finalize()
+}
+
+// Cycle returns the n-cycle. Diameter floor(n/2). Requires n >= 3.
+func Cycle(n int) *Graph {
+	if n < 3 {
+		panic(fmt.Sprintf("graph: Cycle needs n >= 3, got %d", n))
+	}
+	g := New(n)
+	for i := 0; i < n; i++ {
+		g.AddEdge(NodeID(i), NodeID((i+1)%n), 0)
+	}
+	return g.Finalize()
+}
+
+// Grid returns the rows×cols grid. Diameter rows+cols-2.
+func Grid(rows, cols int) *Graph {
+	g := New(rows * cols)
+	id := func(r, c int) NodeID { return NodeID(r*cols + c) }
+	for r := 0; r < rows; r++ {
+		for c := 0; c < cols; c++ {
+			if c+1 < cols {
+				g.AddEdge(id(r, c), id(r, c+1), 0)
+			}
+			if r+1 < rows {
+				g.AddEdge(id(r, c), id(r+1, c), 0)
+			}
+		}
+	}
+	return g.Finalize()
+}
+
+// Star returns the star with center 0 and n-1 leaves. Diameter 2.
+func Star(n int) *Graph {
+	g := New(n)
+	for i := 1; i < n; i++ {
+		g.AddEdge(0, NodeID(i), 0)
+	}
+	return g.Finalize()
+}
+
+// CompleteBinaryTree returns a complete binary tree on n nodes
+// (node i has children 2i+1 and 2i+2 when in range).
+func CompleteBinaryTree(n int) *Graph {
+	g := New(n)
+	for i := 0; i < n; i++ {
+		if l := 2*i + 1; l < n {
+			g.AddEdge(NodeID(i), NodeID(l), 0)
+		}
+		if r := 2*i + 2; r < n {
+			g.AddEdge(NodeID(i), NodeID(r), 0)
+		}
+	}
+	return g.Finalize()
+}
+
+// Complete returns K_n.
+func Complete(n int) *Graph {
+	g := New(n)
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			g.AddEdge(NodeID(i), NodeID(j), 0)
+		}
+	}
+	return g.Finalize()
+}
+
+// RandomConnected returns a connected graph: a random spanning tree plus
+// extra random edges until reaching approximately m edges total.
+// Deterministic in seed.
+func RandomConnected(n, m int, seed uint64) *Graph {
+	if m < n-1 {
+		panic(fmt.Sprintf("graph: RandomConnected needs m >= n-1 (n=%d, m=%d)", n, m))
+	}
+	maxM := n * (n - 1) / 2
+	if m > maxM {
+		m = maxM
+	}
+	r := newRNG(seed)
+	g := New(n)
+	have := make(map[[2]NodeID]bool, m)
+	addIfNew := func(u, v NodeID) bool {
+		if u == v {
+			return false
+		}
+		if u > v {
+			u, v = v, u
+		}
+		key := [2]NodeID{u, v}
+		if have[key] {
+			return false
+		}
+		have[key] = true
+		g.AddEdge(u, v, 0)
+		return true
+	}
+	// Random spanning tree: attach node i to a uniformly random earlier node.
+	for i := 1; i < n; i++ {
+		addIfNew(NodeID(r.Intn(i)), NodeID(i))
+	}
+	for g.M() < m {
+		addIfNew(NodeID(r.Intn(n)), NodeID(r.Intn(n)))
+	}
+	return g.Finalize()
+}
+
+// Dumbbell returns two K_k cliques joined by a path of pathLen extra nodes.
+// Total nodes: 2k + pathLen. Good for congestion experiments: all
+// clique-to-clique traffic funnels through the path.
+func Dumbbell(k, pathLen int) *Graph {
+	n := 2*k + pathLen
+	g := New(n)
+	for i := 0; i < k; i++ {
+		for j := i + 1; j < k; j++ {
+			g.AddEdge(NodeID(i), NodeID(j), 0)
+			g.AddEdge(NodeID(k+pathLen+i), NodeID(k+pathLen+j), 0)
+		}
+	}
+	prev := NodeID(0)
+	for i := 0; i < pathLen; i++ {
+		g.AddEdge(prev, NodeID(k+i), 0)
+		prev = NodeID(k + i)
+	}
+	g.AddEdge(prev, NodeID(k+pathLen), 0)
+	return g.Finalize()
+}
+
+// Lollipop returns K_k with a path of pathLen nodes hanging off node 0.
+func Lollipop(k, pathLen int) *Graph {
+	n := k + pathLen
+	g := New(n)
+	for i := 0; i < k; i++ {
+		for j := i + 1; j < k; j++ {
+			g.AddEdge(NodeID(i), NodeID(j), 0)
+		}
+	}
+	prev := NodeID(0)
+	for i := 0; i < pathLen; i++ {
+		g.AddEdge(prev, NodeID(k+i), 0)
+		prev = NodeID(k + i)
+	}
+	return g.Finalize()
+}
+
+// StarOfPaths returns deg paths of length pathLen all attached to a hub
+// (node 0). This is the worst case for the "natural" registration approach
+// (§3.2): Θ(n) registrants behind one hub edge. n = 1 + deg*pathLen.
+func StarOfPaths(deg, pathLen int) *Graph {
+	n := 1 + deg*pathLen
+	g := New(n)
+	for d := 0; d < deg; d++ {
+		prev := NodeID(0)
+		for i := 0; i < pathLen; i++ {
+			v := NodeID(1 + d*pathLen + i)
+			g.AddEdge(prev, v, 0)
+			prev = v
+		}
+	}
+	return g.Finalize()
+}
+
+// WithRandomWeights returns a copy of g whose edge weights are distinct
+// values in [1, 10*m], a random permutation determined by seed. Distinct
+// weights make the MST unique, which the tests rely on.
+func WithRandomWeights(g *Graph, seed uint64) *Graph {
+	r := newRNG(seed)
+	out := New(g.N())
+	perm := make([]int64, g.M())
+	for i := range perm {
+		perm[i] = int64(i + 1)
+	}
+	for i := len(perm) - 1; i > 0; i-- {
+		j := r.Intn(i + 1)
+		perm[i], perm[j] = perm[j], perm[i]
+	}
+	for i, e := range g.Edges {
+		out.AddEdge(e.U, e.V, perm[i])
+	}
+	return out.Finalize()
+}

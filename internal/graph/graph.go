@@ -1,0 +1,154 @@
+// Package graph provides the network substrate used throughout the
+// reproduction: an undirected graph type with adjacency lists, weighted
+// edges, deterministic generators for the topology families exercised in
+// the experiments, exact reference algorithms (BFS, multi-source BFS,
+// diameter, MST) used as ground truth by the tests, and a union-find.
+package graph
+
+import (
+	"fmt"
+	"sort"
+)
+
+// NodeID identifies a node. Nodes are numbered 0..n-1; the paper's unique
+// O(log n)-bit identifiers are the NodeIDs themselves.
+type NodeID int
+
+// EdgeID indexes into Graph.Edges.
+type EdgeID int
+
+// Edge is an undirected edge {U, V} with an optional weight (used by MST
+// workloads; weight 0 elsewhere). U < V always holds after normalization.
+type Edge struct {
+	U, V   NodeID
+	Weight int64
+}
+
+// Neighbor is one adjacency entry: the node on the other side of Edge.
+type Neighbor struct {
+	Node NodeID
+	Edge EdgeID
+}
+
+// Graph is an immutable undirected graph. Build one with New and AddEdge,
+// then call Finalize; generators return finalized graphs.
+type Graph struct {
+	n     int
+	Edges []Edge
+	adj   [][]Neighbor
+	final bool
+}
+
+// New returns an empty graph on n nodes.
+func New(n int) *Graph {
+	if n < 0 {
+		panic(fmt.Sprintf("graph: negative node count %d", n))
+	}
+	return &Graph{n: n, adj: make([][]Neighbor, n)}
+}
+
+// N returns the number of nodes.
+func (g *Graph) N() int { return g.n }
+
+// M returns the number of edges.
+func (g *Graph) M() int { return len(g.Edges) }
+
+// AddEdge adds the undirected edge {u, v} with weight w. Self-loops and
+// out-of-range endpoints panic: topology construction bugs are programmer
+// errors, not runtime conditions. Parallel edges are rejected at Finalize.
+func (g *Graph) AddEdge(u, v NodeID, w int64) EdgeID {
+	if g.final {
+		panic("graph: AddEdge after Finalize")
+	}
+	if u == v {
+		panic(fmt.Sprintf("graph: self-loop at node %d", u))
+	}
+	if u < 0 || v < 0 || int(u) >= g.n || int(v) >= g.n {
+		panic(fmt.Sprintf("graph: edge {%d,%d} out of range [0,%d)", u, v, g.n))
+	}
+	if u > v {
+		u, v = v, u
+	}
+	id := EdgeID(len(g.Edges))
+	g.Edges = append(g.Edges, Edge{U: u, V: v, Weight: w})
+	g.adj[u] = append(g.adj[u], Neighbor{Node: v, Edge: id})
+	g.adj[v] = append(g.adj[v], Neighbor{Node: u, Edge: id})
+	return id
+}
+
+// Finalize sorts adjacency lists (determinism) and checks simplicity.
+// It returns the graph to allow chaining.
+func (g *Graph) Finalize() *Graph {
+	if g.final {
+		return g
+	}
+	seen := make(map[[2]NodeID]struct{}, len(g.Edges))
+	for _, e := range g.Edges {
+		key := [2]NodeID{e.U, e.V}
+		if _, dup := seen[key]; dup {
+			panic(fmt.Sprintf("graph: parallel edge {%d,%d}", e.U, e.V))
+		}
+		seen[key] = struct{}{}
+	}
+	for _, nbrs := range g.adj {
+		sort.Slice(nbrs, func(i, j int) bool { return nbrs[i].Node < nbrs[j].Node })
+	}
+	g.final = true
+	return g
+}
+
+// Neighbors returns the adjacency list of v. The returned slice must not be
+// mutated.
+func (g *Graph) Neighbors(v NodeID) []Neighbor { return g.adj[v] }
+
+// Degree returns the degree of v.
+func (g *Graph) Degree(v NodeID) int { return len(g.adj[v]) }
+
+// Other returns the endpoint of edge e that is not v.
+func (g *Graph) Other(e EdgeID, v NodeID) NodeID {
+	ed := g.Edges[e]
+	if ed.U == v {
+		return ed.V
+	}
+	if ed.V == v {
+		return ed.U
+	}
+	panic(fmt.Sprintf("graph: node %d not on edge %d", v, e))
+}
+
+// HasEdge reports whether {u,v} is an edge.
+func (g *Graph) HasEdge(u, v NodeID) bool {
+	if g.Degree(u) > g.Degree(v) {
+		u, v = v, u
+	}
+	for _, nb := range g.adj[u] {
+		if nb.Node == v {
+			return true
+		}
+	}
+	return false
+}
+
+// EdgeBetween returns the edge id joining u and v, or -1.
+func (g *Graph) EdgeBetween(u, v NodeID) EdgeID {
+	for _, nb := range g.adj[u] {
+		if nb.Node == v {
+			return nb.Edge
+		}
+	}
+	return -1
+}
+
+// Connected reports whether the graph is connected (true for n <= 1).
+func (g *Graph) Connected() bool {
+	if g.n <= 1 {
+		return true
+	}
+	dist := g.BFS(0)
+	for _, d := range dist {
+		if d < 0 {
+			return false
+		}
+	}
+	return true
+}

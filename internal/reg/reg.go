@@ -1,0 +1,312 @@
+// Package reg implements the cluster registration abstraction of §3.2
+// (Definition 3.3) with the paper's dirty/waiting edge-marking waves:
+//
+//   - R(v): registration marks the path from v to the cluster root dirty.
+//   - D(v): deregistration converts dirty marks to waiting marks upward
+//     until it hits another dirty subtree, the root, or a node whose own
+//     client is still mid-registration.
+//   - G(r): when the root's last dirty child edge clears, a Go-Ahead wave
+//     travels down waiting edges, freeing deregistered clients.
+//
+// The module provides Register Guarantees 1 and 2 (Lemmas 3.4, 3.5): a
+// client that receives Go-Ahead knows every client that registered before
+// it deregistered has already deregistered, each operation costs O(h) time
+// and messages on an h-height cluster tree, and Go-Aheads arrive within
+// O(h) after the last deregistration.
+//
+// One Module instance per node serves every (cluster, session) pair of one
+// cover; sessions are independent state machines (the BFS uses one session
+// per pulse). The fix the paper makes to [APSPS92] is reproduced here: a
+// node whose own registration is in flight ("registering") blocks a
+// passing deregistration wave exactly like a registered node does.
+package reg
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/async"
+	"repro/internal/cover"
+	"repro/internal/graph"
+)
+
+// localState tracks this node's own client within one (cluster, session).
+type localState int8
+
+const (
+	idle localState = iota
+	registering
+	registered
+	deregistered
+	free
+)
+
+// edge marks, parent's view of the edge to a child.
+type edgeMark int8
+
+const (
+	markNone edgeMark = iota
+	markDirty
+	markWaiting
+)
+
+type msgKind int8
+
+const (
+	kindRegUp msgKind = iota + 1
+	kindRegDone
+	kindDeregUp
+	kindGoAhead
+)
+
+// payload is the wire format of registration traffic.
+type payload struct {
+	Kind    msgKind
+	Cluster cover.ClusterID
+	Session int
+}
+
+// Callbacks receives client-visible events.
+type Callbacks interface {
+	// Registered fires when this node's registration in (c, session)
+	// completes (the path to the root is dirty).
+	Registered(n *async.Node, c cover.ClusterID, session int)
+	// GoAhead fires when this node, having deregistered, receives the
+	// cluster's Go-Ahead.
+	GoAhead(n *async.Node, c cover.ClusterID, session int)
+}
+
+type key struct {
+	c cover.ClusterID
+	s int
+}
+
+type state struct {
+	local     localState
+	finished  bool
+	pending   bool // R(me) invocation in flight to parent
+	upDirty   bool // my view of the edge to my cluster parent
+	invokers  []graph.NodeID
+	childMark map[graph.NodeID]edgeMark
+}
+
+// Module is the per-node registration engine for one cover. It implements
+// async.Module; route one Proto to it.
+type Module struct {
+	proto   async.Proto
+	cov     *cover.Cover
+	cb      Callbacks
+	stageOf func(session int) int
+	states  map[key]*state
+}
+
+var _ async.Module = (*Module)(nil)
+
+// New creates the per-node module. stageOf maps a session to the link
+// scheduling stage (Lemma 2.5); pass nil for all-stage-zero.
+func New(proto async.Proto, cov *cover.Cover, cb Callbacks, stageOf func(int) int) *Module {
+	if stageOf == nil {
+		stageOf = func(int) int { return 0 }
+	}
+	return &Module{
+		proto:   proto,
+		cov:     cov,
+		cb:      cb,
+		stageOf: stageOf,
+		states:  make(map[key]*state),
+	}
+}
+
+// Start implements async.Module.
+func (m *Module) Start(*async.Node) {}
+
+// Ack implements async.Module.
+func (m *Module) Ack(*async.Node, graph.NodeID, async.Msg) {}
+
+func (m *Module) state(n *async.Node, c cover.ClusterID, session int) *state {
+	k := key{c: c, s: session}
+	st := m.states[k]
+	if st == nil {
+		st = &state{childMark: make(map[graph.NodeID]edgeMark)}
+		if m.isRoot(n, c) {
+			st.finished = true // the root is always finished
+		}
+		m.states[k] = st
+	}
+	return st
+}
+
+func (m *Module) isRoot(n *async.Node, c cover.ClusterID) bool {
+	return m.cov.Cluster(c).Root == n.ID()
+}
+
+func (m *Module) parent(n *async.Node, c cover.ClusterID) graph.NodeID {
+	p, ok := m.cov.Cluster(c).ParentOf(n.ID())
+	if !ok {
+		panic(fmt.Sprintf("reg: node %d has no parent in cluster %d", n.ID(), c))
+	}
+	return p
+}
+
+func (m *Module) send(n *async.Node, to graph.NodeID, kind msgKind, c cover.ClusterID, session int) {
+	n.Send(to, async.Msg{
+		Proto: m.proto,
+		Stage: m.stageOf(session),
+		Body:  payload{Kind: kind, Cluster: c, Session: session},
+	})
+}
+
+// Register starts this node's registration in cluster c for the session.
+// The node must be a tree node of c. Callbacks.Registered fires when done.
+func (m *Module) Register(n *async.Node, c cover.ClusterID, session int) {
+	st := m.state(n, c, session)
+	if st.local != idle {
+		panic(fmt.Sprintf("reg: node %d double-registers in cluster %d session %d", n.ID(), c, session))
+	}
+	st.local = registering
+	if st.finished {
+		st.local = registered
+		m.cb.Registered(n, c, session)
+		return
+	}
+	m.invokeRUp(n, c, session, st)
+}
+
+// invokeRUp sends (or relies on an already in-flight) R invocation to the
+// parent, marking the parent edge dirty.
+func (m *Module) invokeRUp(n *async.Node, c cover.ClusterID, session int, st *state) {
+	if st.pending {
+		return // an R(me) is already traveling; its completion serves all
+	}
+	st.pending = true
+	st.upDirty = true
+	m.send(n, m.parent(n, c), kindRegUp, c, session)
+}
+
+// Deregister ends this node's participation; Callbacks.GoAhead fires when
+// the cluster's Go-Ahead arrives.
+func (m *Module) Deregister(n *async.Node, c cover.ClusterID, session int) {
+	st := m.state(n, c, session)
+	if st.local != registered {
+		panic(fmt.Sprintf("reg: node %d deregisters in cluster %d session %d without being registered", n.ID(), c, session))
+	}
+	st.local = deregistered
+	m.runD(n, c, session, st)
+}
+
+// Recv implements async.Module.
+func (m *Module) Recv(n *async.Node, from graph.NodeID, msg async.Msg) {
+	p, ok := msg.Body.(payload)
+	if !ok {
+		panic(fmt.Sprintf("reg: node %d got non-registration payload %T", n.ID(), msg.Body))
+	}
+	st := m.state(n, p.Cluster, p.Session)
+	switch p.Kind {
+	case kindRegUp:
+		m.onRegUp(n, from, p, st)
+	case kindRegDone:
+		m.onRegDone(n, p, st)
+	case kindDeregUp:
+		m.onDeregUp(n, from, p, st)
+	case kindGoAhead:
+		m.runG(n, p.Cluster, p.Session, st)
+	default:
+		panic(fmt.Sprintf("reg: unknown kind %d", p.Kind))
+	}
+}
+
+func (m *Module) onRegUp(n *async.Node, child graph.NodeID, p payload, st *state) {
+	st.childMark[child] = markDirty
+	if st.finished {
+		m.send(n, child, kindRegDone, p.Cluster, p.Session)
+		return
+	}
+	st.invokers = append(st.invokers, child)
+	m.invokeRUp(n, p.Cluster, p.Session, st)
+}
+
+func (m *Module) onRegDone(n *async.Node, p payload, st *state) {
+	st.finished = true
+	st.pending = false
+	for _, ch := range st.invokers {
+		m.send(n, ch, kindRegDone, p.Cluster, p.Session)
+	}
+	st.invokers = st.invokers[:0]
+	if st.local == registering {
+		st.local = registered
+		m.cb.Registered(n, p.Cluster, p.Session)
+	}
+}
+
+func (m *Module) onDeregUp(n *async.Node, child graph.NodeID, p payload, st *state) {
+	if st.childMark[child] != markDirty {
+		panic(fmt.Sprintf("reg: node %d got DeregUp on non-dirty edge from %d", n.ID(), child))
+	}
+	st.childMark[child] = markWaiting
+	if m.isRoot(n, p.Cluster) {
+		m.maybeIssueGo(n, p.Cluster, p.Session, st)
+		return
+	}
+	m.runD(n, p.Cluster, p.Session, st)
+}
+
+// runD is the deregistration wave step D(me).
+func (m *Module) runD(n *async.Node, c cover.ClusterID, session int, st *state) {
+	for _, mark := range st.childMark {
+		if mark == markDirty {
+			return
+		}
+	}
+	if st.local == registering || st.local == registered {
+		// The paper's fix: a node whose own registration is pending or
+		// live keeps the path dirty; the wave stops here.
+		return
+	}
+	if m.isRoot(n, c) {
+		m.maybeIssueGo(n, c, session, st)
+		return
+	}
+	if !st.upDirty {
+		panic(fmt.Sprintf("reg: D at node %d with non-dirty parent edge", n.ID()))
+	}
+	st.upDirty = false
+	st.finished = false
+	m.send(n, m.parent(n, c), kindDeregUp, c, session)
+}
+
+// maybeIssueGo is the root's Go-Ahead trigger.
+func (m *Module) maybeIssueGo(n *async.Node, c cover.ClusterID, session int, st *state) {
+	for _, mark := range st.childMark {
+		if mark == markDirty {
+			return
+		}
+	}
+	m.runG(n, c, session, st)
+}
+
+// runG is the Go-Ahead wave step G(me): free the local client if it is
+// waiting, then forward through waiting child edges (consuming the marks).
+func (m *Module) runG(n *async.Node, c cover.ClusterID, session int, st *state) {
+	if st.local == deregistered {
+		st.local = free
+		m.cb.GoAhead(n, c, session)
+	}
+	var waiting []graph.NodeID
+	for ch, mark := range st.childMark {
+		if mark == markWaiting {
+			waiting = append(waiting, ch)
+		}
+	}
+	sort.Slice(waiting, func(i, j int) bool { return waiting[i] < waiting[j] })
+	for _, ch := range waiting {
+		st.childMark[ch] = markNone
+		m.send(n, ch, kindGoAhead, c, session)
+	}
+}
+
+// LocalDone reports whether this node's client in (c, session) has been
+// freed (received its Go-Ahead). Tests use it for final-state checks.
+func (m *Module) LocalDone(c cover.ClusterID, session int) bool {
+	st := m.states[key{c: c, s: session}]
+	return st != nil && st.local == free
+}

@@ -1,0 +1,232 @@
+// Package syncrun executes event-driven synchronous algorithms (§5.1,
+// Appendix B of the paper) in lockstep rounds and measures their time
+// complexity T(A) (rounds until every node has output) and message
+// complexity M(A) (total messages).
+//
+// The event-driven interpretation is enforced structurally: a node's
+// handler runs in round p only when the node received a message that round
+// or sent one in round p-1 — it cannot wake up because "r rounds passed".
+// Handlers do receive the current pulse number p; this is exactly the
+// information the synchronizer of §5 reconstructs (it proves
+// pulse(v,p) = p), so providing it changes nothing about synchronizability
+// while making algorithms like BFS natural to write.
+package syncrun
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/graph"
+)
+
+// Incoming is one received message: the sender and the payload.
+type Incoming struct {
+	From graph.NodeID
+	Body any
+}
+
+// API is the surface an event-driven synchronous algorithm sees. The
+// lockstep Runner in this package implements it with *Node; the
+// synchronizer of internal/core implements it again so the identical
+// algorithm code runs asynchronously.
+type API interface {
+	// ID returns this node's identifier.
+	ID() graph.NodeID
+	// Neighbors returns adjacent nodes in ascending order.
+	Neighbors() []graph.Neighbor
+	// Degree returns the node degree.
+	Degree() int
+	// Send transmits body to a neighbor; it arrives next pulse. At most
+	// one message per neighbor per pulse (CONGEST link capacity).
+	Send(to graph.NodeID, body any)
+	// Output records this node's final output.
+	Output(v any)
+	// HasOutput reports whether output was already produced.
+	HasOutput() bool
+}
+
+// Handler is an event-driven synchronous node program.
+type Handler interface {
+	// Init runs at pulse 0. Initiator nodes send their first messages here.
+	Init(n API)
+	// Pulse runs at pulse p > 0 if this node received messages sent at
+	// pulse p-1 (recvd, sorted by sender) or itself sent at pulse p-1.
+	// It may send messages (which then carry pulse p).
+	Pulse(n API, p int, recvd []Incoming)
+}
+
+// Node is the Runner's API implementation.
+type Node struct {
+	id     graph.NodeID
+	run    *Runner
+	sentTo map[graph.NodeID]bool // per-pulse CONGEST guard
+}
+
+var _ API = (*Node)(nil)
+
+// ID returns the node id.
+func (n *Node) ID() graph.NodeID { return n.id }
+
+// Neighbors returns adjacent nodes in ascending order.
+func (n *Node) Neighbors() []graph.Neighbor { return n.run.g.Neighbors(n.id) }
+
+// Degree returns the node degree.
+func (n *Node) Degree() int { return n.run.g.Degree(n.id) }
+
+// Send transmits body to neighbor `to`; it arrives next pulse. At most one
+// message per neighbor per pulse (CONGEST-style link capacity; the async
+// ack discipline enforces the same limit, so algorithms written against
+// this runner synchronize without surprises).
+func (n *Node) Send(to graph.NodeID, body any) {
+	if n.run.g.EdgeBetween(n.id, to) < 0 {
+		panic(fmt.Sprintf("syncrun: node %d sending to non-neighbor %d", n.id, to))
+	}
+	if n.sentTo[to] {
+		panic(fmt.Sprintf("syncrun: node %d sent twice to %d in one pulse", n.id, to))
+	}
+	n.sentTo[to] = true
+	n.run.record(n.id, to, body)
+}
+
+// Output records this node's final output.
+func (n *Node) Output(v any) { n.run.setOutput(n.id, v) }
+
+// HasOutput reports whether this node already produced output.
+func (n *Node) HasOutput() bool {
+	_, ok := n.run.outputs[n.id]
+	return ok
+}
+
+// TraceEntry records one message for trace-equivalence checking against the
+// synchronized asynchronous execution (Theorem 5.2).
+type TraceEntry struct {
+	Pulse    int
+	From, To graph.NodeID
+	Body     any
+}
+
+// Result summarizes a synchronous run.
+type Result struct {
+	// T is the paper's T(A): rounds until the last node outputs.
+	T int
+	// Rounds is the round at which the network went quiet.
+	Rounds int
+	// M is the paper's M(A): total messages sent.
+	M uint64
+	// Outputs maps node -> output.
+	Outputs map[graph.NodeID]any
+	// Trace lists every message with its pulse (in deterministic order).
+	Trace []TraceEntry
+}
+
+// Runner executes one synchronous algorithm on one graph.
+type Runner struct {
+	g        *graph.Graph
+	handlers []Handler
+	nodes    []Node
+
+	pulse     int
+	inflight  map[graph.NodeID][]Incoming // messages sent this pulse
+	sentNow   map[graph.NodeID]bool       // who sent this pulse
+	outputs   map[graph.NodeID]any
+	lastOut   int
+	msgs      uint64
+	trace     []TraceEntry
+	maxRounds int
+	keepTrace bool
+}
+
+// New builds a Runner; mk creates each node's handler.
+func New(g *graph.Graph, mk func(id graph.NodeID) Handler) *Runner {
+	r := &Runner{
+		g:         g,
+		handlers:  make([]Handler, g.N()),
+		nodes:     make([]Node, g.N()),
+		inflight:  make(map[graph.NodeID][]Incoming),
+		sentNow:   make(map[graph.NodeID]bool),
+		outputs:   make(map[graph.NodeID]any, g.N()),
+		maxRounds: 1 << 22,
+	}
+	for i := 0; i < g.N(); i++ {
+		id := graph.NodeID(i)
+		r.nodes[i] = Node{id: id, run: r}
+		r.handlers[i] = mk(id)
+	}
+	return r
+}
+
+// KeepTrace enables message-trace recording (used by equivalence tests).
+func (r *Runner) KeepTrace() *Runner { r.keepTrace = true; return r }
+
+// SetMaxRounds caps the number of rounds; exceeding it panics.
+func (r *Runner) SetMaxRounds(limit int) { r.maxRounds = limit }
+
+// Handler returns node v's handler for post-run inspection.
+func (r *Runner) Handler(v graph.NodeID) Handler { return r.handlers[v] }
+
+// Run executes to quiescence and returns measurements.
+func (r *Runner) Run() Result {
+	// Pulse 0: initiators act.
+	for i := range r.handlers {
+		n := &r.nodes[i]
+		n.sentTo = make(map[graph.NodeID]bool)
+		r.handlers[i].Init(n)
+	}
+	for r.pulse = 1; ; r.pulse++ {
+		if r.pulse > r.maxRounds {
+			panic(fmt.Sprintf("syncrun: exceeded %d rounds", r.maxRounds))
+		}
+		inbox := r.inflight
+		senders := r.sentNow
+		if len(inbox) == 0 && len(senders) == 0 {
+			break
+		}
+		r.inflight = make(map[graph.NodeID][]Incoming)
+		r.sentNow = make(map[graph.NodeID]bool)
+
+		// Activation set: received this pulse or sent last pulse.
+		active := make(map[graph.NodeID]bool, len(inbox)+len(senders))
+		for v := range inbox {
+			active[v] = true
+		}
+		for v := range senders {
+			active[v] = true
+		}
+		ids := make([]graph.NodeID, 0, len(active))
+		for v := range active {
+			ids = append(ids, v)
+		}
+		sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+
+		for _, v := range ids {
+			batch := inbox[v]
+			sort.Slice(batch, func(i, j int) bool { return batch[i].From < batch[j].From })
+			n := &r.nodes[v]
+			n.sentTo = make(map[graph.NodeID]bool)
+			r.handlers[v].Pulse(n, r.pulse, batch)
+		}
+	}
+	return Result{
+		T:       r.lastOut,
+		Rounds:  r.pulse - 1,
+		M:       r.msgs,
+		Outputs: r.outputs,
+		Trace:   r.trace,
+	}
+}
+
+func (r *Runner) record(from, to graph.NodeID, body any) {
+	r.msgs++
+	r.inflight[to] = append(r.inflight[to], Incoming{From: from, Body: body})
+	r.sentNow[from] = true
+	if r.keepTrace {
+		r.trace = append(r.trace, TraceEntry{Pulse: r.pulse, From: from, To: to, Body: body})
+	}
+}
+
+func (r *Runner) setOutput(id graph.NodeID, v any) {
+	if _, had := r.outputs[id]; !had && r.pulse > r.lastOut {
+		r.lastOut = r.pulse
+	}
+	r.outputs[id] = v
+}
