@@ -49,3 +49,7 @@ func BenchmarkE10CoverQuality(b *testing.B) { runExperiment(b, bench.E10CoverQua
 func BenchmarkE11StagePipelining(b *testing.B) { runExperiment(b, bench.E11StagePipelining) }
 
 func BenchmarkE12GatherCost(b *testing.B) { runExperiment(b, bench.E12GatherCost) }
+
+func BenchmarkE13EngineThroughput(b *testing.B) {
+	runExperiment(b, bench.E13EngineThroughput)
+}

@@ -3,7 +3,7 @@
 // Usage:
 //
 //	syncbench            # run every experiment
-//	syncbench -exp E5    # run one experiment (E1..E12)
+//	syncbench -exp E5    # run one experiment (E1..E13)
 package main
 
 import (
@@ -19,14 +19,14 @@ func main() {
 }
 
 func run() int {
-	exp := flag.String("exp", "", "experiment id (E1..E12); empty = all")
+	exp := flag.String("exp", "", "experiment id (E1..E13); empty = all")
 	flag.Parse()
 	if *exp == "" {
 		bench.All(os.Stdout)
 		return 0
 	}
 	if !bench.ByName(os.Stdout, *exp) {
-		fmt.Fprintf(os.Stderr, "unknown experiment %q (want E1..E12)\n", *exp)
+		fmt.Fprintf(os.Stderr, "unknown experiment %q (want E1..E13)\n", *exp)
 		return 2
 	}
 	return 0

@@ -35,6 +35,9 @@ type (
 	AsyncResult = async.Result
 	// SyncResult summarizes a lockstep synchronous run.
 	SyncResult = syncrun.Result
+	// ExecutionMode selects how the lockstep runner steps each pulse
+	// (results are byte-identical across modes).
+	ExecutionMode = syncrun.ExecutionMode
 	// Algorithm is an event-driven synchronous node program.
 	Algorithm = syncrun.Handler
 	// API is the node-side surface an Algorithm sees.
@@ -76,10 +79,28 @@ func StandardAdversaries(n int, seed uint64) []Adversary {
 	return async.StandardAdversaries(n, seed)
 }
 
+// Lockstep execution modes. ModeAuto picks the worker pool for large
+// graphs; ModeSingle and ModeMulti force one path. All three produce
+// byte-identical results — the choice is purely wall-clock.
+const (
+	ModeAuto   = syncrun.ModeAuto
+	ModeSingle = syncrun.ModeSingle
+	ModeMulti  = syncrun.ModeMulti
+)
+
 // RunSync executes an event-driven synchronous algorithm in lockstep rounds
-// and measures T(A) and M(A).
+// and measures T(A) and M(A). On large graphs the engine may step
+// different nodes' handlers concurrently (ModeAuto); handlers own their
+// node's state and must not share mutable state across nodes — use
+// RunSyncMode with ModeSingle for algorithms that need serial stepping.
 func RunSync(g *Graph, mk func(NodeID) Algorithm) SyncResult {
 	return syncrun.New(g, mk).Run()
+}
+
+// RunSyncMode is RunSync with an explicit execution mode (Single forces
+// the sequential stepper, Multi the deterministic worker pool).
+func RunSyncMode(g *Graph, mode ExecutionMode, mk func(NodeID) Algorithm) SyncResult {
+	return syncrun.New(g, mk).WithMode(mode).Run()
 }
 
 // Synchronize runs the algorithm under the paper's deterministic

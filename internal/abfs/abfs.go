@@ -150,11 +150,11 @@ func Thresholded(cfg Config) Result {
 	}
 	checkCov := layered.Level(lvl)
 
-	isSource := make(map[graph.NodeID]bool, len(cfg.Sources))
+	isSource := make([]bool, cfg.Graph.N())
 	for _, s := range cfg.Sources {
 		isSource[s] = true
 	}
-	glues := make(map[graph.NodeID]*checkGlue, cfg.Graph.N())
+	glues := make([]*checkGlue, cfg.Graph.N())
 	sim := async.New(cfg.Graph, adv, func(id graph.NodeID) async.Handler {
 		tb := &apps.TBFS{Sources: cfg.Sources, Threshold: cfg.Threshold}
 		glue := &checkGlue{tb: tb, isSource: isSource[id]}

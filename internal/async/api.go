@@ -81,7 +81,11 @@ func (n *Node) Send(to graph.NodeID, m Msg) { n.sim.send(n.id, to, m) }
 func (n *Node) Output(v any) { n.sim.setOutput(n.id, v) }
 
 // HasOutput reports whether this node has already produced output.
-func (n *Node) HasOutput() bool {
-	_, ok := n.sim.outputs[n.id]
-	return ok
+func (n *Node) HasOutput() bool { return n.sim.hasOut[n.id] }
+
+// NeighborIndex returns the position of `to` in this node's neighbor list,
+// or -1 if `to` is not a neighbor. Dense per-neighbor state (CONGEST
+// stamps, per-link counters) indexes by this instead of hashing NodeIDs.
+func (n *Node) NeighborIndex(to graph.NodeID) int {
+	return n.sim.g.NeighborIndex(n.id, to)
 }

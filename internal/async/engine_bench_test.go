@@ -1,0 +1,72 @@
+package async
+
+import (
+	"testing"
+
+	"repro/internal/graph"
+)
+
+// benchFlood broadcasts once: the source sends to every neighbor at Init;
+// every node forwards the first message it receives. 2m messages total, so
+// one benchmark iteration exercises the send/dispatch/deliver/ack path on
+// every directed link exactly once.
+type benchFlood struct {
+	NopAck
+	seen bool
+}
+
+func (h *benchFlood) Init(n *Node) {
+	if n.ID() == 0 {
+		h.seen = true
+		for _, nb := range n.Neighbors() {
+			n.Send(nb.Node, Msg{Proto: 1, Body: int(n.ID())})
+		}
+		n.Output(0)
+	}
+}
+
+func (h *benchFlood) Recv(n *Node, from graph.NodeID, m Msg) {
+	if h.seen {
+		return
+	}
+	h.seen = true
+	for _, nb := range n.Neighbors() {
+		n.Send(nb.Node, Msg{Proto: 1, Body: int(n.ID())})
+	}
+	n.Output(0)
+}
+
+// BenchmarkSimFlood measures the full simulator hot path — send, outbox,
+// event push/pop, deliver, ack — via a flood broadcast. The interesting
+// number is allocs/op divided by the ~4m simulated events per iteration.
+func BenchmarkSimFlood(b *testing.B) {
+	g := graph.Grid(20, 20)
+	adv := SeededRandom{Seed: 7}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res := New(g, adv, func(graph.NodeID) Handler { return &benchFlood{} }).Run()
+		if len(res.Outputs) != g.N() {
+			b.Fatalf("flood reached %d/%d nodes", len(res.Outputs), g.N())
+		}
+	}
+	// Each edge carries one message per direction plus one ack per message.
+	b.ReportMetric(float64(4*g.M()), "events/op")
+}
+
+// BenchmarkSimFloodFixed is the same workload under the degenerate Fixed
+// adversary: every event lands in the same queue bucket, the worst case for
+// a calendar queue and the best case for a binary heap.
+func BenchmarkSimFloodFixed(b *testing.B) {
+	g := graph.Grid(20, 20)
+	adv := Fixed{D: 1}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res := New(g, adv, func(graph.NodeID) Handler { return &benchFlood{} }).Run()
+		if len(res.Outputs) != g.N() {
+			b.Fatalf("flood reached %d/%d nodes", len(res.Outputs), g.N())
+		}
+	}
+	b.ReportMetric(float64(4*g.M()), "events/op")
+}

@@ -10,17 +10,31 @@ package async
 //     the link cycles fairly through the protocols that have pending
 //     messages, simulating "one copy of the edge per subroutine" with a
 //     k-factor slowdown for k contending subroutines.
+//
+// Outboxes live by value in the simulator's flat []outbox, one per
+// graph.LinkID. The internal queues are plain slices — protocols per stage
+// are few (the synchronizer stack registers tens at most), so linear scans
+// beat hashing — and popped slots are zeroed and recycled, so a link that
+// reaches steady state stops allocating entirely.
 type outbox struct {
 	busy   bool
-	stages []*stageQueue // sorted ascending by stage
 	queued int
+	stages []stageQueue // sorted ascending by stage
 }
 
 type stageQueue struct {
 	stage  int
-	protos []Proto // rotation order (first-appearance order)
-	queues map[Proto][]Msg
-	next   int // round-robin cursor into protos
+	queued int
+	protos []protoFIFO // rotation order (first-appearance order)
+	next   int         // round-robin cursor into protos
+}
+
+// protoFIFO is one protocol's pending-message queue on one link: a slice
+// ring that compacts to msgs[:0] whenever it drains, reusing capacity.
+type protoFIFO struct {
+	proto Proto
+	head  int
+	msgs  []Msg
 }
 
 func (o *outbox) push(m Msg) {
@@ -28,7 +42,7 @@ func (o *outbox) push(m Msg) {
 	// Find or insert the stage queue, keeping stages sorted.
 	lo, hi := 0, len(o.stages)
 	for lo < hi {
-		mid := (lo + hi) / 2
+		mid := int(uint(lo+hi) >> 1)
 		if o.stages[mid].stage < m.Stage {
 			lo = mid + 1
 		} else {
@@ -36,56 +50,69 @@ func (o *outbox) push(m Msg) {
 		}
 	}
 	if lo == len(o.stages) || o.stages[lo].stage != m.Stage {
-		sq := &stageQueue{stage: m.Stage, queues: make(map[Proto][]Msg)}
-		o.stages = append(o.stages, nil)
+		o.stages = append(o.stages, stageQueue{})
 		copy(o.stages[lo+1:], o.stages[lo:])
-		o.stages[lo] = sq
+		o.stages[lo] = stageQueue{stage: m.Stage}
 	}
-	sq := o.stages[lo]
-	if _, ok := sq.queues[m.Proto]; !ok {
-		sq.protos = append(sq.protos, m.Proto)
+	sq := &o.stages[lo]
+	sq.queued++
+	for i := range sq.protos {
+		if sq.protos[i].proto == m.Proto {
+			sq.protos[i].msgs = append(sq.protos[i].msgs, m)
+			return
+		}
 	}
-	sq.queues[m.Proto] = append(sq.queues[m.Proto], m)
+	sq.protos = append(sq.protos, protoFIFO{proto: m.Proto, msgs: []Msg{m}})
 }
 
 // pop removes and returns the next message per the scheduling discipline.
 // The second return is false when the outbox is empty.
 func (o *outbox) pop() (Msg, bool) {
-	for len(o.stages) > 0 {
-		sq := o.stages[0]
-		if m, ok := sq.pop(); ok {
-			o.queued--
-			if sq.empty() {
-				o.stages = o.stages[1:]
-			}
-			return m, true
-		}
-		o.stages = o.stages[1:]
+	if o.queued == 0 {
+		// Reset any drained stage structure so long-lived links do not
+		// accumulate stale rotation state.
+		o.stages = o.stages[:0]
+		return Msg{}, false
 	}
-	return Msg{}, false
+	// Stages are sorted ascending and drained stages are removed, so the
+	// front stage always holds the next message.
+	for o.stages[0].queued == 0 {
+		o.removeFrontStage()
+	}
+	sq := &o.stages[0]
+	m := sq.pop()
+	o.queued--
+	if sq.queued == 0 {
+		o.removeFrontStage()
+	}
+	return m, true
 }
 
-func (sq *stageQueue) pop() (Msg, bool) {
+func (o *outbox) removeFrontStage() {
+	copy(o.stages, o.stages[1:])
+	o.stages[len(o.stages)-1] = stageQueue{}
+	o.stages = o.stages[:len(o.stages)-1]
+}
+
+// pop returns the next message of a non-empty stage, round-robining across
+// its protocols.
+func (sq *stageQueue) pop() Msg {
 	n := len(sq.protos)
 	for i := 0; i < n; i++ {
-		p := sq.protos[(sq.next+i)%n]
-		q := sq.queues[p]
-		if len(q) == 0 {
+		pf := &sq.protos[(sq.next+i)%n]
+		if pf.head == len(pf.msgs) {
 			continue
 		}
-		m := q[0]
-		sq.queues[p] = q[1:]
-		sq.next = (sq.next + i + 1) % n
-		return m, true
-	}
-	return Msg{}, false
-}
-
-func (sq *stageQueue) empty() bool {
-	for _, q := range sq.queues {
-		if len(q) > 0 {
-			return false
+		m := pf.msgs[pf.head]
+		pf.msgs[pf.head] = Msg{} // release the body for GC
+		pf.head++
+		if pf.head == len(pf.msgs) {
+			pf.head = 0
+			pf.msgs = pf.msgs[:0]
 		}
+		sq.next = (sq.next + i + 1) % n
+		sq.queued--
+		return m
 	}
-	return true
+	panic("async: stageQueue.pop on empty stage")
 }

@@ -1,0 +1,135 @@
+package async
+
+// eventQueue is a bucketed calendar queue specialized for this simulator:
+// all delays lie in (0,1], so every pending event's timestamp is within one
+// normalized time unit of the clock. The unit is split into cqBuckets
+// ticks; a rotating wheel of cqBuckets slots holds the events of the next
+// full unit, one tick per slot, and each slot is a small hand-rolled
+// binary min-heap ordered by (t, seq). Events beyond the wheel horizon —
+// only possible for pathological adversaries that violate the (0,1] delay
+// contract before the simulator's own validation fires, or for
+// floating-point edge cases at exactly t = now+1 — fall back to a global
+// overflow heap and migrate onto the wheel as the clock advances, so the
+// queue degrades to the classic binary heap instead of breaking.
+//
+// Hand-rolled heaps matter here: container/heap's interface signature
+// boxes every pushed event into an `any`, one allocation per event. The
+// specialized heaps move events by value and allocate only on slice
+// growth, which the wheel amortizes away by reusing slot capacity.
+//
+// Pop order is exactly the seed heap's (t, seq) order: tick(t) is a
+// monotone function of t, slots are drained in tick order, and each slot
+// orders its events by (t, seq).
+type eventQueue struct {
+	wheel    [cqBuckets][]event
+	overflow []event
+	size     int
+	onWheel  int
+	cur      int64 // current tick; all queued events have tick >= cur
+}
+
+// cqBuckets is the wheel resolution (a power of two so the slot index is a
+// mask). 256 slots over the unit delay range keeps slots near-singleton
+// for diffuse adversaries while costing 4KB of slot headers.
+const cqBuckets = 256
+
+func cqTick(t float64) int64 { return int64(t * cqBuckets) }
+
+func (q *eventQueue) push(ev event) {
+	q.size++
+	k := cqTick(ev.t)
+	if k < q.cur {
+		// Floating-point underflow of tick vs. the clock's own tick; the
+		// event still pops in (t,seq) order from the current slot.
+		k = q.cur
+	}
+	if k >= q.cur+cqBuckets {
+		evHeapPush(&q.overflow, ev)
+		return
+	}
+	q.onWheel++
+	evHeapPush(&q.wheel[k&(cqBuckets-1)], ev)
+}
+
+func (q *eventQueue) empty() bool { return q.size == 0 }
+
+// pop removes and returns the earliest event by (t, seq).
+func (q *eventQueue) pop() event {
+	if q.size == 0 {
+		panic("async: pop from empty event queue")
+	}
+	for {
+		slot := &q.wheel[q.cur&(cqBuckets-1)]
+		if len(*slot) > 0 {
+			q.size--
+			q.onWheel--
+			return evHeapPop(slot)
+		}
+		if q.onWheel == 0 {
+			// Nothing on the wheel: jump straight to the first overflow tick.
+			q.cur = cqTick(q.overflow[0].t)
+		} else {
+			q.cur++
+		}
+		// Overflow events that entered the horizon move onto the wheel.
+		for len(q.overflow) > 0 && cqTick(q.overflow[0].t) < q.cur+cqBuckets {
+			ev := evHeapPop(&q.overflow)
+			k := cqTick(ev.t)
+			if k < q.cur {
+				k = q.cur
+			}
+			q.onWheel++
+			evHeapPush(&q.wheel[k&(cqBuckets-1)], ev)
+		}
+	}
+}
+
+func evLess(a, b event) bool {
+	if a.t != b.t {
+		return a.t < b.t
+	}
+	return a.seq < b.seq
+}
+
+func evHeapPush(h *[]event, ev event) {
+	*h = append(*h, ev)
+	s := *h
+	i := len(s) - 1
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !evLess(s[i], s[parent]) {
+			break
+		}
+		s[i], s[parent] = s[parent], s[i]
+		i = parent
+	}
+}
+
+func evHeapPop(h *[]event) event {
+	s := *h
+	top := s[0]
+	n := len(s) - 1
+	s[0] = s[n]
+	// Zero the vacated slot so the retained backing array does not pin the
+	// popped event's Msg body (handlers may drop large payloads).
+	s[n] = event{}
+	*h = s[:n]
+	s = s[:n]
+	i := 0
+	for {
+		l, r := 2*i+1, 2*i+2
+		least := i
+		if l < n && evLess(s[l], s[least]) {
+			least = l
+		}
+		if r < n && evLess(s[r], s[least]) {
+			least = r
+		}
+		if least == i {
+			break
+		}
+		s[i], s[least] = s[least], s[i]
+		i = least
+	}
+	return top
+}

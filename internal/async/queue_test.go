@@ -1,0 +1,107 @@
+package async
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+)
+
+// TestEventQueueOrder drives the calendar queue with a randomized
+// open-system workload — pops interleaved with pushes at now+d, d in (0,1]
+// like the simulator — and checks it yields exactly the (t, seq) order of a
+// reference sort.
+func TestEventQueueOrder(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	var q eventQueue
+	var seq uint64
+	var now float64
+	var pushed, popped []event
+
+	push := func(d float64) {
+		ev := event{t: now + d, seq: seq}
+		seq++
+		pushed = append(pushed, ev)
+		q.push(ev)
+	}
+	// Seed a burst, then run pop-then-maybe-push cycles.
+	for i := 0; i < 50; i++ {
+		push(rng.Float64()*0.999 + 0.001)
+	}
+	for !q.empty() {
+		ev := q.pop()
+		if ev.t < now {
+			t.Fatalf("time went backwards: %g after %g", ev.t, now)
+		}
+		now = ev.t
+		popped = append(popped, ev)
+		if len(pushed) < 5000 {
+			for k := rng.Intn(3); k > 0; k-- {
+				switch rng.Intn(4) {
+				case 0:
+					push(1.0) // maximal delay: lands exactly one unit out
+				case 1:
+					push(1.0 / (1 << 16)) // near-instant
+				default:
+					push(rng.Float64()*0.999 + 0.001)
+				}
+			}
+		}
+	}
+	if len(popped) != len(pushed) {
+		t.Fatalf("popped %d events, pushed %d", len(popped), len(pushed))
+	}
+	// The pop sequence must equal the (t, seq)-sorted push sequence.
+	sort.Slice(pushed, func(i, j int) bool { return evLess(pushed[i], pushed[j]) })
+	for i := range pushed {
+		if popped[i].seq != pushed[i].seq || popped[i].t != pushed[i].t {
+			t.Fatalf("pop %d = {t:%g seq:%d}, want {t:%g seq:%d}",
+				i, popped[i].t, popped[i].seq, pushed[i].t, pushed[i].seq)
+		}
+	}
+}
+
+// TestEventQueueOverflow exercises the fallback path for events beyond the
+// one-unit wheel horizon (only reachable by adversaries that break the
+// delay contract; the queue must still order correctly).
+func TestEventQueueOverflow(t *testing.T) {
+	var q eventQueue
+	for i := 0; i < 200; i++ {
+		q.push(event{t: float64(i%17) * 1.7, seq: uint64(i)})
+	}
+	var last event
+	first := true
+	for !q.empty() {
+		ev := q.pop()
+		if !first && evLess(ev, last) {
+			t.Fatalf("out of order: {t:%g seq:%d} after {t:%g seq:%d}",
+				ev.t, ev.seq, last.t, last.seq)
+		}
+		last, first = ev, false
+	}
+}
+
+// BenchmarkEventQueuePushPop measures the queue's steady-state hold
+// pattern (one push per pop, delays spread over the unit interval), the
+// simulator's dominant operation mix.
+func BenchmarkEventQueuePushPop(b *testing.B) {
+	var q eventQueue
+	rng := rand.New(rand.NewSource(7))
+	delays := make([]float64, 1024)
+	for i := range delays {
+		delays[i] = rng.Float64()*0.999 + 0.001
+	}
+	now := 0.0
+	var seq uint64
+	for i := 0; i < 512; i++ {
+		q.push(event{t: now + delays[i], seq: seq})
+		seq++
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ev := q.pop()
+		now = ev.t
+		q.push(event{t: now + delays[i&1023], seq: seq})
+		seq++
+	}
+}

@@ -1,7 +1,6 @@
 package async
 
 import (
-	"container/heap"
 	"fmt"
 
 	"repro/internal/graph"
@@ -9,23 +8,29 @@ import (
 
 // Sim is a deterministic discrete-event simulation of one asynchronous
 // execution: a graph, one Handler per node, and a delay adversary.
+//
+// All per-link state is dense: the graph's CSR link index (graph.LinkID)
+// addresses a flat []outbox and []uint64 transmission-sequence array, both
+// pre-sized at New, so the send/dispatch/deliver hot path performs no map
+// operations and no steady-state allocations.
 type Sim struct {
 	g        *graph.Graph
 	adv      Adversary
 	handlers []Handler
 	nodes    []Node
 
-	events  eventHeap
+	events  eventQueue
 	eventSq uint64
 	now     float64
 
-	// One outbox and one transmission counter per directed link, keyed by
-	// srcIndex*n + dstIndex.
-	out   map[int64]*outbox
-	txSeq map[int64]uint64
-	n     int64
+	// One outbox and one transmission counter per directed link, indexed
+	// by graph.LinkID.
+	out   []outbox
+	txSeq []uint64
 
-	outputs        map[graph.NodeID]any
+	outputs        []any
+	hasOut         []bool
+	outCount       int
 	lastOutputTime float64
 	msgs           uint64
 	acks           uint64
@@ -55,17 +60,19 @@ type Result struct {
 }
 
 // New builds a simulation. mk is called once per node, in ascending node
-// order, to create that node's Handler.
+// order, to create that node's Handler. The graph is finalized if it was
+// not already (the dense link index requires it).
 func New(g *graph.Graph, adv Adversary, mk func(id graph.NodeID) Handler) *Sim {
+	g.Finalize()
 	s := &Sim{
 		g:         g,
 		adv:       adv,
 		handlers:  make([]Handler, g.N()),
 		nodes:     make([]Node, g.N()),
-		out:       make(map[int64]*outbox),
-		txSeq:     make(map[int64]uint64),
-		n:         int64(g.N()),
-		outputs:   make(map[graph.NodeID]any, g.N()),
+		out:       make([]outbox, g.Links()),
+		txSeq:     make([]uint64, g.Links()),
+		outputs:   make([]any, g.N()),
+		hasOut:    make([]bool, g.N()),
 		perProto:  make(map[Proto]uint64),
 		maxEvents: 1 << 34,
 	}
@@ -93,8 +100,8 @@ func (s *Sim) Run() Result {
 	for i := range s.handlers {
 		s.handlers[i].Init(&s.nodes[i])
 	}
-	for s.events.Len() > 0 {
-		ev := heap.Pop(&s.events).(event)
+	for !s.events.empty() {
+		ev := s.events.pop()
 		if ev.t < s.now {
 			panic(fmt.Sprintf("async: time went backwards: %g < %g", ev.t, s.now))
 		}
@@ -108,16 +115,22 @@ func (s *Sim) Run() Result {
 			s.handlers[ev.dst].Recv(&s.nodes[ev.dst], ev.src, ev.msg)
 			// Ack travels back; its arrival frees the link.
 			s.acks++
-			back := s.linkKey(ev.dst, ev.src)
+			back := s.g.ReverseLink(ev.link)
 			d := s.adv.Delay(ev.dst, ev.src, s.txSeq[back], ev.msg.Proto)
 			s.txSeq[back]++
-			s.schedule(event{t: s.now + d, kind: evAckArrive, src: ev.src, dst: ev.dst, msg: ev.msg})
+			s.schedule(event{t: s.now + d, kind: evAckArrive, link: ev.link, src: ev.src, dst: ev.dst, msg: ev.msg})
 		case evAckArrive:
 			// ev.src is the original sender whose link is now free.
-			ob := s.out[s.linkKey(ev.src, ev.dst)]
+			ob := &s.out[ev.link]
 			ob.busy = false
-			s.dispatch(ev.src, ev.dst, ob)
+			s.dispatch(ev.src, ev.dst, ev.link, ob)
 			s.handlers[ev.src].Ack(&s.nodes[ev.src], ev.dst, ev.msg)
+		}
+	}
+	outputs := make(map[graph.NodeID]any, s.outCount)
+	for i, has := range s.hasOut {
+		if has {
+			outputs[graph.NodeID(i)] = s.outputs[i]
 		}
 	}
 	return Result{
@@ -126,51 +139,46 @@ func (s *Sim) Run() Result {
 		Msgs:        s.msgs,
 		Acks:        s.acks,
 		PerProto:    s.perProto,
-		Outputs:     s.outputs,
+		Outputs:     outputs,
 	}
 }
 
-func (s *Sim) linkKey(from, to graph.NodeID) int64 {
-	return int64(from)*s.n + int64(to)
-}
-
 func (s *Sim) send(from, to graph.NodeID, m Msg) {
-	if s.g.EdgeBetween(from, to) < 0 {
+	l := s.g.LinkBetween(from, to)
+	if l < 0 {
 		panic(fmt.Sprintf("async: node %d sending to non-neighbor %d", from, to))
 	}
 	s.msgs++
 	s.perProto[m.Proto]++
-	key := s.linkKey(from, to)
-	ob := s.out[key]
-	if ob == nil {
-		ob = &outbox{}
-		s.out[key] = ob
-	}
+	ob := &s.out[l]
 	ob.push(m)
 	if !ob.busy {
-		s.dispatch(from, to, ob)
+		s.dispatch(from, to, l, ob)
 	}
 }
 
 // dispatch injects the next scheduled message of the (from,to) link, if any.
-func (s *Sim) dispatch(from, to graph.NodeID, ob *outbox) {
+func (s *Sim) dispatch(from, to graph.NodeID, l graph.LinkID, ob *outbox) {
 	m, ok := ob.pop()
 	if !ok {
 		return
 	}
 	ob.busy = true
-	key := s.linkKey(from, to)
-	d := s.adv.Delay(from, to, s.txSeq[key], m.Proto)
-	s.txSeq[key]++
+	d := s.adv.Delay(from, to, s.txSeq[l], m.Proto)
+	s.txSeq[l]++
 	if d <= 0 || d > 1 {
 		panic(fmt.Sprintf("async: adversary %q returned delay %g outside (0,1]", s.adv.Name(), d))
 	}
-	s.schedule(event{t: s.now + d, kind: evDeliver, src: from, dst: to, msg: m})
+	s.schedule(event{t: s.now + d, kind: evDeliver, link: l, src: from, dst: to, msg: m})
 }
 
 func (s *Sim) setOutput(id graph.NodeID, v any) {
-	if _, had := s.outputs[id]; !had && s.now > s.lastOutputTime {
-		s.lastOutputTime = s.now
+	if !s.hasOut[id] {
+		s.hasOut[id] = true
+		s.outCount++
+		if s.now > s.lastOutputTime {
+			s.lastOutputTime = s.now
+		}
 	}
 	s.outputs[id] = v
 }
@@ -178,7 +186,7 @@ func (s *Sim) setOutput(id graph.NodeID, v any) {
 func (s *Sim) schedule(ev event) {
 	ev.seq = s.eventSq
 	s.eventSq++
-	heap.Push(&s.events, ev)
+	s.events.push(ev)
 }
 
 const (
@@ -190,26 +198,8 @@ type event struct {
 	t    float64
 	seq  uint64
 	kind int
+	link graph.LinkID // the forward link src→dst
 	src  graph.NodeID // sender of the original message
 	dst  graph.NodeID // receiver of the original message
 	msg  Msg
-}
-
-type eventHeap []event
-
-func (h eventHeap) Len() int { return len(h) }
-func (h eventHeap) Less(i, j int) bool {
-	if h[i].t != h[j].t {
-		return h[i].t < h[j].t
-	}
-	return h[i].seq < h[j].seq
-}
-func (h eventHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
-func (h *eventHeap) Push(x any)   { *h = append(*h, x.(event)) }
-func (h *eventHeap) Pop() any {
-	old := *h
-	n := len(old)
-	ev := old[n-1]
-	*h = old[:n-1]
-	return ev
 }

@@ -1,5 +1,5 @@
 // Package bench implements the experiment harness: one function per
-// experiment in DESIGN.md's index (E1–E12), each regenerating its table of
+// experiment in DESIGN.md's index (E1–E13), each regenerating its table of
 // measured time/message complexities against the paper's predicted shape.
 // Root bench_test.go and cmd/syncbench both call into this package.
 package bench
@@ -55,9 +55,10 @@ func All(w io.Writer) {
 	E10CoverQuality(w)
 	E11StagePipelining(w)
 	E12GatherCost(w)
+	E13EngineThroughput(w)
 }
 
-// ByName runs one experiment by its id ("E1".."E12"); it reports whether
+// ByName runs one experiment by its id ("E1".."E13"); it reports whether
 // the id was known.
 func ByName(w io.Writer, id string) bool {
 	fns := map[string]func(io.Writer){
@@ -67,6 +68,7 @@ func ByName(w io.Writer, id string) bool {
 		"E7": E7RegistrationCongestion, "E8": E8AlphaBlowup,
 		"E9": E9AdversaryRobustness, "E10": E10CoverQuality,
 		"E11": E11StagePipelining, "E12": E12GatherCost,
+		"E13": E13EngineThroughput,
 	}
 	fn, ok := fns[id]
 	if !ok {

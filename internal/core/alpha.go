@@ -18,16 +18,20 @@ import (
 // Time overhead is O(1) per pulse — optimal — but the safety traffic costs
 // Θ(m) messages per pulse, i.e. M(A') = M(A) + Θ(T(A)·m): the blow-up
 // experiment E8 measures exactly this term.
+//
+// All per-pulse state is bound-indexed slices allocated once at
+// construction (the pulse bound is known up front), not maps.
 type alphaNode struct {
 	algo  syncrun.Handler
 	bound int
 
 	pulse     int
-	recvd     map[int][]syncrun.Incoming
-	safeFrom  map[int]map[graph.NodeID]bool
-	sendAcked map[int]int // pulse -> outstanding acks for algorithm sends
-	selfSafe  map[int]bool
-	sentSafe  map[int]bool
+	recvd     [][]syncrun.Incoming
+	safeCnt   []int // pulse -> neighbors that sent SAFE(p)
+	sendAcked []int // pulse -> outstanding acks for algorithm sends
+	selfSafe  []bool
+	sentSafe  []bool
+	cs        congestStamp
 }
 
 const protoAlphaSafe async.Proto = 3
@@ -41,11 +45,11 @@ func NewAlpha(algo syncrun.Handler, bound int) async.Handler {
 	return &alphaNode{
 		algo:      algo,
 		bound:     bound,
-		recvd:     make(map[int][]syncrun.Incoming),
-		safeFrom:  make(map[int]map[graph.NodeID]bool),
-		sendAcked: make(map[int]int),
-		selfSafe:  make(map[int]bool),
-		sentSafe:  make(map[int]bool),
+		recvd:     make([][]syncrun.Incoming, bound+1),
+		safeCnt:   make([]int, bound+1),
+		sendAcked: make([]int, bound+1),
+		selfSafe:  make([]bool, bound+1),
+		sentSafe:  make([]bool, bound+1),
 	}
 }
 
@@ -56,7 +60,7 @@ func (a *alphaNode) Init(n *async.Node) {
 
 func (a *alphaNode) runPulse(n *async.Node, p int) {
 	a.pulse = p
-	api := &alphaAPI{n: n, a: a, pulse: p}
+	api := &alphaAPI{n: n, a: a, pulse: p, epoch: a.cs.begin(n.Degree())}
 	if p == 0 {
 		a.algo.Init(api)
 	} else {
@@ -85,7 +89,7 @@ func (a *alphaNode) maybeAdvance(n *async.Node, p int) {
 	if a.pulse != p || p+1 > a.bound {
 		return
 	}
-	if !a.selfSafe[p] || len(a.safeFrom[p]) < n.Degree() {
+	if !a.selfSafe[p] || a.safeCnt[p] < n.Degree() {
 		return
 	}
 	a.runPulse(n, p+1)
@@ -97,12 +101,7 @@ func (a *alphaNode) Recv(n *async.Node, from graph.NodeID, m async.Msg) {
 	case algoMsg:
 		a.recvd[body.Pulse] = append(a.recvd[body.Pulse], syncrun.Incoming{From: from, Body: body.Body})
 	case alphaSafe:
-		set := a.safeFrom[body.Pulse]
-		if set == nil {
-			set = make(map[graph.NodeID]bool)
-			a.safeFrom[body.Pulse] = set
-		}
-		set[from] = true
+		a.safeCnt[body.Pulse]++
 		a.maybeAdvance(n, body.Pulse)
 	default:
 		panic(fmt.Sprintf("core: alpha node %d got payload %T", n.ID(), m.Body))
@@ -121,10 +120,10 @@ func (a *alphaNode) Ack(n *async.Node, _ graph.NodeID, m async.Msg) {
 
 // alphaAPI is the synchronous API bound to one α pulse.
 type alphaAPI struct {
-	n      *async.Node
-	a      *alphaNode
-	pulse  int
-	sentTo map[graph.NodeID]bool
+	n     *async.Node
+	a     *alphaNode
+	pulse int
+	epoch int32
 }
 
 var _ syncrun.API = (*alphaAPI)(nil)
@@ -136,13 +135,7 @@ func (x *alphaAPI) Output(v any)                { x.n.Output(v) }
 func (x *alphaAPI) HasOutput() bool             { return x.n.HasOutput() }
 
 func (x *alphaAPI) Send(to graph.NodeID, body any) {
-	if x.sentTo == nil {
-		x.sentTo = make(map[graph.NodeID]bool)
-	}
-	if x.sentTo[to] {
-		panic(fmt.Sprintf("core: alpha node %d sent twice to %d", x.n.ID(), to))
-	}
-	x.sentTo[to] = true
+	x.a.cs.mark(x.n, to, x.epoch, "alpha")
 	x.a.sendAcked[x.pulse]++
 	x.n.Send(to, async.Msg{Proto: ProtoAlgo, Stage: x.pulse, Body: algoMsg{Pulse: x.pulse, Body: body}})
 }

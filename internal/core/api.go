@@ -9,6 +9,39 @@ import (
 	"repro/internal/syncrun"
 )
 
+// congestStamp enforces the CONGEST one-message-per-neighbor-per-pulse
+// contract with a dense per-neighbor-index epoch array instead of a
+// per-pulse map: begin() opens a new epoch (one pulse evaluation), mark()
+// stamps a neighbor slot and panics on a repeat within the epoch. The
+// array is sized to the node's degree once and reused for every pulse.
+type congestStamp struct {
+	stamp []int32
+	epoch int32
+}
+
+// begin opens a new epoch for a node of the given degree and returns it.
+func (c *congestStamp) begin(deg int) int32 {
+	if c.stamp == nil {
+		c.stamp = make([]int32, deg)
+	}
+	c.epoch++
+	return c.epoch
+}
+
+// mark records a send to `to` in the given epoch. It resolves `to` via the
+// graph's sorted adjacency (O(log degree), no hashing) and panics on a
+// non-neighbor or a second send to the same neighbor in one epoch.
+func (c *congestStamp) mark(n *async.Node, to graph.NodeID, epoch int32, who string) {
+	idx := n.NeighborIndex(to)
+	if idx < 0 {
+		panic(fmt.Sprintf("core: %s node %d sending to non-neighbor %d", who, n.ID(), to))
+	}
+	if c.stamp[idx] == epoch {
+		panic(fmt.Sprintf("core: %s node %d sent twice to %d in one pulse", who, n.ID(), to))
+	}
+	c.stamp[idx] = epoch
+}
+
 // captureAPI adapts the asynchronous node to the synchronous algorithm's
 // API. During Init it captures sends into the originator buffer; during
 // Pulse it releases them as pulse-tagged algorithm messages.
@@ -17,10 +50,16 @@ type captureAPI struct {
 	core    *nodeCore
 	vn      *vnode // nil while capturing Init
 	capture bool
-	sentTo  map[graph.NodeID]bool
+	epoch   int32
 }
 
 var _ syncrun.API = (*captureAPI)(nil)
+
+// newAPI binds one pulse evaluation (or the Init capture) of the embedded
+// algorithm to a fresh congest epoch.
+func (c *nodeCore) newAPI(n *async.Node, vn *vnode, capture bool) *captureAPI {
+	return &captureAPI{n: n, core: c, vn: vn, capture: capture, epoch: c.cs.begin(n.Degree())}
+}
 
 func (a *captureAPI) ID() graph.NodeID            { return a.n.ID() }
 func (a *captureAPI) Neighbors() []graph.Neighbor { return a.n.Neighbors() }
@@ -29,13 +68,7 @@ func (a *captureAPI) Output(v any)                { a.n.Output(v) }
 func (a *captureAPI) HasOutput() bool             { return a.n.HasOutput() }
 
 func (a *captureAPI) Send(to graph.NodeID, body any) {
-	if a.sentTo == nil {
-		a.sentTo = make(map[graph.NodeID]bool)
-	}
-	if a.sentTo[to] {
-		panic(fmt.Sprintf("core: node %d sent twice to %d in one pulse", a.n.ID(), to))
-	}
-	a.sentTo[to] = true
+	a.core.cs.mark(a.n, to, a.epoch, "synchronizer")
 	if a.capture {
 		a.core.initSends = append(a.core.initSends, capturedSend{to: to, body: body})
 		return

@@ -14,17 +14,20 @@ import (
 // per pulse, a convergecast of "my subtree is safe for p" followed by a
 // broadcast of "advance to p+1". Time overhead Θ(D) per pulse; message
 // overhead Θ(n) per pulse.
+//
+// Per-pulse state is bound-indexed slices allocated once at construction.
 type betaNode struct {
 	algo  syncrun.Handler
 	bound int
 	tree  *cover.Cluster
 
 	pulse      int
-	recvd      map[int][]syncrun.Incoming
-	sendAcked  map[int]int
-	selfSafe   map[int]bool
-	childSafe  map[int]int // pulse -> children subtrees reported safe
-	reportSent map[int]bool
+	recvd      [][]syncrun.Incoming
+	sendAcked  []int
+	selfSafe   []bool
+	childSafe  []int // pulse -> children subtrees reported safe
+	reportSent []bool
+	cs         congestStamp
 }
 
 const protoBetaTree async.Proto = 4
@@ -42,11 +45,11 @@ func NewBeta(algo syncrun.Handler, bound int, tree *cover.Cluster) async.Handler
 		algo:       algo,
 		bound:      bound,
 		tree:       tree,
-		recvd:      make(map[int][]syncrun.Incoming),
-		sendAcked:  make(map[int]int),
-		selfSafe:   make(map[int]bool),
-		childSafe:  make(map[int]int),
-		reportSent: make(map[int]bool),
+		recvd:      make([][]syncrun.Incoming, bound+1),
+		sendAcked:  make([]int, bound+1),
+		selfSafe:   make([]bool, bound+1),
+		childSafe:  make([]int, bound+1),
+		reportSent: make([]bool, bound+1),
 	}
 }
 
@@ -55,7 +58,7 @@ func (b *betaNode) Init(n *async.Node) { b.runPulse(n, 0) }
 
 func (b *betaNode) runPulse(n *async.Node, p int) {
 	b.pulse = p
-	api := &betaAPI{n: n, b: b, pulse: p}
+	api := &betaAPI{n: n, b: b, pulse: p, epoch: b.cs.begin(n.Degree())}
 	if p == 0 {
 		b.algo.Init(api)
 	} else {
@@ -128,10 +131,10 @@ func (b *betaNode) Ack(n *async.Node, _ graph.NodeID, m async.Msg) {
 }
 
 type betaAPI struct {
-	n      *async.Node
-	b      *betaNode
-	pulse  int
-	sentTo map[graph.NodeID]bool
+	n     *async.Node
+	b     *betaNode
+	pulse int
+	epoch int32
 }
 
 var _ syncrun.API = (*betaAPI)(nil)
@@ -143,13 +146,7 @@ func (x *betaAPI) Output(v any)                { x.n.Output(v) }
 func (x *betaAPI) HasOutput() bool             { return x.n.HasOutput() }
 
 func (x *betaAPI) Send(to graph.NodeID, body any) {
-	if x.sentTo == nil {
-		x.sentTo = make(map[graph.NodeID]bool)
-	}
-	if x.sentTo[to] {
-		panic(fmt.Sprintf("core: beta node %d sent twice to %d", x.n.ID(), to))
-	}
-	x.sentTo[to] = true
+	x.b.cs.mark(x.n, to, x.epoch, "beta")
 	x.b.sendAcked[x.pulse]++
 	x.n.Send(to, async.Msg{Proto: ProtoAlgo, Stage: x.pulse, Body: algoMsg{Pulse: x.pulse, Body: body}})
 }

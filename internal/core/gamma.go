@@ -27,9 +27,10 @@ type gammaNode struct {
 	part  *GammaPartition
 
 	pulse     int
-	recvd     map[int][]syncrun.Incoming
-	sendAcked map[int]int
-	safe      map[int]bool // own pulse-p sends all acked
+	recvd     [][]syncrun.Incoming // bound-indexed, allocated once
+	sendAcked []int
+	safe      []bool // own pulse-p sends all acked
+	cs        congestStamp
 
 	ph map[gKey]*gammaPhase
 }
@@ -128,9 +129,9 @@ func NewGamma(algo syncrun.Handler, bound int, part *GammaPartition) async.Handl
 		algo:      algo,
 		bound:     bound,
 		part:      part,
-		recvd:     make(map[int][]syncrun.Incoming),
-		sendAcked: make(map[int]int),
-		safe:      make(map[int]bool),
+		recvd:     make([][]syncrun.Incoming, bound+1),
+		sendAcked: make([]int, bound+1),
+		safe:      make([]bool, bound+1),
 		ph:        make(map[gKey]*gammaPhase),
 	}
 }
@@ -156,7 +157,7 @@ func (gm *gammaNode) Init(n *async.Node) { gm.runPulse(n, 0) }
 
 func (gm *gammaNode) runPulse(n *async.Node, p int) {
 	gm.pulse = p
-	api := &gammaAPI{n: n, g: gm, pulse: p}
+	api := &gammaAPI{n: n, g: gm, pulse: p, epoch: gm.cs.begin(n.Degree())}
 	if p == 0 {
 		gm.algo.Init(api)
 	} else {
@@ -282,10 +283,10 @@ func (gm *gammaNode) Ack(n *async.Node, _ graph.NodeID, m async.Msg) {
 }
 
 type gammaAPI struct {
-	n      *async.Node
-	g      *gammaNode
-	pulse  int
-	sentTo map[graph.NodeID]bool
+	n     *async.Node
+	g     *gammaNode
+	pulse int
+	epoch int32
 }
 
 var _ syncrun.API = (*gammaAPI)(nil)
@@ -297,13 +298,7 @@ func (x *gammaAPI) Output(v any)                { x.n.Output(v) }
 func (x *gammaAPI) HasOutput() bool             { return x.n.HasOutput() }
 
 func (x *gammaAPI) Send(to graph.NodeID, body any) {
-	if x.sentTo == nil {
-		x.sentTo = make(map[graph.NodeID]bool)
-	}
-	if x.sentTo[to] {
-		panic(fmt.Sprintf("core: gamma node %d sent twice to %d", x.n.ID(), to))
-	}
-	x.sentTo[to] = true
+	x.g.cs.mark(x.n, to, x.epoch, "gamma")
 	x.g.sendAcked[x.pulse]++
 	x.n.Send(to, async.Msg{Proto: ProtoAlgo, Stage: x.pulse, Body: algoMsg{Pulse: x.pulse, Body: body}})
 }

@@ -31,6 +31,7 @@ type nodeCore struct {
 	originator     bool
 	initSends      []capturedSend
 	barrierRegWait int
+	cs             congestStamp
 }
 
 type capturedSend struct {
@@ -50,7 +51,7 @@ func (c *nodeCore) Start(n *async.Node) {
 		return // registered under two protos; Mux starts each once
 	}
 	c.started = true
-	c.algo.Init(&captureAPI{n: n, core: c, capture: true})
+	c.algo.Init(c.newAPI(n, nil, true))
 	c.originator = len(c.initSends) > 0
 	c.barrierRegWait = len(c.sched.Barrier())
 	for _, p := range c.sched.Barrier() {
@@ -319,7 +320,7 @@ func (c *nodeCore) evaluate(n *async.Node, v *vnode) {
 	batch := c.recvd[p-1]
 	c.recvdClosed[p-1] = true
 	sort.Slice(batch, func(i, j int) bool { return batch[i].From < batch[j].From })
-	api := &captureAPI{n: n, core: c, vn: v}
+	api := c.newAPI(n, v, false)
 	c.algo.Pulse(api, p, batch)
 	if v.sentAny {
 		if p == c.sched.B {

@@ -3,6 +3,12 @@
 // edges, deterministic generators for the topology families exercised in
 // the experiments, exact reference algorithms (BFS, multi-source BFS,
 // diameter, MST) used as ground truth by the tests, and a union-find.
+//
+// Finalize compiles the adjacency structure into CSR form: all adjacency
+// entries live in one contiguous slice, and every ordered pair of adjacent
+// nodes gets a dense LinkID — the entry's index in that slice. Simulation
+// engines index per-directed-link state ([]outbox, []uint64 sequence
+// counters, CONGEST stamps) by LinkID instead of hashing (u,v) pairs.
 package graph
 
 import (
@@ -17,6 +23,12 @@ type NodeID int
 // EdgeID indexes into Graph.Edges.
 type EdgeID int
 
+// LinkID is a dense identifier for one directed link (an ordered pair of
+// adjacent nodes). Links are numbered 0..2m-1 in CSR order: node 0's
+// out-links first (ascending destination), then node 1's, and so on. Valid
+// only after Finalize.
+type LinkID int
+
 // Edge is an undirected edge {U, V} with an optional weight (used by MST
 // workloads; weight 0 elsewhere). U < V always holds after normalization.
 type Edge struct {
@@ -24,10 +36,12 @@ type Edge struct {
 	Weight int64
 }
 
-// Neighbor is one adjacency entry: the node on the other side of Edge.
+// Neighbor is one adjacency entry: the node on the other side of Edge,
+// plus the dense id of the directed link toward it (set by Finalize).
 type Neighbor struct {
 	Node NodeID
 	Edge EdgeID
+	Link LinkID
 }
 
 // Graph is an immutable undirected graph. Build one with New and AddEdge,
@@ -37,6 +51,13 @@ type Graph struct {
 	Edges []Edge
 	adj   [][]Neighbor
 	final bool
+
+	// CSR arrays, built by Finalize. adj[v] aliases flat[off[v]:off[v+1]],
+	// so the LinkID of adjacency entry i of node v is off[v]+i.
+	flat []Neighbor
+	off  []int
+	src  []NodeID // LinkID -> source node
+	rev  []LinkID // LinkID -> the opposite-direction link
 }
 
 // New returns an empty graph on n nodes.
@@ -52,6 +73,12 @@ func (g *Graph) N() int { return g.n }
 
 // M returns the number of edges.
 func (g *Graph) M() int { return len(g.Edges) }
+
+// Links returns the number of directed links (2·M). Valid after Finalize.
+func (g *Graph) Links() int { return len(g.flat) }
+
+// Final reports whether Finalize has run.
+func (g *Graph) Final() bool { return g.final }
 
 // AddEdge adds the undirected edge {u, v} with weight w. Self-loops and
 // out-of-range endpoints panic: topology construction bugs are programmer
@@ -76,8 +103,8 @@ func (g *Graph) AddEdge(u, v NodeID, w int64) EdgeID {
 	return id
 }
 
-// Finalize sorts adjacency lists (determinism) and checks simplicity.
-// It returns the graph to allow chaining.
+// Finalize sorts adjacency lists (determinism), checks simplicity, and
+// compiles the CSR link index. It returns the graph to allow chaining.
 func (g *Graph) Finalize() *Graph {
 	if g.final {
 		return g
@@ -93,12 +120,37 @@ func (g *Graph) Finalize() *Graph {
 	for _, nbrs := range g.adj {
 		sort.Slice(nbrs, func(i, j int) bool { return nbrs[i].Node < nbrs[j].Node })
 	}
+	// Flatten into CSR form and assign dense LinkIDs.
+	links := 2 * len(g.Edges)
+	g.flat = make([]Neighbor, 0, links)
+	g.off = make([]int, g.n+1)
+	g.src = make([]NodeID, links)
+	for v := range g.adj {
+		g.off[v] = len(g.flat)
+		for _, nb := range g.adj[v] {
+			nb.Link = LinkID(len(g.flat))
+			g.src[nb.Link] = NodeID(v)
+			g.flat = append(g.flat, nb)
+		}
+	}
+	g.off[g.n] = len(g.flat)
+	for v := range g.adj {
+		row := g.flat[g.off[v]:g.off[v+1]:g.off[v+1]]
+		g.adj[v] = row
+	}
 	g.final = true
+	// Reverse-link table: the opposite direction of each link, so engines
+	// resolve ack/return paths in O(1) with no hashing or search.
+	g.rev = make([]LinkID, links)
+	for l, nb := range g.flat {
+		g.rev[l] = g.LinkBetween(nb.Node, g.src[l])
+	}
 	return g
 }
 
-// Neighbors returns the adjacency list of v. The returned slice must not be
-// mutated.
+// Neighbors returns the adjacency list of v in ascending node order. After
+// Finalize each entry carries the directed LinkID v→entry.Node. The
+// returned slice must not be mutated.
 func (g *Graph) Neighbors(v NodeID) []Neighbor { return g.adj[v] }
 
 // Degree returns the degree of v.
@@ -116,27 +168,87 @@ func (g *Graph) Other(e EdgeID, v NodeID) NodeID {
 	panic(fmt.Sprintf("graph: node %d not on edge %d", v, e))
 }
 
+// NeighborIndex returns the position of v in u's adjacency list, or -1 if
+// {u,v} is not an edge. O(log degree) after Finalize.
+func (g *Graph) NeighborIndex(u, v NodeID) int {
+	nbrs := g.adj[u]
+	if !g.final {
+		for i, nb := range nbrs {
+			if nb.Node == v {
+				return i
+			}
+		}
+		return -1
+	}
+	lo, hi := 0, len(nbrs)
+	for lo < hi {
+		mid := int(uint(lo+hi) >> 1)
+		if nbrs[mid].Node < v {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	if lo < len(nbrs) && nbrs[lo].Node == v {
+		return lo
+	}
+	return -1
+}
+
 // HasEdge reports whether {u,v} is an edge.
 func (g *Graph) HasEdge(u, v NodeID) bool {
 	if g.Degree(u) > g.Degree(v) {
 		u, v = v, u
 	}
-	for _, nb := range g.adj[u] {
-		if nb.Node == v {
-			return true
-		}
-	}
-	return false
+	return g.NeighborIndex(u, v) >= 0
 }
 
 // EdgeBetween returns the edge id joining u and v, or -1.
 func (g *Graph) EdgeBetween(u, v NodeID) EdgeID {
-	for _, nb := range g.adj[u] {
-		if nb.Node == v {
-			return nb.Edge
-		}
+	i := g.NeighborIndex(u, v)
+	if i < 0 {
+		return -1
 	}
-	return -1
+	return g.adj[u][i].Edge
+}
+
+// LinkBetween returns the dense id of the directed link u→v, or -1 if
+// {u,v} is not an edge. O(log degree); hot paths that already hold a
+// Neighbor entry should use its Link field instead. Requires Finalize.
+func (g *Graph) LinkBetween(u, v NodeID) LinkID {
+	if !g.final {
+		panic("graph: LinkBetween before Finalize")
+	}
+	i := g.NeighborIndex(u, v)
+	if i < 0 {
+		return -1
+	}
+	return LinkID(g.off[u] + i)
+}
+
+// LinkOffset returns the first LinkID out of v; v's out-links are the
+// contiguous range [LinkOffset(v), LinkOffset(v)+Degree(v)). Requires
+// Finalize.
+func (g *Graph) LinkOffset(v NodeID) LinkID {
+	if !g.final {
+		panic("graph: LinkOffset before Finalize")
+	}
+	return LinkID(g.off[v])
+}
+
+// LinkSrc returns the source node of directed link l.
+func (g *Graph) LinkSrc(l LinkID) NodeID { return g.src[l] }
+
+// LinkDst returns the destination node of directed link l.
+func (g *Graph) LinkDst(l LinkID) NodeID { return g.flat[l].Node }
+
+// ReverseLink returns the link of the opposite direction of l (the ack /
+// return path). Requires Finalize.
+func (g *Graph) ReverseLink(l LinkID) LinkID {
+	if !g.final {
+		panic("graph: ReverseLink before Finalize")
+	}
+	return g.rev[l]
 }
 
 // Connected reports whether the graph is connected (true for n <= 1).

@@ -1,0 +1,80 @@
+package syncrun
+
+import (
+	"testing"
+
+	"repro/internal/graph"
+)
+
+// benchBFS is the minimal event-driven BFS used to exercise one lockstep
+// pulse: every node forwards the first join it receives, so every directed
+// edge carries exactly one message over the run.
+type benchBFS struct{ dist int }
+
+func (h *benchBFS) Init(n API) {
+	h.dist = -1
+	if n.ID() == 0 {
+		h.dist = 0
+		n.Output(0)
+		for _, nb := range n.Neighbors() {
+			n.Send(nb.Node, "join")
+		}
+	}
+}
+
+func (h *benchBFS) Pulse(n API, p int, recvd []Incoming) {
+	if h.dist >= 0 || len(recvd) == 0 {
+		return
+	}
+	h.dist = p
+	n.Output(p)
+	for _, nb := range n.Neighbors() {
+		n.Send(nb.Node, "join")
+	}
+}
+
+func benchLockstep(b *testing.B, g *graph.Graph, cfg func(*Runner)) {
+	b.Helper()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		r := New(g, func(graph.NodeID) Handler { return &benchBFS{} })
+		if cfg != nil {
+			cfg(r)
+		}
+		res := r.Run()
+		if res.M != uint64(2*g.M()) {
+			b.Fatalf("M = %d, want %d", res.M, 2*g.M())
+		}
+	}
+	b.ReportMetric(float64(2*g.M()), "msgs/op")
+}
+
+// BenchmarkLockstepPulse measures the per-pulse path of the lockstep
+// runner — activation bookkeeping, inbox delivery, CONGEST guard — via a
+// BFS whose pulse count is the grid diameter.
+func BenchmarkLockstepPulse(b *testing.B) {
+	benchLockstep(b, graph.Grid(30, 30), nil)
+}
+
+// BenchmarkLockstepPulseMulti is the same workload on the worker pool with
+// the fan-out threshold forced low, measuring parallel-mode overhead on a
+// moderate graph (the pool pays off at larger scale; results are
+// byte-identical either way).
+func BenchmarkLockstepPulseMulti(b *testing.B) {
+	benchLockstep(b, graph.Grid(30, 30), func(r *Runner) {
+		r.WithMode(ModeMulti).WithMinParallel(1)
+	})
+}
+
+// BenchmarkLockstepPulseLarge runs BFS on a 160k-edge random graph in both
+// modes, the scale ModeAuto targets.
+func BenchmarkLockstepPulseLarge(b *testing.B) {
+	g := graph.RandomConnected(40000, 160000, 9)
+	b.Run("single", func(b *testing.B) {
+		benchLockstep(b, g, func(r *Runner) { r.WithMode(ModeSingle) })
+	})
+	b.Run("multi", func(b *testing.B) {
+		benchLockstep(b, g, func(r *Runner) { r.WithMode(ModeMulti) })
+	})
+}

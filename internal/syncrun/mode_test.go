@@ -1,0 +1,125 @@
+package syncrun
+
+import (
+	"testing"
+
+	"repro/internal/graph"
+)
+
+// forceMulti returns a runner with the worker pool forced on regardless of
+// graph or activation-set size.
+func forceMulti(g *graph.Graph, mk func(graph.NodeID) Handler) *Runner {
+	return New(g, mk).WithMode(ModeMulti).WithWorkers(4).WithMinParallel(1)
+}
+
+func TestMultiSendTriggeredActivation(t *testing.T) {
+	g := graph.Path(2)
+	res := forceMulti(g, func(graph.NodeID) Handler { return &pingPong{} }).Run()
+	if res.M != 3 {
+		t.Fatalf("M = %d, want 3 (send-triggered chain)", res.M)
+	}
+	if res.Outputs[1] != 3 {
+		t.Fatalf("node 1 output %v, want pulse 3", res.Outputs[1])
+	}
+}
+
+func TestMultiDoubleSendPanics(t *testing.T) {
+	g := graph.Path(2)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic on double send in Multi mode")
+		}
+	}()
+	forceMulti(g, func(graph.NodeID) Handler { return &doubleSender{} }).Run()
+}
+
+// pulseDoubleSender violates CONGEST inside Pulse (not Init), so the panic
+// crosses the worker-pool boundary and must still surface to the caller.
+type pulseDoubleSender struct{}
+
+func (h *pulseDoubleSender) Init(n API) {
+	if n.ID() == 0 {
+		n.Send(1, "go")
+	}
+}
+
+func (h *pulseDoubleSender) Pulse(n API, p int, recvd []Incoming) {
+	if n.ID() == 1 && len(recvd) > 0 {
+		n.Send(0, "a")
+		n.Send(0, "b")
+	}
+}
+
+func TestMultiWorkerPanicPropagates(t *testing.T) {
+	g := graph.Path(2)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected worker panic to propagate")
+		}
+	}()
+	forceMulti(g, func(graph.NodeID) Handler { return &pulseDoubleSender{} }).Run()
+}
+
+func TestMultiBFSMatchesSingle(t *testing.T) {
+	g := graph.RandomConnected(300, 900, 4)
+	mk := func(graph.NodeID) Handler { return &syncBFS{src: 0} }
+	single := New(g, mk).WithMode(ModeSingle).KeepTrace().Run()
+	multi := forceMulti(g, mk).KeepTrace().Run()
+	if single.T != multi.T || single.M != multi.M || single.Rounds != multi.Rounds {
+		t.Fatalf("scalars differ: %+v vs %+v", single, multi)
+	}
+	for i := range single.Trace {
+		if single.Trace[i] != multi.Trace[i] {
+			t.Fatalf("trace[%d]: %+v vs %+v", i, single.Trace[i], multi.Trace[i])
+		}
+	}
+	for v, out := range single.Outputs {
+		if multi.Outputs[v] != out {
+			t.Fatalf("node %d: %v vs %v", v, out, multi.Outputs[v])
+		}
+	}
+}
+
+// TestBatchesSortedBySender checks the order-preserving delivery property
+// that replaced the per-batch sort: every Pulse batch arrives sorted by
+// sender, in both modes.
+type sortChecker struct {
+	t    *testing.T
+	seen bool
+}
+
+func (h *sortChecker) Init(n API) {
+	// Star center is node 0; leaves all send to it at pulse 1.
+	if n.ID() != 0 {
+		n.Send(0, int(n.ID()))
+	}
+}
+
+func (h *sortChecker) Pulse(n API, p int, recvd []Incoming) {
+	for i := 1; i < len(recvd); i++ {
+		if recvd[i-1].From >= recvd[i].From {
+			h.t.Errorf("batch not sorted by sender: %v before %v", recvd[i-1].From, recvd[i].From)
+		}
+	}
+	if n.ID() == 0 && len(recvd) > 0 {
+		h.seen = true
+	}
+}
+
+func TestBatchesSortedBySender(t *testing.T) {
+	g := graph.Star(200)
+	for _, mode := range []ExecutionMode{ModeSingle, ModeMulti} {
+		var center *sortChecker
+		r := New(g, func(id graph.NodeID) Handler {
+			h := &sortChecker{t: t}
+			if id == 0 {
+				center = h
+			}
+			return h
+		}).WithMode(mode).WithWorkers(4).WithMinParallel(1)
+		r.Run()
+		if !center.seen {
+			t.Fatalf("mode %v: center received no batch", mode)
+		}
+	}
+}

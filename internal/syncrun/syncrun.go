@@ -10,11 +10,28 @@
 // information the synchronizer of §5 reconstructs (it proves
 // pulse(v,p) = p), so providing it changes nothing about synchronizability
 // while making algorithms like BFS natural to write.
+//
+// The engine is dense and allocation-light: per-node inboxes are
+// double-buffered slices whose capacity persists across pulses, the
+// activation set is a bitmap iterated in node-index order, and the CONGEST
+// one-message-per-link-per-pulse guard is a flat pulse-stamp array indexed
+// by the graph's dense LinkID. Because active nodes step in ascending
+// index order and each sends at most once per neighbor, inbox batches
+// arrive sorted by sender with no per-batch sort.
+//
+// Runner supports three execution modes. Single steps the activation set
+// on one goroutine. Multi shards it across a worker pool; each worker
+// buffers its sends and outputs, and the buffers merge in shard order
+// after a barrier, which reproduces Single's send order exactly — Result
+// (outputs, T, M, trace) is byte-identical across modes. Auto picks Multi
+// for graphs large enough to amortize the pool.
 package syncrun
 
 import (
 	"fmt"
-	"sort"
+	"math/bits"
+	"runtime"
+	"sync"
 
 	"repro/internal/graph"
 )
@@ -45,7 +62,11 @@ type API interface {
 	HasOutput() bool
 }
 
-// Handler is an event-driven synchronous node program.
+// Handler is an event-driven synchronous node program. One Handler
+// instance exists per node and owns that node's state. Handlers on
+// different nodes must not share mutable state (shared read-only data is
+// fine): under ModeMulti — which ModeAuto selects for large graphs —
+// different nodes' Pulse calls run concurrently on a worker pool.
 type Handler interface {
 	// Init runs at pulse 0. Initiator nodes send their first messages here.
 	Init(n API)
@@ -55,11 +76,39 @@ type Handler interface {
 	Pulse(n API, p int, recvd []Incoming)
 }
 
+// ExecutionMode selects how the Runner steps each pulse's activation set.
+// Results are byte-identical across modes; the choice is purely about
+// wall-clock performance.
+type ExecutionMode int
+
+const (
+	// ModeAuto picks ModeMulti when the graph is large enough to amortize
+	// the worker pool and more than one CPU is available, else ModeSingle.
+	ModeAuto ExecutionMode = iota
+	// ModeSingle steps active nodes sequentially on the calling goroutine.
+	ModeSingle
+	// ModeMulti shards the activation set across a worker pool with
+	// per-worker send buffers merged deterministically.
+	ModeMulti
+)
+
+func (m ExecutionMode) String() string {
+	switch m {
+	case ModeAuto:
+		return "auto"
+	case ModeSingle:
+		return "single"
+	case ModeMulti:
+		return "multi"
+	}
+	return fmt.Sprintf("ExecutionMode(%d)", int(m))
+}
+
 // Node is the Runner's API implementation.
 type Node struct {
-	id     graph.NodeID
-	run    *Runner
-	sentTo map[graph.NodeID]bool // per-pulse CONGEST guard
+	id   graph.NodeID
+	run  *Runner
+	sink *sendSink // where Send/Output effects route; set per step
 }
 
 var _ API = (*Node)(nil)
@@ -78,24 +127,43 @@ func (n *Node) Degree() int { return n.run.g.Degree(n.id) }
 // ack discipline enforces the same limit, so algorithms written against
 // this runner synchronize without surprises).
 func (n *Node) Send(to graph.NodeID, body any) {
-	if n.run.g.EdgeBetween(n.id, to) < 0 {
+	r := n.run
+	l := r.g.LinkBetween(n.id, to)
+	if l < 0 {
 		panic(fmt.Sprintf("syncrun: node %d sending to non-neighbor %d", n.id, to))
 	}
-	if n.sentTo[to] {
+	stamp := int32(r.pulse) + 1
+	if r.sentAt[l] == stamp {
 		panic(fmt.Sprintf("syncrun: node %d sent twice to %d in one pulse", n.id, to))
 	}
-	n.sentTo[to] = true
-	n.run.record(n.id, to, body)
+	r.sentAt[l] = stamp
+	if n.sink.r != nil {
+		r.record(n.id, to, body)
+		return
+	}
+	n.sink.sends = append(n.sink.sends, pendingSend{from: n.id, to: to, body: body})
 }
 
 // Output records this node's final output.
-func (n *Node) Output(v any) { n.run.setOutput(n.id, v) }
+func (n *Node) Output(v any) {
+	r := n.run
+	had := r.hasOut[n.id]
+	r.hasOut[n.id] = true
+	r.outputs[n.id] = v
+	if had {
+		return
+	}
+	if n.sink.r != nil {
+		if r.pulse > r.lastOut {
+			r.lastOut = r.pulse
+		}
+		return
+	}
+	n.sink.newOut = true
+}
 
 // HasOutput reports whether this node already produced output.
-func (n *Node) HasOutput() bool {
-	_, ok := n.run.outputs[n.id]
-	return ok
-}
+func (n *Node) HasOutput() bool { return n.run.hasOut[n.id] }
 
 // TraceEntry records one message for trace-equivalence checking against the
 // synchronized asynchronous execution (Theorem 5.2).
@@ -119,44 +187,143 @@ type Result struct {
 	Trace []TraceEntry
 }
 
+// pendingSend is one buffered worker-mode send, applied at merge time.
+type pendingSend struct {
+	from, to graph.NodeID
+	body     any
+}
+
+// sendSink routes a node's effects. With r set, effects apply to the
+// Runner immediately (Single mode and pulse 0). With r nil it is a worker
+// buffer: sends accumulate in call order and newOut records whether any
+// node produced its first output, both drained deterministically after the
+// pulse barrier.
+type sendSink struct {
+	r      *Runner
+	sends  []pendingSend
+	newOut bool
+}
+
+// pulseBuf is one side of the double-buffered pulse state: per-node inbox
+// slices (capacity reused across pulses) plus the activation bitmap.
+type pulseBuf struct {
+	inbox  [][]Incoming
+	bits   []uint64
+	active int // number of set bits
+}
+
+func (b *pulseBuf) activate(v graph.NodeID) {
+	w, m := uint(v)>>6, uint64(1)<<(uint(v)&63)
+	if b.bits[w]&m == 0 {
+		b.bits[w] |= m
+		b.active++
+	}
+}
+
 // Runner executes one synchronous algorithm on one graph.
 type Runner struct {
 	g        *graph.Graph
 	handlers []Handler
 	nodes    []Node
 
-	pulse     int
-	inflight  map[graph.NodeID][]Incoming // messages sent this pulse
-	sentNow   map[graph.NodeID]bool       // who sent this pulse
-	outputs   map[graph.NodeID]any
+	mode        ExecutionMode
+	workers     int
+	minParallel int
+
+	pulse int
+	cur   pulseBuf // being processed this pulse
+	nxt   pulseBuf // being filled for next pulse
+
+	// sentAt is the CONGEST guard: per directed link, the stamp
+	// (pulse+1) of the last pulse a message was sent on it.
+	sentAt []int32
+
+	outputs   []any
+	hasOut    []bool
 	lastOut   int
 	msgs      uint64
 	trace     []TraceEntry
 	maxRounds int
 	keepTrace bool
+
+	direct sendSink // the apply-immediately sink (Single mode, Init)
+
+	// Multi-mode scratch, allocated on first parallel pulse.
+	activeIDs    []graph.NodeID
+	workerSinks  []sendSink
+	workerPanics []any
 }
 
-// New builds a Runner; mk creates each node's handler.
+// New builds a Runner; mk creates each node's handler. The graph is
+// finalized if it was not already (the dense link index requires it).
 func New(g *graph.Graph, mk func(id graph.NodeID) Handler) *Runner {
+	g.Finalize()
+	words := (g.N() + 63) / 64
 	r := &Runner{
-		g:         g,
-		handlers:  make([]Handler, g.N()),
-		nodes:     make([]Node, g.N()),
-		inflight:  make(map[graph.NodeID][]Incoming),
-		sentNow:   make(map[graph.NodeID]bool),
-		outputs:   make(map[graph.NodeID]any, g.N()),
-		maxRounds: 1 << 22,
+		g:           g,
+		handlers:    make([]Handler, g.N()),
+		nodes:       make([]Node, g.N()),
+		cur:         pulseBuf{inbox: make([][]Incoming, g.N()), bits: make([]uint64, words)},
+		nxt:         pulseBuf{inbox: make([][]Incoming, g.N()), bits: make([]uint64, words)},
+		sentAt:      make([]int32, g.Links()),
+		outputs:     make([]any, g.N()),
+		hasOut:      make([]bool, g.N()),
+		maxRounds:   1 << 22,
+		workers:     defaultWorkers(),
+		minParallel: defaultMinParallel,
 	}
+	r.direct.r = r
 	for i := 0; i < g.N(); i++ {
 		id := graph.NodeID(i)
-		r.nodes[i] = Node{id: id, run: r}
+		r.nodes[i] = Node{id: id, run: r, sink: &r.direct}
 		r.handlers[i] = mk(id)
 	}
 	return r
 }
 
+func defaultWorkers() int {
+	w := runtime.GOMAXPROCS(0)
+	if w > 16 {
+		w = 16
+	}
+	return w
+}
+
+// autoMultiNodes is the graph size at which ModeAuto switches to the
+// worker pool: below it, per-pulse pool coordination dominates the tiny
+// handler steps.
+const autoMultiNodes = 2048
+
+// defaultMinParallel is the smallest activation set Multi mode fans out;
+// smaller sets step inline (results are identical either way).
+const defaultMinParallel = 128
+
 // KeepTrace enables message-trace recording (used by equivalence tests).
 func (r *Runner) KeepTrace() *Runner { r.keepTrace = true; return r }
+
+// WithMode selects the execution mode (default ModeAuto).
+func (r *Runner) WithMode(m ExecutionMode) *Runner { r.mode = m; return r }
+
+// WithWorkers caps the Multi-mode worker pool (default GOMAXPROCS, max 16).
+func (r *Runner) WithWorkers(k int) *Runner {
+	if k < 1 {
+		panic(fmt.Sprintf("syncrun: worker count %d < 1", k))
+	}
+	r.workers = k
+	return r
+}
+
+// WithMinParallel sets the smallest activation set Multi mode fans out to
+// the pool (default 128); smaller sets step inline. Tests and benchmarks
+// lower it to force the parallel path on small graphs — results are
+// byte-identical regardless.
+func (r *Runner) WithMinParallel(k int) *Runner {
+	if k < 1 {
+		panic(fmt.Sprintf("syncrun: parallel threshold %d < 1", k))
+	}
+	r.minParallel = k
+	return r
+}
 
 // SetMaxRounds caps the number of rounds; exceeding it panics.
 func (r *Runner) SetMaxRounds(limit int) { r.maxRounds = limit }
@@ -166,67 +333,156 @@ func (r *Runner) Handler(v graph.NodeID) Handler { return r.handlers[v] }
 
 // Run executes to quiescence and returns measurements.
 func (r *Runner) Run() Result {
-	// Pulse 0: initiators act.
+	mode := r.mode
+	if mode == ModeAuto {
+		if r.workers > 1 && r.g.N() >= autoMultiNodes {
+			mode = ModeMulti
+		} else {
+			mode = ModeSingle
+		}
+	}
+	// Pulse 0: initiators act; their sends land in nxt.
 	for i := range r.handlers {
-		n := &r.nodes[i]
-		n.sentTo = make(map[graph.NodeID]bool)
-		r.handlers[i].Init(n)
+		r.handlers[i].Init(&r.nodes[i])
 	}
 	for r.pulse = 1; ; r.pulse++ {
 		if r.pulse > r.maxRounds {
 			panic(fmt.Sprintf("syncrun: exceeded %d rounds", r.maxRounds))
 		}
-		inbox := r.inflight
-		senders := r.sentNow
-		if len(inbox) == 0 && len(senders) == 0 {
+		if r.nxt.active == 0 {
 			break
 		}
-		r.inflight = make(map[graph.NodeID][]Incoming)
-		r.sentNow = make(map[graph.NodeID]bool)
-
-		// Activation set: received this pulse or sent last pulse.
-		active := make(map[graph.NodeID]bool, len(inbox)+len(senders))
-		for v := range inbox {
-			active[v] = true
+		r.cur, r.nxt = r.nxt, r.cur
+		if mode == ModeMulti && r.cur.active >= r.minParallel && r.workers > 1 {
+			r.stepParallel()
+		} else {
+			r.stepSerial()
 		}
-		for v := range senders {
-			active[v] = true
-		}
-		ids := make([]graph.NodeID, 0, len(active))
-		for v := range active {
-			ids = append(ids, v)
-		}
-		sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
-
-		for _, v := range ids {
-			batch := inbox[v]
-			sort.Slice(batch, func(i, j int) bool { return batch[i].From < batch[j].From })
-			n := &r.nodes[v]
-			n.sentTo = make(map[graph.NodeID]bool)
-			r.handlers[v].Pulse(n, r.pulse, batch)
+	}
+	outputs := make(map[graph.NodeID]any)
+	for i, has := range r.hasOut {
+		if has {
+			outputs[graph.NodeID(i)] = r.outputs[i]
 		}
 	}
 	return Result{
 		T:       r.lastOut,
 		Rounds:  r.pulse - 1,
 		M:       r.msgs,
-		Outputs: r.outputs,
+		Outputs: outputs,
 		Trace:   r.trace,
 	}
 }
 
-func (r *Runner) record(from, to graph.NodeID, body any) {
-	r.msgs++
-	r.inflight[to] = append(r.inflight[to], Incoming{From: from, Body: body})
-	r.sentNow[from] = true
-	if r.keepTrace {
-		r.trace = append(r.trace, TraceEntry{Pulse: r.pulse, From: from, To: to, Body: body})
+// stepSerial runs one pulse on the calling goroutine, iterating active
+// nodes in index order straight off the bitmap.
+func (r *Runner) stepSerial() {
+	for w, word := range r.cur.bits {
+		if word == 0 {
+			continue
+		}
+		r.cur.bits[w] = 0
+		base := w << 6
+		for word != 0 {
+			v := graph.NodeID(base + bits.TrailingZeros64(word))
+			word &= word - 1
+			r.stepNode(v, &r.direct)
+		}
+	}
+	r.cur.active = 0
+}
+
+// stepNode delivers node v's batch and recycles the inbox buffer.
+func (r *Runner) stepNode(v graph.NodeID, sink *sendSink) {
+	batch := r.cur.inbox[v]
+	n := &r.nodes[v]
+	n.sink = sink
+	r.handlers[v].Pulse(n, r.pulse, batch)
+	n.sink = &r.direct
+	for i := range batch {
+		batch[i] = Incoming{} // release delivered bodies
+	}
+	r.cur.inbox[v] = batch[:0]
+}
+
+// stepParallel runs one pulse on the worker pool: contiguous shards of the
+// (index-ordered) activation set step concurrently, buffering their
+// effects; the buffers merge in shard order, reproducing serial order.
+func (r *Runner) stepParallel() {
+	ids := r.activeIDs[:0]
+	for w, word := range r.cur.bits {
+		if word == 0 {
+			continue
+		}
+		r.cur.bits[w] = 0
+		base := w << 6
+		for word != 0 {
+			ids = append(ids, graph.NodeID(base+bits.TrailingZeros64(word)))
+			word &= word - 1
+		}
+	}
+	r.activeIDs = ids
+	r.cur.active = 0
+
+	w := r.workers
+	if w > len(ids) {
+		w = len(ids)
+	}
+	if r.workerSinks == nil || len(r.workerSinks) < w {
+		r.workerSinks = make([]sendSink, r.workers)
+		r.workerPanics = make([]any, r.workers)
+	}
+	var wg sync.WaitGroup
+	for k := 0; k < w; k++ {
+		lo, hi := k*len(ids)/w, (k+1)*len(ids)/w
+		wg.Add(1)
+		go func(k int, shard []graph.NodeID) {
+			defer wg.Done()
+			defer func() {
+				if p := recover(); p != nil {
+					r.workerPanics[k] = p
+				}
+			}()
+			sink := &r.workerSinks[k]
+			for _, v := range shard {
+				r.stepNode(v, sink)
+			}
+		}(k, ids[lo:hi])
+	}
+	wg.Wait()
+	for k := 0; k < w; k++ {
+		if p := r.workerPanics[k]; p != nil {
+			panic(p)
+		}
+	}
+	// Deterministic merge: shards in ascending node order, sends in call
+	// order — exactly the serial application order.
+	for k := 0; k < w; k++ {
+		sink := &r.workerSinks[k]
+		for _, ps := range sink.sends {
+			r.record(ps.from, ps.to, ps.body)
+		}
+		if sink.newOut && r.pulse > r.lastOut {
+			r.lastOut = r.pulse
+		}
+		for i := range sink.sends {
+			sink.sends[i] = pendingSend{}
+		}
+		sink.sends = sink.sends[:0]
+		sink.newOut = false
 	}
 }
 
-func (r *Runner) setOutput(id graph.NodeID, v any) {
-	if _, had := r.outputs[id]; !had && r.pulse > r.lastOut {
-		r.lastOut = r.pulse
+// record applies one send: deliver into the next pulse's inbox and
+// activate both endpoints. Active nodes step in ascending index order and
+// each sends at most once per neighbor, so every inbox batch is sorted by
+// sender by construction — no per-batch sort.
+func (r *Runner) record(from, to graph.NodeID, body any) {
+	r.msgs++
+	r.nxt.inbox[to] = append(r.nxt.inbox[to], Incoming{From: from, Body: body})
+	r.nxt.activate(to)
+	r.nxt.activate(from)
+	if r.keepTrace {
+		r.trace = append(r.trace, TraceEntry{Pulse: r.pulse, From: from, To: to, Body: body})
 	}
-	r.outputs[id] = v
 }
