@@ -2,14 +2,23 @@
 //
 // Usage:
 //
-//	syncbench            # run every experiment
-//	syncbench -exp E5    # run one experiment (E1..E13)
+//	syncbench                      # run every experiment
+//	syncbench -exp E5              # run one experiment (E1..E13)
+//	syncbench -exp E2,E3,E4        # run a subset, in the given order
+//	syncbench -list                # list experiment ids and titles
+//	syncbench -parallel 8          # run independent trials on 8 workers
+//	syncbench -json                # emit structured JSON records
+//	syncbench -exp E13 -json       # the CI bench-trajectory smoke run
+//
+// Tables are byte-identical for any -parallel value; -json replaces the
+// tables with one syncbench/v1 JSON document of per-row records.
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"strings"
 
 	"repro/internal/bench"
 )
@@ -19,14 +28,26 @@ func main() {
 }
 
 func run() int {
-	exp := flag.String("exp", "", "experiment id (E1..E13); empty = all")
+	exp := flag.String("exp", "", "comma-separated experiment ids (E1..E13); empty = all")
+	parallel := flag.Int("parallel", 1, "worker-pool size for independent trials (1 = serial)")
+	jsonOut := flag.Bool("json", false, "emit structured JSON records instead of text tables")
+	list := flag.Bool("list", false, "list experiment ids and titles, then exit")
 	flag.Parse()
-	if *exp == "" {
-		bench.All(os.Stdout)
+	if *list {
+		for _, info := range bench.List() {
+			fmt.Printf("%-4s %s\n", info.ID, info.Title)
+		}
 		return 0
 	}
-	if !bench.ByName(os.Stdout, *exp) {
-		fmt.Fprintf(os.Stderr, "unknown experiment %q (want E1..E13)\n", *exp)
+	var ids []string
+	if *exp != "" {
+		for _, id := range strings.Split(*exp, ",") {
+			ids = append(ids, strings.TrimSpace(id))
+		}
+	}
+	opts := bench.Options{Workers: *parallel, JSON: *jsonOut}
+	if err := bench.Run(os.Stdout, ids, opts); err != nil {
+		fmt.Fprintln(os.Stderr, err)
 		return 2
 	}
 	return 0

@@ -119,8 +119,15 @@ func SynchronizeWithCovers(g *Graph, bound int, adv Adversary, l *Layered,
 }
 
 // BuildCovers constructs the layered sparse covers the synchronizer needs
-// for the given pulse bound (the synchronizer's initialization).
+// for the given pulse bound (the synchronizer's initialization). For
+// finalized graphs, results are memoized per (graph, cover radius) and
+// the returned value may be shared with concurrent runs — treat it as
+// immutable. ResetCoverCache drops the memoized covers.
 func BuildCovers(g *Graph, bound int) *Layered { return core.BuildLayeredFor(g, bound) }
+
+// ResetCoverCache releases every layered cover memoized by BuildCovers /
+// Synchronize, for long-lived processes that sweep many graphs.
+func ResetCoverCache() { core.ResetCoverCache() }
 
 // SynchronizeUnknownBound is the Theorem 5.4 setting — no bound on T(A) is
 // known: doubling attempts until one completes. Returns the result and the

@@ -2,27 +2,142 @@
 // experiment in DESIGN.md's index (E1–E13), each regenerating its table of
 // measured time/message complexities against the paper's predicted shape.
 // Root bench_test.go and cmd/syncbench both call into this package.
+//
+// The harness is job-based: every experiment enumerates its independent
+// trials (graph × parameter × adversary) as jobs, the runner executes them
+// on a worker pool of Options.Workers goroutines, and results merge back in
+// job order — so the emitted tables are byte-identical whether the run is
+// serial or parallel. Each table row additionally produces a structured
+// record; Options.JSON switches the output to one JSON document carrying
+// every record, which is what cmd/syncbench -json emits and CI archives as
+// the bench trajectory.
 package bench
 
 import (
+	"encoding/json"
 	"fmt"
 	"io"
+	"sync"
 	"text/tabwriter"
 )
+
+// Rec is one structured per-row record: column name -> raw (unformatted)
+// value. encoding/json sorts map keys, so marshaling is deterministic.
+type Rec map[string]any
+
+// row pairs one table row with its structured record.
+type row struct {
+	cols []any
+	rec  Rec
+}
+
+// experiment is one registry entry. The registry slice is the single
+// ordered source of truth: All, ByName, Run, and List all drive off it.
+type experiment struct {
+	id    string
+	title string
+	run   func(*Ctx)
+}
+
+var experiments = []experiment{
+	{"E1", "synchronizer overheads (sync BFS workload)", e1SynchronizerOverheads},
+	{"E2", "async BFS time vs diameter (Thm 4.23)", e2BFSTimeVsD},
+	{"E3", "async BFS messages vs edge count (Thm 4.23)", e3BFSMessagesVsM},
+	{"E4", "multi-source BFS time vs D1 (Thm 4.24)", e4MultiSourceD1},
+	{"E5", "async deterministic leader election (Cor 1.3)", e5LeaderElection},
+	{"E6", "async deterministic MST (Cor 1.4)", e6MST},
+	{"E7", "registration congestion — wave (§3.2) vs naive root-routing ([AP90a])", e7RegistrationCongestion},
+	{"E8", "α message blow-up vs main synchronizer (App. A)", e8AlphaBlowup},
+	{"E9", "delay-adversary robustness (worst-case model, §1.1)", e9AdversaryRobustness},
+	{"E10", "sparse cover quality (Thm 4.21)", e10CoverQuality},
+	{"E11", "link multiplexing & stage priorities (Cor 2.3 / Lem 2.5)", e11StagePipelining},
+	{"E12", "gather-in-covers cost (Thm 3.1)", e12GatherCost},
+	{"E13", "lockstep engine throughput by execution mode", e13EngineThroughput},
+}
+
+func byID(id string) *experiment {
+	for i := range experiments {
+		if experiments[i].id == id {
+			return &experiments[i]
+		}
+	}
+	return nil
+}
+
+// Info describes one experiment for listings.
+type Info struct {
+	ID    string
+	Title string
+}
+
+// List returns the experiments in registry order.
+func List() []Info {
+	out := make([]Info, len(experiments))
+	for i, e := range experiments {
+		out[i] = Info{ID: e.id, Title: e.title}
+	}
+	return out
+}
+
+// IDs returns every experiment id in registry order.
+func IDs() []string {
+	out := make([]string, len(experiments))
+	for i, e := range experiments {
+		out[i] = e.id
+	}
+	return out
+}
+
+// Options configures a harness run.
+type Options struct {
+	// Workers is the job pool size; <= 1 runs every trial serially. Tables
+	// and records are byte-identical across worker counts.
+	Workers int
+	// JSON emits one JSON document of structured records instead of text
+	// tables.
+	JSON bool
+}
+
+// ExpRecords is the JSON shape of one experiment's output.
+type ExpRecords struct {
+	ID    string `json:"id"`
+	Title string `json:"title"`
+	Rows  []Rec  `json:"rows"`
+}
+
+// Output is the top-level JSON document of a -json run.
+type Output struct {
+	Schema      string       `json:"schema"`
+	Experiments []ExpRecords `json:"experiments"`
+}
+
+// Ctx is the per-run context handed to each experiment: table output,
+// worker pool, and the record accumulator.
+type Ctx struct {
+	w       io.Writer
+	workers int
+	cur     *ExpRecords
+	exps    []ExpRecords
+}
 
 // table accumulates aligned rows.
 type table struct {
 	w   *tabwriter.Writer
-	out io.Writer
+	ctx *Ctx
 }
 
-func newTable(out io.Writer, title, note string) *table {
-	fmt.Fprintf(out, "\n=== %s ===\n", title)
+// table opens the experiment's table, printing the registry title plus the
+// experiment's expectation note.
+func (c *Ctx) table(note string) *table {
+	fmt.Fprintf(c.w, "\n=== %s: %s ===\n", c.cur.ID, c.cur.Title)
 	if note != "" {
-		fmt.Fprintf(out, "%s\n", note)
+		fmt.Fprintf(c.w, "%s\n", note)
 	}
-	return &table{w: tabwriter.NewWriter(out, 2, 4, 2, ' ', 0), out: out}
+	return &table{w: tabwriter.NewWriter(c.w, 2, 4, 2, ' ', 0), ctx: c}
 }
+
+// head writes the column-header row.
+func (t *table) head(cols ...any) { t.row(cols...) }
 
 func (t *table) row(cols ...any) {
 	for i, c := range cols {
@@ -39,41 +154,117 @@ func (t *table) row(cols ...any) {
 	fmt.Fprintln(t.w)
 }
 
-func (t *table) flush() { t.w.Flush() }
+// emit writes the merged job rows — table lines plus structured records —
+// and flushes the table.
+func (t *table) emit(rows []row) {
+	for _, r := range rows {
+		t.row(r.cols...)
+		if r.rec != nil {
+			t.ctx.cur.Rows = append(t.ctx.cur.Rows, r.rec)
+		}
+	}
+	t.w.Flush()
+}
 
-// All runs every experiment.
+// jobs executes n independent trials on the worker pool and returns their
+// rows merged in job order, so output is identical to a serial run.
+func (c *Ctx) jobs(n int, fn func(i int) []row) []row {
+	out := make([][]row, n)
+	workers := c.workers
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		for i := 0; i < n; i++ {
+			out[i] = fn(i)
+		}
+	} else {
+		var wg sync.WaitGroup
+		idx := make(chan int)
+		for k := 0; k < workers; k++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for i := range idx {
+					out[i] = fn(i)
+				}
+			}()
+		}
+		for i := 0; i < n; i++ {
+			idx <- i
+		}
+		close(idx)
+		wg.Wait()
+	}
+	var flat []row
+	for _, rs := range out {
+		flat = append(flat, rs...)
+	}
+	return flat
+}
+
+// Run executes the given experiments (nil or empty = all) with the given
+// options, writing tables — or, with Options.JSON, one JSON document — to
+// w. It errors on unknown ids without running anything.
+func Run(w io.Writer, ids []string, opts Options) error {
+	if len(ids) == 0 {
+		ids = IDs()
+	}
+	for _, id := range ids {
+		if byID(id) == nil {
+			return fmt.Errorf("unknown experiment %q (want E1..E%d)", id, len(experiments))
+		}
+	}
+	tw := w
+	if opts.JSON {
+		tw = io.Discard
+	}
+	c := &Ctx{w: tw, workers: opts.Workers}
+	for _, id := range ids {
+		e := byID(id)
+		c.exps = append(c.exps, ExpRecords{ID: e.id, Title: e.title})
+		c.cur = &c.exps[len(c.exps)-1]
+		e.run(c)
+	}
+	if opts.JSON {
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		return enc.Encode(Output{Schema: "syncbench/v1", Experiments: c.exps})
+	}
+	return nil
+}
+
+// All runs every experiment serially, emitting text tables.
 func All(w io.Writer) {
-	E1SynchronizerOverheads(w)
-	E2BFSTimeVsD(w)
-	E3BFSMessagesVsM(w)
-	E4MultiSourceD1(w)
-	E5LeaderElection(w)
-	E6MST(w)
-	E7RegistrationCongestion(w)
-	E8AlphaBlowup(w)
-	E9AdversaryRobustness(w)
-	E10CoverQuality(w)
-	E11StagePipelining(w)
-	E12GatherCost(w)
-	E13EngineThroughput(w)
+	if err := Run(w, nil, Options{}); err != nil {
+		panic(err) // unreachable: registry ids are always valid
+	}
 }
 
 // ByName runs one experiment by its id ("E1".."E13"); it reports whether
 // the id was known.
 func ByName(w io.Writer, id string) bool {
-	fns := map[string]func(io.Writer){
-		"E1": E1SynchronizerOverheads, "E2": E2BFSTimeVsD,
-		"E3": E3BFSMessagesVsM, "E4": E4MultiSourceD1,
-		"E5": E5LeaderElection, "E6": E6MST,
-		"E7": E7RegistrationCongestion, "E8": E8AlphaBlowup,
-		"E9": E9AdversaryRobustness, "E10": E10CoverQuality,
-		"E11": E11StagePipelining, "E12": E12GatherCost,
-		"E13": E13EngineThroughput,
-	}
-	fn, ok := fns[id]
-	if !ok {
+	if byID(id) == nil {
 		return false
 	}
-	fn(w)
+	if err := Run(w, []string{id}, Options{}); err != nil {
+		return false
+	}
 	return true
 }
+
+// Exported per-experiment entry points (serial, table output); root
+// bench_test.go's Benchmark wrappers call these.
+func E1SynchronizerOverheads(w io.Writer)  { ByName(w, "E1") }
+func E2BFSTimeVsD(w io.Writer)             { ByName(w, "E2") }
+func E3BFSMessagesVsM(w io.Writer)         { ByName(w, "E3") }
+func E4MultiSourceD1(w io.Writer)          { ByName(w, "E4") }
+func E5LeaderElection(w io.Writer)         { ByName(w, "E5") }
+func E6MST(w io.Writer)                    { ByName(w, "E6") }
+func E7RegistrationCongestion(w io.Writer) { ByName(w, "E7") }
+func E8AlphaBlowup(w io.Writer)            { ByName(w, "E8") }
+func E9AdversaryRobustness(w io.Writer)    { ByName(w, "E9") }
+func E10CoverQuality(w io.Writer)          { ByName(w, "E10") }
+func E11StagePipelining(w io.Writer)       { ByName(w, "E11") }
+func E12GatherCost(w io.Writer)            { ByName(w, "E12") }
+func E13EngineThroughput(w io.Writer)      { ByName(w, "E13") }

@@ -1,8 +1,6 @@
 package bench
 
 import (
-	"io"
-
 	"repro/internal/async"
 	"repro/internal/core"
 	"repro/internal/cover"
@@ -41,19 +39,22 @@ func (c *regClient) GoAhead(n *async.Node, _ cover.ClusterID, _ int) {
 	n.Output(true)
 }
 
-// E7RegistrationCongestion reproduces §3.2's core claim: the "natural"
+// e7RegistrationCongestion reproduces §3.2's core claim: the "natural"
 // route-everything-to-the-root registration needs Ω(n) time on a shallow
 // tree with many registrants behind one edge, while the wave-based
 // algorithm stays proportional to the tree height per operation.
-func E7RegistrationCongestion(w io.Writer) {
-	t := newTable(w, "E7: registration congestion — wave (§3.2) vs naive root-routing ([AP90a])",
-		"star-of-paths: every node registers once; naive funnels Θ(n) messages through the hub")
-	t.row("deg", "pathLen", "n", "scheme", "time", "msgs")
-	for _, tc := range []struct{ deg, plen int }{{4, 8}, {8, 16}, {8, 32}} {
+func e7RegistrationCongestion(c *Ctx) {
+	t := c.table("star-of-paths: every node registers once; naive funnels Θ(n) messages through the hub")
+	t.head("deg", "pathLen", "n", "scheme", "time", "msgs")
+	cases := []struct{ deg, plen int }{{4, 8}, {8, 16}, {8, 32}}
+	t.emit(c.jobs(len(cases), func(i int) []row {
+		tc := cases[i]
 		g := graph.StarOfPaths(tc.deg, tc.plen)
 		cl := cover.BFSTreeCluster(g, 0)
 		cov := cover.NewExplicit(g.N(), g.N(), []*cover.Cluster{cl})
+		rows := make([]row, 0, 2)
 		for _, scheme := range []string{"wave", "naive"} {
+			scheme := scheme
 			sim := async.New(g, async.Fixed{D: 1}, func(id graph.NodeID) async.Handler {
 				client := &regClient{clusters: []cover.ClusterID{0}}
 				if scheme == "wave" {
@@ -67,29 +68,38 @@ func E7RegistrationCongestion(w io.Writer) {
 				return mux
 			})
 			res := sim.Run()
-			t.row(tc.deg, tc.plen, g.N(), scheme, res.QuiesceTime, res.Msgs)
+			rows = append(rows, row{
+				cols: []any{tc.deg, tc.plen, g.N(), scheme, res.QuiesceTime, res.Msgs},
+				rec: Rec{"degree": tc.deg, "pathLen": tc.plen, "n": g.N(), "scheme": scheme,
+					"time": res.QuiesceTime, "msgs": res.Msgs},
+			})
 		}
-	}
-	t.flush()
+		return rows
+	}))
 }
 
-// E8AlphaBlowup isolates Appendix A's α message term M(A) + Θ(T(A)·m):
+// e8AlphaBlowup isolates Appendix A's α message term M(A) + Θ(T(A)·m):
 // a token ping-pong (T = M = rounds) on a dense low-diameter graph.
-func E8AlphaBlowup(w io.Writer) {
-	t := newTable(w, "E8: α message blow-up vs main synchronizer (App. A)",
-		"ping workload: M(A)=T(A)=n on ER(n, 6n); α pays Θ(T·m), main stays polylog/pulse")
-	t.row("n", "m", "M(A)", "alpha-msgs", "main-msgs", "ratio", "alpha-time", "main-time")
-	for _, n := range []int{64, 128, 256} {
+func e8AlphaBlowup(c *Ctx) {
+	t := c.table("ping workload: M(A)=T(A)=n on ER(n, 6n); α pays Θ(T·m), main stays polylog/pulse")
+	t.head("n", "m", "M(A)", "alpha-msgs", "main-msgs", "ratio", "alpha-time", "main-time")
+	ns := []int{64, 128, 256}
+	t.emit(c.jobs(len(ns), func(i int) []row {
+		n := ns[i]
 		g := graph.RandomConnected(n, 6*n, 5)
 		rounds := n
 		mk := func(graph.NodeID) syncrun.Handler { return &pingAlgo{rounds: rounds} }
 		alpha := core.SynchronizeAlpha(g, rounds+1, async.Fixed{D: 1}, mk)
 		main := core.Synchronize(core.Config{Graph: g, Bound: rounds + 1,
 			Adversary: async.Fixed{D: 1}}, mk)
-		t.row(n, g.M(), rounds, alpha.Msgs, main.Msgs,
-			float64(alpha.Msgs)/float64(main.Msgs), alpha.Time, main.Time)
-	}
-	t.flush()
+		ratio := float64(alpha.Msgs) / float64(main.Msgs)
+		return []row{{
+			cols: []any{n, g.M(), rounds, alpha.Msgs, main.Msgs, ratio, alpha.Time, main.Time},
+			rec: Rec{"n": n, "m": g.M(), "syncM": rounds, "alphaMsgs": alpha.Msgs,
+				"mainMsgs": main.Msgs, "msgRatio": ratio,
+				"alphaTime": alpha.Time, "mainTime": main.Time},
+		}}
+	}))
 }
 
 // pingAlgo bounces a token between nodes 0 and 1 (T = M = rounds).
@@ -113,17 +123,20 @@ func (h *pingAlgo) Pulse(n syncrun.API, _ int, recvd []syncrun.Incoming) {
 	n.Send(recvd[0].From, k+1)
 }
 
-// E9AdversaryRobustness runs the synchronized BFS under every standard
+// e9AdversaryRobustness runs the synchronized BFS under every standard
 // delay adversary: outputs must be identical (determinism of the
 // synchronized algorithm, Theorem 5.2); time varies within the bound.
-func E9AdversaryRobustness(w io.Writer) {
-	t := newTable(w, "E9: delay-adversary robustness (worst-case model, §1.1)",
-		"synchronized BFS on grid 6x6; outputs must match the lockstep run under every adversary")
-	t.row("adversary", "time", "msgs", "outputs-match")
+func e9AdversaryRobustness(c *Ctx) {
+	t := c.table("synchronized BFS on grid 6x6; outputs must match the lockstep run under every adversary")
+	t.head("adversary", "time", "msgs", "outputs-match")
+	// The graph, lockstep baseline, and adversary suite are shared across
+	// jobs: all deterministic, read-only once built, one adversary per job.
 	g := graph.Grid(6, 6)
 	mk := bfsMk([]graph.NodeID{0})
 	sres := syncrun.New(g, mk).Run()
-	for _, adv := range async.StandardAdversaries(g.N(), 77) {
+	advs := async.StandardAdversaries(g.N(), 77)
+	t.emit(c.jobs(len(advs), func(i int) []row {
+		adv := advs[i]
 		res := core.Synchronize(core.Config{Graph: g, Bound: sres.Rounds + 2, Adversary: adv}, mk)
 		match := len(res.Outputs) == len(sres.Outputs)
 		for v, want := range sres.Outputs {
@@ -131,56 +144,76 @@ func E9AdversaryRobustness(w io.Writer) {
 				match = false
 			}
 		}
-		t.row(adv.Name(), res.Time, res.Msgs, match)
-	}
-	t.flush()
+		return []row{{
+			cols: []any{adv.Name(), res.Time, res.Msgs, match},
+			rec:  Rec{"adversary": adv.Name(), "time": res.Time, "msgs": res.Msgs, "outputsMatch": match},
+		}}
+	}))
 }
 
-// E10CoverQuality verifies Theorem 4.21's construction quality empirically:
+// e10CoverQuality verifies Theorem 4.21's construction quality empirically:
 // tree stretch (depth/d), per-edge tree congestion, per-node membership.
-func E10CoverQuality(w io.Writer) {
-	t := newTable(w, "E10: sparse cover quality (Thm 4.21)",
-		"bounds: depth = O(d·log³n), congestion = O(log⁴n), membership = O(log n)")
-	t.row("graph", "d", "clusters", "maxDepth", "depth/d", "maxCongestion", "maxMembership")
-	for _, tc := range []struct {
-		name string
-		g    *graph.Graph
-	}{
-		{"grid10x10", graph.Grid(10, 10)},
-		{"er128", graph.RandomConnected(128, 400, 21)},
-	} {
-		for _, d := range []int{1, 2, 4, 8} {
-			cov := cover.Build(tc.g, d, nil)
-			maxDepth, maxMem := 0, 0
-			cong := map[[2]graph.NodeID]int{}
-			for _, cl := range cov.Clusters {
-				if dep := cl.Tree.Depth(); dep > maxDepth {
-					maxDepth = dep
-				}
-				for _, e := range cl.Tree.Edges() {
-					key := e
-					if key[0] > key[1] {
-						key[0], key[1] = key[1], key[0]
-					}
-					cong[key]++
-				}
+func e10CoverQuality(c *Ctx) {
+	t := c.table("bounds: depth = O(d·log³n), congestion = O(log⁴n), membership = O(log n)")
+	t.head("graph", "d", "clusters", "maxDepth", "depth/d", "maxCongestion", "maxMembership")
+	graphs := []namedGraph{
+		{"grid10x10", func() *graph.Graph { return graph.Grid(10, 10) }},
+		{"er128", func() *graph.Graph { return graph.RandomConnected(128, 400, 21) }},
+	}
+	ds := []int{1, 2, 4, 8}
+	t.emit(c.jobs(len(graphs)*len(ds), func(i int) []row {
+		tc := graphs[i/len(ds)]
+		d := ds[i%len(ds)]
+		g := tc.mk()
+		q := MeasureCoverQuality(g, d)
+		return []row{{
+			cols: []any{tc.name, d, q.Clusters, q.MaxDepth,
+				float64(q.MaxDepth) / float64(d), q.MaxCongestion, q.MaxMembership},
+			rec: Rec{"graph": tc.name, "d": d, "clusters": q.Clusters, "maxDepth": q.MaxDepth,
+				"depthPerD":     float64(q.MaxDepth) / float64(d),
+				"maxCongestion": q.MaxCongestion, "maxMembership": q.MaxMembership},
+		}}
+	}))
+}
+
+// CoverQuality aggregates the E10 empirical metrics of one (graph, d)
+// cover build; tests reuse it to assert the Theorem 4.21 bounds.
+type CoverQuality struct {
+	Clusters      int
+	MaxDepth      int
+	MaxCongestion int
+	MaxMembership int
+}
+
+// MeasureCoverQuality builds the sparse d-cover of g and measures the E10
+// quality metrics.
+func MeasureCoverQuality(g *graph.Graph, d int) CoverQuality {
+	cov := cover.Build(g, d, nil)
+	q := CoverQuality{Clusters: len(cov.Clusters)}
+	cong := map[[2]graph.NodeID]int{}
+	for _, cl := range cov.Clusters {
+		if dep := cl.Tree.Depth(); dep > q.MaxDepth {
+			q.MaxDepth = dep
+		}
+		for _, e := range cl.Tree.Edges() {
+			key := e
+			if key[0] > key[1] {
+				key[0], key[1] = key[1], key[0]
 			}
-			maxCong := 0
-			for _, c := range cong {
-				if c > maxCong {
-					maxCong = c
-				}
-			}
-			for v := 0; v < tc.g.N(); v++ {
-				if len(cov.MemberOf(graph.NodeID(v))) > maxMem {
-					maxMem = len(cov.MemberOf(graph.NodeID(v)))
-				}
-			}
-			t.row(tc.name, d, len(cov.Clusters), maxDepth,
-				float64(maxDepth)/float64(d), maxCong, maxMem)
+			cong[key]++
 		}
 	}
-	t.flush()
+	for _, n := range cong {
+		if n > q.MaxCongestion {
+			q.MaxCongestion = n
+		}
+	}
+	for v := 0; v < g.N(); v++ {
+		if len(cov.MemberOf(graph.NodeID(v))) > q.MaxMembership {
+			q.MaxMembership = len(cov.MemberOf(graph.NodeID(v)))
+		}
+	}
+	return q
 }
 
 // floodK is the E11 workload: node 0 starts k floods (one per proto); every
@@ -229,32 +262,35 @@ func (h *floodK) Recv(n *async.Node, _ graph.NodeID, m async.Msg) {
 
 func (h *floodK) Ack(*async.Node, graph.NodeID, async.Msg) {}
 
-// E11StagePipelining measures the composition machinery of §2.2: k
+// e11StagePipelining measures the composition machinery of §2.2: k
 // simultaneous floods share every link of a path. Round-robin multiplexing
 // (Cor 2.3) pipelines them in ≈ D + k time rather than k·D; stage
 // priorities (Lem 2.5) preserve the same completion bound while strictly
 // ordering the flows.
-func E11StagePipelining(w io.Writer) {
-	t := newTable(w, "E11: link multiplexing & stage priorities (Cor 2.3 / Lem 2.5)",
-		"k floods over one path: pipelined completion ≈ D+k, far below the naive k·D")
-	t.row("k", "D", "scheduling", "time", "time/(D+k)", "k·D")
-	g := graph.Path(64)
-	d := g.Diameter()
-	for _, k := range []int{1, 2, 4, 8} {
-		for _, staged := range []bool{false, true} {
-			name := "round-robin"
-			if staged {
-				name = "staged"
-			}
-			kk := k
-			sim := async.New(g, async.Fixed{D: 1}, func(graph.NodeID) async.Handler {
-				return &floodK{k: kk, staged: staged}
-			})
-			res := sim.Run()
-			t.row(k, d, name, res.Time, res.Time/float64(d+k), k*d)
+func e11StagePipelining(c *Ctx) {
+	t := c.table("k floods over one path: pipelined completion ≈ D+k, far below the naive k·D")
+	t.head("k", "D", "scheduling", "time", "time/(D+k)", "k·D")
+	ks := []int{1, 2, 4, 8}
+	t.emit(c.jobs(len(ks)*2, func(i int) []row {
+		k := ks[i/2]
+		staged := i%2 == 1
+		name := "round-robin"
+		if staged {
+			name = "staged"
 		}
-	}
-	t.flush()
+		g := graph.Path(64)
+		d := g.Diameter()
+		sim := async.New(g, async.Fixed{D: 1}, func(graph.NodeID) async.Handler {
+			return &floodK{k: k, staged: staged}
+		})
+		res := sim.Run()
+		norm := res.Time / float64(d+k)
+		return []row{{
+			cols: []any{k, d, name, res.Time, norm, k * d},
+			rec: Rec{"k": k, "diameter": d, "scheduling": name, "time": res.Time,
+				"timePerDPlusK": norm, "kTimesD": k * d},
+		}}
+	}))
 }
 
 // gatherBench drives one gather session for E12.
@@ -269,38 +305,40 @@ func (c *gatherBench) Ack(*async.Node, graph.NodeID, async.Msg)  {}
 // NeighborhoodDone implements gather.Callbacks.
 func (c *gatherBench) NeighborhoodDone(n *async.Node, _ int) { n.Output(true) }
 
-// E12GatherCost measures Theorem 3.1: completion detection in a sparse
+// e12GatherCost measures Theorem 3.1: completion detection in a sparse
 // d-cover costs O(1) messages per tree edge per cluster and O(d·polylog)
 // time.
-func E12GatherCost(w io.Writer) {
-	t := newTable(w, "E12: gather-in-covers cost (Thm 3.1)",
-		"msgs vs 2·Σ|tree| budget; time grows with d, not n")
-	t.row("graph", "d", "time", "msgs", "budget", "msgs/budget")
-	for _, tc := range []struct {
-		name string
-		g    *graph.Graph
-	}{
-		{"grid8x8", graph.Grid(8, 8)},
-		{"er96", graph.RandomConnected(96, 250, 33)},
-	} {
-		for _, d := range []int{1, 2, 4} {
-			cov := cover.Build(tc.g, d, nil)
-			budget := uint64(0)
-			for _, cl := range cov.Clusters {
-				budget += uint64(2 * len(cl.Tree.DepthOf))
-			}
-			sim := async.New(tc.g, async.SeededRandom{Seed: 3}, func(graph.NodeID) async.Handler {
-				gb := &gatherBench{}
-				gb.mod = gather.New(1, cov, gb, nil)
-				mux := async.NewMux()
-				mux.Register(1, gb.mod)
-				mux.Register(2, gb)
-				return mux
-			})
-			res := sim.Run()
-			t.row(tc.name, d, res.Time, res.Msgs, budget,
-				float64(res.Msgs)/float64(budget))
-		}
+func e12GatherCost(c *Ctx) {
+	t := c.table("msgs vs 2·Σ|tree| budget; time grows with d, not n")
+	t.head("graph", "d", "time", "msgs", "budget", "msgs/budget")
+	graphs := []namedGraph{
+		{"grid8x8", func() *graph.Graph { return graph.Grid(8, 8) }},
+		{"er96", func() *graph.Graph { return graph.RandomConnected(96, 250, 33) }},
 	}
-	t.flush()
+	ds := []int{1, 2, 4}
+	t.emit(c.jobs(len(graphs)*len(ds), func(i int) []row {
+		tc := graphs[i/len(ds)]
+		d := ds[i%len(ds)]
+		g := tc.mk()
+		cov := cover.Build(g, d, nil)
+		budget := uint64(0)
+		for _, cl := range cov.Clusters {
+			budget += uint64(2 * cl.Tree.Size())
+		}
+		sim := async.New(g, async.SeededRandom{Seed: 3}, func(id graph.NodeID) async.Handler {
+			gb := &gatherBench{}
+			gb.mod = gather.New(1, cov, gb, nil)
+			mux := async.NewMux()
+			mux.Register(1, gb.mod)
+			mux.Register(2, gb)
+			return mux
+		})
+		res := sim.Run()
+		perBudget := float64(res.Msgs) / float64(budget)
+		return []row{{
+			cols: []any{tc.name, d, res.Time, res.Msgs, budget, perBudget},
+			rec: Rec{"graph": tc.name, "d": d, "time": res.Time, "msgs": res.Msgs,
+				"budget": budget, "msgsPerBudget": perBudget},
+		}}
+	}))
 }

@@ -1,7 +1,6 @@
 package bench
 
 import (
-	"io"
 	"reflect"
 	"time"
 
@@ -10,40 +9,51 @@ import (
 	"repro/internal/syncrun"
 )
 
-// E13EngineThroughput measures the dense lockstep engine itself: one BFS
+// e13EngineThroughput measures the dense lockstep engine itself: one BFS
 // per row, wall-clock per execution mode, messages per second in Single
 // mode, and a determinism check that Single and Multi agree bit-for-bit on
 // (T, M). It is the experiment-table view of the engine microbenchmarks in
 // internal/async and internal/syncrun.
-func E13EngineThroughput(w io.Writer) {
-	t := newTable(w, "E13: lockstep engine throughput by execution mode",
-		"BFS from node 0; msgs = 2m; modes must agree exactly (det column).")
-	t.row("graph", "n", "m", "rounds", "single(ms)", "multi(ms)", "Kmsg/s", "det")
-	rows := []struct {
-		name string
-		g    *graph.Graph
-	}{
-		{"grid 50x50", graph.Grid(50, 50)},
-		{"er n=10k m=40k", graph.RandomConnected(10_000, 40_000, 11)},
-		{"er n=40k m=160k", graph.RandomConnected(40_000, 160_000, 12)},
+//
+// E13 runs as one serial job: its measurements are wall-clock, so running
+// its rows concurrently (or concurrently with other experiments' jobs)
+// would contend for cores and distort the numbers. The timing columns are
+// inherently non-reproducible across runs; every other experiment's table
+// is byte-identical regardless of Options.Workers.
+func e13EngineThroughput(c *Ctx) {
+	t := c.table("BFS from node 0; msgs = 2m; modes must agree exactly (det column).")
+	t.head("graph", "n", "m", "rounds", "single(ms)", "multi(ms)", "Kmsg/s", "det")
+	cases := []namedGraph{
+		{"grid 50x50", func() *graph.Graph { return graph.Grid(50, 50) }},
+		{"er n=10k m=40k", func() *graph.Graph { return graph.RandomConnected(10_000, 40_000, 11) }},
+		{"er n=40k m=160k", func() *graph.Graph { return graph.RandomConnected(40_000, 160_000, 12) }},
 	}
-	for _, r := range rows {
-		mk := func(graph.NodeID) syncrun.Handler {
-			return &apps.BFS{Sources: []graph.NodeID{0}}
+	t.emit(c.jobs(1, func(int) []row {
+		rows := make([]row, 0, len(cases))
+		for _, r := range cases {
+			g := r.mk()
+			mk := func(graph.NodeID) syncrun.Handler {
+				return &apps.BFS{Sources: []graph.NodeID{0}}
+			}
+			t0 := time.Now()
+			single := syncrun.New(g, mk).WithMode(syncrun.ModeSingle).Run()
+			dSingle := time.Since(t0)
+			t1 := time.Now()
+			multi := syncrun.New(g, mk).WithMode(syncrun.ModeMulti).Run()
+			dMulti := time.Since(t1)
+			det := single.T == multi.T && single.M == multi.M &&
+				single.Rounds == multi.Rounds &&
+				reflect.DeepEqual(single.Outputs, multi.Outputs)
+			singleMs := float64(dSingle.Microseconds()) / 1000
+			multiMs := float64(dMulti.Microseconds()) / 1000
+			kmsgs := float64(single.M) / dSingle.Seconds() / 1000
+			rows = append(rows, row{
+				cols: []any{r.name, g.N(), g.M(), single.Rounds, singleMs, multiMs, kmsgs, det},
+				rec: Rec{"graph": r.name, "n": g.N(), "m": g.M(), "rounds": single.Rounds,
+					"singleMs": singleMs, "multiMs": multiMs, "kMsgPerSec": kmsgs,
+					"deterministic": det},
+			})
 		}
-		t0 := time.Now()
-		single := syncrun.New(r.g, mk).WithMode(syncrun.ModeSingle).Run()
-		dSingle := time.Since(t0)
-		t1 := time.Now()
-		multi := syncrun.New(r.g, mk).WithMode(syncrun.ModeMulti).Run()
-		dMulti := time.Since(t1)
-		det := single.T == multi.T && single.M == multi.M &&
-			single.Rounds == multi.Rounds &&
-			reflect.DeepEqual(single.Outputs, multi.Outputs)
-		t.row(r.name, r.g.N(), r.g.M(), single.Rounds,
-			float64(dSingle.Microseconds())/1000,
-			float64(dMulti.Microseconds())/1000,
-			float64(single.M)/dSingle.Seconds()/1000, det)
-	}
-	t.flush()
+		return rows
+	}))
 }

@@ -1,0 +1,28 @@
+package bench
+
+import (
+	"io"
+	"runtime"
+	"testing"
+)
+
+// Harness wall-time: the same deterministic experiment subset executed
+// serially vs on the job runner's worker pool. The tables are byte-
+// identical either way; only the wall-clock differs.
+
+func BenchmarkHarnessSerial(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if err := Run(io.Discard, deterministicSubset, Options{Workers: 1}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkHarnessParallel(b *testing.B) {
+	workers := runtime.NumCPU()
+	for i := 0; i < b.N; i++ {
+		if err := Run(io.Discard, deterministicSubset, Options{Workers: workers}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -52,44 +52,44 @@ type gammaPhase struct {
 
 // GammaPartition is the γ clustering: a vertex partition into weak-diameter
 // clusters with Steiner trees, plus one designated edge per adjacent
-// cluster pair.
+// cluster pair. All per-node state is dense and node-indexed.
 type GammaPartition struct {
 	clusters []*decomp.Cluster
-	// clusterOf maps members to their cluster index.
-	clusterOf map[graph.NodeID]int
-	// treesOf maps every node to the cluster indices whose Steiner tree it
+	// clusterOf[v] is the cluster index of member v.
+	clusterOf []int32
+	// treesOf[v] lists the cluster indices whose Steiner tree v
 	// participates in.
-	treesOf map[graph.NodeID][]int
+	treesOf [][]int32
 	// designated[v] lists peers v exchanges CLUSTER-SAFE with.
-	designated map[graph.NodeID][]graph.NodeID
+	designated [][]graph.NodeID
 }
 
 // NewGammaPartition builds the clustering (γ's initialization).
 func NewGammaPartition(g *graph.Graph) *GammaPartition {
 	dec := decomp.Build(g, 1, nil)
 	p := &GammaPartition{
-		clusterOf:  make(map[graph.NodeID]int),
-		treesOf:    make(map[graph.NodeID][]int),
-		designated: make(map[graph.NodeID][]graph.NodeID),
+		clusterOf:  make([]int32, g.N()),
+		treesOf:    make([][]int32, g.N()),
+		designated: make([][]graph.NodeID, g.N()),
 	}
 	p.clusters = dec.Clusters()
 	for i, c := range p.clusters {
 		for _, v := range c.Members {
-			p.clusterOf[v] = i
+			p.clusterOf[v] = int32(i)
 		}
-		for tv := range c.Tree.DepthOf {
-			p.treesOf[tv] = append(p.treesOf[tv], i)
+		for _, tv := range c.Tree.Nodes() {
+			p.treesOf[tv] = append(p.treesOf[tv], int32(i))
 		}
 	}
-	seen := make(map[[2]int]bool)
+	seen := make(map[[2]int32]bool)
 	for _, e := range g.Edges {
 		a, b := p.clusterOf[e.U], p.clusterOf[e.V]
 		if a == b {
 			continue
 		}
-		key := [2]int{a, b}
+		key := [2]int32{a, b}
 		if a > b {
-			key = [2]int{b, a}
+			key = [2]int32{b, a}
 		}
 		if seen[key] {
 			continue
@@ -149,7 +149,7 @@ func (gm *gammaNode) phase(c, p int) *gammaPhase {
 func (gm *gammaNode) tree(c int) *decomp.Tree { return gm.part.clusters[c].Tree }
 
 func (gm *gammaNode) isMember(n *async.Node, c int) bool {
-	return gm.part.clusterOf[n.ID()] == c
+	return gm.part.clusterOf[n.ID()] == int32(c)
 }
 
 // Init implements async.Handler.
@@ -177,7 +177,7 @@ func (gm *gammaNode) maybeSelfSafe(n *async.Node, p int) {
 	// on their own safety, pure relays (Steiner nonterminals) just needed
 	// a trigger to report their (empty) subtrees for pulse p.
 	for _, c := range gm.part.treesOf[n.ID()] {
-		gm.maybeP1(n, c, p)
+		gm.maybeP1(n, int(c), p)
 	}
 }
 
@@ -190,11 +190,11 @@ func (gm *gammaNode) maybeP1(n *async.Node, c, p int) {
 	if gm.isMember(n, c) && !gm.safe[p] {
 		return
 	}
-	if st.p1Count < len(gm.tree(c).Children[n.ID()]) {
+	if st.p1Count < len(gm.tree(c).ChildrenOf(n.ID())) {
 		return
 	}
 	st.p1Sent = true
-	if par, ok := gm.tree(c).Parent[n.ID()]; ok {
+	if par, ok := gm.tree(c).ParentOf(n.ID()); ok {
 		n.Send(par, async.Msg{Proto: protoGammaTree, Stage: p, Body: gammaP1Up{Cluster: c, Pulse: p}})
 		return
 	}
@@ -205,7 +205,7 @@ func (gm *gammaNode) maybeP1(n *async.Node, c, p int) {
 func (gm *gammaNode) onClusterSafe(n *async.Node, c, p int) {
 	st := gm.phase(c, p)
 	st.cSafe = true
-	for _, ch := range gm.tree(c).Children[n.ID()] {
+	for _, ch := range gm.tree(c).ChildrenOf(n.ID()) {
 		n.Send(ch, async.Msg{Proto: protoGammaTree, Stage: p, Body: gammaClusterSafe{Cluster: c, Pulse: p}})
 	}
 	if gm.isMember(n, c) {
@@ -225,11 +225,11 @@ func (gm *gammaNode) maybeP2(n *async.Node, c, p int) {
 	if gm.isMember(n, c) && st.extSafe < len(gm.part.designated[n.ID()]) {
 		return
 	}
-	if st.p2Count < len(gm.tree(c).Children[n.ID()]) {
+	if st.p2Count < len(gm.tree(c).ChildrenOf(n.ID())) {
 		return
 	}
 	st.p2Sent = true
-	if par, ok := gm.tree(c).Parent[n.ID()]; ok {
+	if par, ok := gm.tree(c).ParentOf(n.ID()); ok {
 		n.Send(par, async.Msg{Proto: protoGammaTree, Stage: p, Body: gammaP2Up{Cluster: c, Pulse: p}})
 		return
 	}
@@ -240,7 +240,7 @@ func (gm *gammaNode) broadcastAdvance(n *async.Node, c, next int) {
 	if next > gm.bound {
 		return
 	}
-	for _, ch := range gm.tree(c).Children[n.ID()] {
+	for _, ch := range gm.tree(c).ChildrenOf(n.ID()) {
 		n.Send(ch, async.Msg{Proto: protoGammaTree, Stage: next, Body: gammaAdvance{Cluster: c, Pulse: next}})
 	}
 	if gm.isMember(n, c) {
@@ -259,7 +259,7 @@ func (gm *gammaNode) Recv(n *async.Node, from graph.NodeID, m async.Msg) {
 	case gammaClusterSafe:
 		gm.onClusterSafe(n, body.Cluster, body.Pulse)
 	case gammaCSafe:
-		c := gm.part.clusterOf[n.ID()]
+		c := int(gm.part.clusterOf[n.ID()])
 		gm.phase(c, body.Pulse).extSafe++
 		gm.maybeP2(n, c, body.Pulse)
 	case gammaP2Up:

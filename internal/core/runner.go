@@ -2,6 +2,7 @@ package core
 
 import (
 	"fmt"
+	"sync"
 
 	"repro/internal/async"
 	"repro/internal/cover"
@@ -26,13 +27,74 @@ type Config struct {
 	Layered *cover.Layered
 }
 
+// coverCache memoizes BuildLayeredFor results. Covers are deterministic in
+// (graph, radius) and immutable once built, so repeated trials on the same
+// graph — the common shape of every experiment sweep — reuse one build.
+// Entries key on the graph pointer plus the cover radius; a small FIFO
+// bound keeps long-running sweeps over many graphs from pinning them all.
+type coverCacheKey struct {
+	g      *graph.Graph
+	radius int
+}
+
+var coverCache = struct {
+	sync.Mutex
+	entries map[coverCacheKey]*cover.Layered
+	order   []coverCacheKey
+}{entries: make(map[coverCacheKey]*cover.Layered)}
+
+const coverCacheCap = 64
+
+// ResetCoverCache drops every memoized layered cover, releasing the graphs
+// and covers it pins. Long-lived processes sweeping many graphs can call
+// it between sweeps.
+func ResetCoverCache() {
+	coverCache.Lock()
+	coverCache.entries = make(map[coverCacheKey]*cover.Layered)
+	coverCache.order = nil
+	coverCache.Unlock()
+}
+
 // BuildLayeredFor constructs the layered covers the synchronizer needs for
 // pulse bound b on g. Building them is the synchronizer's initialization
 // (§4.6 / Theorem 4.22 do it asynchronously; this implementation builds
 // them centrally and reports their cost separately — see DESIGN.md).
+// Results are memoized per (graph, radius) for finalized graphs — their
+// topology can no longer change (AddEdge panics) and covers are immutable
+// after construction, so the cached value is safe to share across
+// concurrent runs (the parallel experiment harness relies on this).
+// Unfinalized graphs bypass the cache.
 func BuildLayeredFor(g *graph.Graph, b int) *cover.Layered {
 	sched := NewSchedule(b)
-	return cover.BuildLayered(g, 1<<uint(sched.MaxCoverLevel), nil)
+	radius := 1 << uint(sched.MaxCoverLevel)
+	if !g.Final() {
+		return cover.BuildLayered(g, radius, nil)
+	}
+	key := coverCacheKey{g: g, radius: radius}
+	coverCache.Lock()
+	if l, ok := coverCache.entries[key]; ok {
+		coverCache.Unlock()
+		return l
+	}
+	coverCache.Unlock()
+	// Build outside the lock: cover construction dominates and must not
+	// serialize independent graphs. A concurrent duplicate build of the
+	// same key is deterministic, so last-write-wins is harmless.
+	l := cover.BuildLayered(g, radius, nil)
+	coverCache.Lock()
+	if cached, ok := coverCache.entries[key]; ok {
+		l = cached
+	} else {
+		if len(coverCache.order) >= coverCacheCap {
+			oldest := coverCache.order[0]
+			coverCache.order = coverCache.order[1:]
+			delete(coverCache.entries, oldest)
+		}
+		coverCache.entries[key] = l
+		coverCache.order = append(coverCache.order, key)
+	}
+	coverCache.Unlock()
+	return l
 }
 
 // Synchronize runs the synchronous algorithm produced by mk under the

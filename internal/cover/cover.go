@@ -35,14 +35,13 @@ func (c *Cluster) Has(v graph.NodeID) bool {
 
 // ParentOf returns v's parent in the cluster tree; ok=false at the root.
 func (c *Cluster) ParentOf(v graph.NodeID) (graph.NodeID, bool) {
-	p, ok := c.Tree.Parent[v]
-	return p, ok
+	return c.Tree.ParentOf(v)
 }
 
 // ChildrenOf returns v's children in the cluster tree (ascending); the
 // returned slice must not be mutated.
 func (c *Cluster) ChildrenOf(v graph.NodeID) []graph.NodeID {
-	return c.Tree.Children[v]
+	return c.Tree.ChildrenOf(v)
 }
 
 // Cover is a sparse d-cover: a set of clusters such that every node is in
@@ -114,122 +113,109 @@ func Build(g *graph.Graph, d int, s []graph.NodeID) *Cover {
 			inS[v] = true
 		}
 	}
-	// decClusterIdx maps a decomposition cluster to its expanded cover
-	// cluster id, to fill home[].
-	type expanded struct {
-		cl  *Cluster
-		dec *decomp.Cluster
-	}
-	var all []expanded
+	// One epoch-stamped BFS scratch serves every cluster expansion.
+	ex := newExpander(g, d)
+	id := ClusterID(0)
 	for _, colorClusters := range dec.Colors {
 		for _, dc := range colorClusters {
-			all = append(all, expanded{cl: expandCluster(g, d, dc, inS), dec: dc})
-		}
-	}
-	for i, ex := range all {
-		ex.cl.ID = ClusterID(i)
-		cov.Clusters = append(cov.Clusters, ex.cl)
-		for _, v := range ex.cl.Members {
-			cov.memberOf[v] = append(cov.memberOf[v], ex.cl.ID)
-		}
-		for tv := range ex.cl.Tree.DepthOf {
-			cov.treeOf[tv] = append(cov.treeOf[tv], ex.cl.ID)
-		}
-		for _, v := range ex.dec.Members {
-			cov.home[v] = ex.cl.ID
+			cl := ex.expand(dc, inS)
+			cl.ID = id
+			cov.Clusters = append(cov.Clusters, cl)
+			for _, v := range cl.Members {
+				cov.memberOf[v] = append(cov.memberOf[v], cl.ID)
+			}
+			for _, tv := range cl.Tree.Nodes() {
+				cov.treeOf[tv] = append(cov.treeOf[tv], cl.ID)
+			}
+			for _, v := range dc.Members {
+				cov.home[v] = cl.ID
+			}
+			id++
 		}
 	}
 	return cov
 }
 
-// expandCluster grows dc to its d-neighborhood among nodes of s, extending
-// the Steiner tree along BFS paths (through any relay nodes in G).
-func expandCluster(g *graph.Graph, d int, dc *decomp.Cluster, inS []bool) *Cluster {
-	tree := cloneTree(dc.Tree)
+// expander holds the multi-source BFS scratch shared across all cluster
+// expansions of one Build: entries are valid iff stamp[v] == epoch, so no
+// per-cluster clearing or allocation happens.
+type expander struct {
+	g     *graph.Graph
+	d     int
+	epoch int32
+	stamp []int32
+	dist  []int32
+	par   []int32
+	queue []graph.NodeID
+	chain []graph.NodeID
+}
+
+func newExpander(g *graph.Graph, d int) *expander {
+	n := g.N()
+	return &expander{
+		g: g, d: d,
+		stamp: make([]int32, n),
+		dist:  make([]int32, n),
+		par:   make([]int32, n),
+	}
+}
+
+// expand grows dc to its d-neighborhood among nodes of s, extending the
+// Steiner tree along BFS paths (through any relay nodes in G).
+func (ex *expander) expand(dc *decomp.Cluster, inS []bool) *Cluster {
+	tree := dc.Tree.Clone()
 	// Multi-source BFS from the cluster members through all of G.
-	dist := make([]int, g.N())
-	par := make([]graph.NodeID, g.N())
-	for i := range dist {
-		dist[i] = -1
-		par[i] = -1
-	}
-	var queue, order []graph.NodeID
+	ex.epoch++
+	ex.queue = ex.queue[:0]
 	for _, v := range dc.Members {
-		dist[v] = 0
-		queue = append(queue, v)
+		ex.stamp[v] = ex.epoch
+		ex.dist[v] = 0
+		ex.par[v] = -1
+		ex.queue = append(ex.queue, v)
 	}
-	for len(queue) > 0 {
-		v := queue[0]
-		queue = queue[1:]
-		if dist[v] == d {
+	seeds := len(ex.queue)
+	for head := 0; head < len(ex.queue); head++ {
+		v := ex.queue[head]
+		if ex.dist[v] == int32(ex.d) {
 			continue
 		}
-		for _, nb := range g.Neighbors(v) {
-			if dist[nb.Node] < 0 {
-				dist[nb.Node] = dist[v] + 1
-				par[nb.Node] = v
-				queue = append(queue, nb.Node)
-				order = append(order, nb.Node)
+		for _, nb := range ex.g.Neighbors(v) {
+			if ex.stamp[nb.Node] != ex.epoch {
+				ex.stamp[nb.Node] = ex.epoch
+				ex.dist[nb.Node] = ex.dist[v] + 1
+				ex.par[nb.Node] = int32(v)
+				ex.queue = append(ex.queue, nb.Node)
 			}
 		}
 	}
 	members := append([]graph.NodeID(nil), dc.Members...)
-	for _, v := range order {
+	for _, v := range ex.queue[seeds:] {
 		if !inS[v] {
 			continue // only cover nodes of the target set
 		}
 		members = append(members, v)
-		attachPath(tree, v, par)
+		ex.attachPath(tree, v)
 	}
 	sort.Slice(members, func(i, j int) bool { return members[i] < members[j] })
-	return &Cluster{Root: tree.Root, Members: members, Tree: tree}
+	return &Cluster{Root: tree.Root, Members: members, Tree: tree.Finalize()}
 }
 
 // attachPath splices the BFS path from v back to the tree into the tree.
-func attachPath(tree *decomp.Tree, v graph.NodeID, par []graph.NodeID) {
-	var chain []graph.NodeID
+func (ex *expander) attachPath(tree *decomp.Tree, v graph.NodeID) {
+	ex.chain = ex.chain[:0]
 	w := v
 	for !tree.Has(w) {
-		chain = append(chain, w)
-		w = par[w]
-		if w < 0 {
+		ex.chain = append(ex.chain, w)
+		if ex.par[w] < 0 {
 			panic("cover: BFS path did not reach the cluster tree")
 		}
+		w = graph.NodeID(ex.par[w])
 	}
-	for i := len(chain) - 1; i >= 0; i-- {
-		c := chain[i]
-		tree.Parent[c] = w
-		tree.Children[w] = insertSorted(tree.Children[w], c)
-		tree.DepthOf[c] = tree.DepthOf[w] + 1
+	for i := len(ex.chain) - 1; i >= 0; i-- {
+		c := ex.chain[i]
+		tree.Attach(c, w)
 		w = c
 	}
-}
-
-func cloneTree(t *decomp.Tree) *decomp.Tree {
-	out := &decomp.Tree{
-		Root:     t.Root,
-		Parent:   make(map[graph.NodeID]graph.NodeID, len(t.Parent)),
-		Children: make(map[graph.NodeID][]graph.NodeID, len(t.Children)),
-		DepthOf:  make(map[graph.NodeID]int, len(t.DepthOf)),
-	}
-	for k, v := range t.Parent {
-		out.Parent[k] = v
-	}
-	for k, v := range t.Children {
-		out.Children[k] = append([]graph.NodeID(nil), v...)
-	}
-	for k, v := range t.DepthOf {
-		out.DepthOf[k] = v
-	}
-	return out
-}
-
-func insertSorted(s []graph.NodeID, v graph.NodeID) []graph.NodeID {
-	i := sort.Search(len(s), func(i int) bool { return s[i] >= v })
-	s = append(s, 0)
-	copy(s[i+1:], s[i:])
-	s[i] = v
-	return s
 }
 
 // Layered is a layered sparse d-cover: sparse 2^j-covers for all

@@ -46,7 +46,11 @@ func checkCover(t *testing.T, g *graph.Graph, c *Cover) {
 				t.Fatalf("cluster %d member %d missing from tree", cl.ID, v)
 			}
 		}
-		for child, par := range cl.Tree.Parent {
+		for _, child := range cl.Tree.Nodes() {
+			par, ok := cl.Tree.ParentOf(child)
+			if !ok {
+				continue
+			}
 			if g.EdgeBetween(child, par) < 0 {
 				t.Fatalf("tree edge {%d,%d} not in graph", child, par)
 			}

@@ -34,7 +34,7 @@ func NewExplicit(n, d int, clusters []*Cluster) *Cover {
 				cov.home[v] = cl.ID
 			}
 		}
-		for tv := range cl.Tree.DepthOf {
+		for _, tv := range cl.Tree.Nodes() {
 			cov.treeOf[tv] = append(cov.treeOf[tv], cl.ID)
 		}
 	}
@@ -44,12 +44,7 @@ func NewExplicit(n, d int, clusters []*Cluster) *Cover {
 // BFSTreeCluster builds a single cluster spanning all of g: the BFS tree
 // rooted at root. Every node is a member.
 func BFSTreeCluster(g *graph.Graph, root graph.NodeID) *Cluster {
-	tree := &decomp.Tree{
-		Root:     root,
-		Parent:   make(map[graph.NodeID]graph.NodeID),
-		Children: make(map[graph.NodeID][]graph.NodeID),
-		DepthOf:  map[graph.NodeID]int{root: 0},
-	}
+	tree := decomp.NewTree(g.N(), root)
 	dist := g.BFS(root)
 	// Parent = smallest-ID neighbor one level closer.
 	order := make([]graph.NodeID, 0, g.N())
@@ -73,15 +68,13 @@ func BFSTreeCluster(g *graph.Graph, root graph.NodeID) *Cluster {
 		}
 		for _, nb := range g.Neighbors(v) {
 			if dist[nb.Node] == dist[v]-1 {
-				tree.Parent[v] = nb.Node
-				tree.Children[nb.Node] = insertSorted(tree.Children[nb.Node], v)
-				tree.DepthOf[v] = dist[v]
+				tree.Attach(v, nb.Node)
 				break
 			}
 		}
 	}
 	sort.Slice(members, func(i, j int) bool { return members[i] < members[j] })
-	return &Cluster{ID: 0, Root: root, Members: members, Tree: tree}
+	return &Cluster{ID: 0, Root: root, Members: members, Tree: tree.Finalize()}
 }
 
 // PathCluster builds one cluster whose tree is the path v0-v1-…-vk rooted
@@ -91,18 +84,17 @@ func PathCluster(id ClusterID, nodes []graph.NodeID) *Cluster {
 	if len(nodes) == 0 {
 		panic("cover: empty PathCluster")
 	}
-	tree := &decomp.Tree{
-		Root:     nodes[0],
-		Parent:   make(map[graph.NodeID]graph.NodeID),
-		Children: make(map[graph.NodeID][]graph.NodeID),
-		DepthOf:  map[graph.NodeID]int{nodes[0]: 0},
+	max := nodes[0]
+	for _, v := range nodes {
+		if v > max {
+			max = v
+		}
 	}
+	tree := decomp.NewTree(int(max)+1, nodes[0])
 	for i := 1; i < len(nodes); i++ {
-		tree.Parent[nodes[i]] = nodes[i-1]
-		tree.Children[nodes[i-1]] = append(tree.Children[nodes[i-1]], nodes[i])
-		tree.DepthOf[nodes[i]] = i
+		tree.Attach(nodes[i], nodes[i-1])
 	}
 	members := append([]graph.NodeID(nil), nodes...)
 	sort.Slice(members, func(i, j int) bool { return members[i] < members[j] })
-	return &Cluster{ID: id, Root: nodes[0], Members: members, Tree: tree}
+	return &Cluster{ID: id, Root: nodes[0], Members: members, Tree: tree.Finalize()}
 }

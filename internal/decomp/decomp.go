@@ -11,6 +11,12 @@
 // (the asynchronous distributed construction of §4.5 lives in
 // internal/abfs and reuses this package's step structure); DESIGN.md
 // records this substitution.
+//
+// All state is dense and node-indexed: Tree stores parent/depth as flat
+// slices over the finalized graph with CSR-packed child lists, labels live
+// in [0, n) so per-label state is slice-indexed, and the per-grow-step BFS
+// uses epoch-stamped scratch buffers owned by the builder — no maps are
+// allocated anywhere on the build path.
 package decomp
 
 import (
@@ -23,59 +29,296 @@ import (
 
 // Tree is a rooted Steiner tree in G. Terminals are the cluster's member
 // nodes; the tree may route through non-member (nonterminal) nodes.
+//
+// The representation has two phases. While building, parent and depth are
+// flat node-indexed slices over all of G's nodes (allocated lazily on the
+// first Attach, so singleton trees cost one struct) giving O(1) Has and
+// Attach. Finalize compacts everything to O(tree size): the sorted node
+// list plus parallel depth/parent arrays and CSR-packed child lists
+// indexed by position, with the O(n) build scratch released — so a
+// decomposition with many clusters retains memory proportional to the sum
+// of tree sizes, not clusters × n. Post-finalize accessors resolve a node
+// to its position by binary search (O(log size)). Mutation (Attach) is
+// only legal before Finalize; ChildrenOf, Nodes, and Edges only after.
 type Tree struct {
 	Root graph.NodeID
-	// Parent maps every tree node except the root to its parent.
-	Parent map[graph.NodeID]graph.NodeID
-	// Children is the reverse of Parent, each list in ascending order.
-	Children map[graph.NodeID][]graph.NodeID
-	// DepthOf maps every tree node to its hop distance from the root.
-	DepthOf map[graph.NodeID]int
+
+	n      int
+	size   int
+	height int32
+	final  bool
+
+	// Build phase: depth[v] is v's hop distance from the root, -1 when v
+	// is not in the tree; parent[v] is v's parent, -1 at the root and
+	// outside the tree. Both are nil while the tree is the root singleton,
+	// and released by Finalize.
+	depth  []int32
+	parent []int32
+
+	// nodes lists the tree's nodes: insertion order until Finalize sorts
+	// it ascending. nil while the tree is the root singleton.
+	nodes []graph.NodeID
+
+	// Finalized compact state, parallel to nodes (positions 0..size-1).
+	// The children of the node at position i are
+	// childList[childOff[i]:childOff[i+1]], ascending.
+	cdepth    []int32
+	cparent   []graph.NodeID // -1 at the root
+	childOff  []int32
+	childList []graph.NodeID
+}
+
+// NewTree returns the singleton tree {root} over a graph of n nodes.
+func NewTree(n int, root graph.NodeID) *Tree {
+	if root < 0 || int(root) >= n {
+		panic(fmt.Sprintf("decomp: tree root %d out of range [0,%d)", root, n))
+	}
+	return &Tree{Root: root, n: n, size: 1}
+}
+
+// grow allocates the dense per-node arrays on the first Attach.
+func (t *Tree) grow() {
+	t.depth = make([]int32, t.n)
+	t.parent = make([]int32, t.n)
+	for i := range t.depth {
+		t.depth[i] = -1
+		t.parent[i] = -1
+	}
+	t.depth[t.Root] = 0
+	t.nodes = append(make([]graph.NodeID, 0, 8), t.Root)
+}
+
+// Attach adds child to the tree under parent. The parent must already be a
+// tree node and the child must not be; calling Attach after Finalize
+// panics (Clone an unfinalized copy to mutate further).
+func (t *Tree) Attach(child, parent graph.NodeID) {
+	if t.final {
+		panic("decomp: Attach after Finalize")
+	}
+	if t.depth == nil {
+		t.grow()
+	}
+	if t.depth[parent] < 0 {
+		panic(fmt.Sprintf("decomp: Attach parent %d not in tree", parent))
+	}
+	if t.depth[child] >= 0 {
+		panic(fmt.Sprintf("decomp: Attach child %d already in tree", child))
+	}
+	d := t.depth[parent] + 1
+	t.depth[child] = d
+	t.parent[child] = int32(parent)
+	t.nodes = append(t.nodes, child)
+	t.size++
+	if d > t.height {
+		t.height = d
+	}
+}
+
+// Finalize sorts the node list, packs the compact position-indexed
+// depth/parent/child arrays, and releases the O(n) build scratch. It is
+// idempotent and returns the tree for chaining. Builders call it once
+// construction is done; afterwards the tree is immutable and safe for
+// concurrent readers.
+func (t *Tree) Finalize() *Tree {
+	if t.final {
+		return t
+	}
+	t.final = true
+	if t.size == 1 {
+		t.depth, t.parent = nil, nil
+		return t
+	}
+	sort.Slice(t.nodes, func(i, j int) bool { return t.nodes[i] < t.nodes[j] })
+	t.cdepth = make([]int32, t.size)
+	t.cparent = make([]graph.NodeID, t.size)
+	t.childOff = make([]int32, t.size+1)
+	// ppos[i] is the position of node i's parent; counting children per
+	// parent position, then prefix sums, then a fill in ascending node
+	// order so every child list comes out ascending.
+	ppos := make([]int32, t.size)
+	for i, v := range t.nodes {
+		t.cdepth[i] = t.depth[v]
+		p := t.parent[v]
+		if p < 0 {
+			t.cparent[i] = -1
+			ppos[i] = -1
+			continue
+		}
+		t.cparent[i] = graph.NodeID(p)
+		pp := int32(t.pos(graph.NodeID(p)))
+		ppos[i] = pp
+		t.childOff[pp+1]++
+	}
+	for i := 0; i < t.size; i++ {
+		t.childOff[i+1] += t.childOff[i]
+	}
+	t.childList = make([]graph.NodeID, t.size-1)
+	next := make([]int32, t.size)
+	copy(next, t.childOff[:t.size])
+	for i, v := range t.nodes {
+		if pp := ppos[i]; pp >= 0 {
+			t.childList[next[pp]] = v
+			next[pp]++
+		}
+	}
+	t.depth, t.parent = nil, nil
+	return t
+}
+
+// pos returns v's position in the sorted node list, or -1 when v is not in
+// the tree. Valid once nodes is sorted (Finalize).
+func (t *Tree) pos(v graph.NodeID) int {
+	lo, hi := 0, len(t.nodes)
+	for lo < hi {
+		mid := int(uint(lo+hi) >> 1)
+		if t.nodes[mid] < v {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	if lo < len(t.nodes) && t.nodes[lo] == v {
+		return lo
+	}
+	return -1
+}
+
+// Clone returns an unfinalized deep copy, ready for further Attach calls
+// (cover expansion grows decomposition trees this way). Cloning a
+// finalized tree re-expands the compact arrays into build form.
+func (t *Tree) Clone() *Tree {
+	out := &Tree{Root: t.Root, n: t.n, size: t.size, height: t.height}
+	if t.size == 1 {
+		return out
+	}
+	out.nodes = append([]graph.NodeID(nil), t.nodes...)
+	out.depth = make([]int32, t.n)
+	out.parent = make([]int32, t.n)
+	for i := range out.depth {
+		out.depth[i] = -1
+		out.parent[i] = -1
+	}
+	if t.final {
+		for i, v := range t.nodes {
+			out.depth[v] = t.cdepth[i]
+			out.parent[v] = int32(t.cparent[i])
+		}
+	} else {
+		copy(out.depth, t.depth)
+		copy(out.parent, t.parent)
+	}
+	return out
 }
 
 // Has reports whether v participates in the tree (as terminal or Steiner
 // node).
 func (t *Tree) Has(v graph.NodeID) bool {
-	if v == t.Root {
-		return true
-	}
-	_, ok := t.Parent[v]
-	return ok
-}
-
-// Depth returns the height of the tree (max depth over nodes).
-func (t *Tree) Depth() int {
-	max := 0
-	for _, d := range t.DepthOf {
-		if d > max {
-			max = d
+	if t.final {
+		if t.size == 1 {
+			return v == t.Root
 		}
+		return t.pos(v) >= 0
 	}
-	return max
+	if t.depth == nil {
+		return v == t.Root
+	}
+	return v >= 0 && int(v) < t.n && t.depth[v] >= 0
 }
 
-// Nodes returns all tree nodes in ascending order.
+// Size returns the number of tree nodes.
+func (t *Tree) Size() int { return t.size }
+
+// Depth returns the height of the tree (max depth over nodes), cached at
+// construction.
+func (t *Tree) Depth() int { return int(t.height) }
+
+// DepthAt returns v's hop distance from the root, or -1 when v is not in
+// the tree.
+func (t *Tree) DepthAt(v graph.NodeID) int {
+	if t.final {
+		if t.size == 1 {
+			if v == t.Root {
+				return 0
+			}
+			return -1
+		}
+		i := t.pos(v)
+		if i < 0 {
+			return -1
+		}
+		return int(t.cdepth[i])
+	}
+	if t.depth == nil {
+		if v == t.Root {
+			return 0
+		}
+		return -1
+	}
+	if v < 0 || int(v) >= t.n {
+		return -1
+	}
+	return int(t.depth[v])
+}
+
+// ParentOf returns v's parent in the tree; ok=false at the root and for
+// nodes outside the tree.
+func (t *Tree) ParentOf(v graph.NodeID) (graph.NodeID, bool) {
+	if t.final {
+		if t.size == 1 {
+			return -1, false
+		}
+		i := t.pos(v)
+		if i < 0 || t.cparent[i] < 0 {
+			return -1, false
+		}
+		return t.cparent[i], true
+	}
+	if t.parent == nil || v < 0 || int(v) >= t.n || t.parent[v] < 0 {
+		return -1, false
+	}
+	return graph.NodeID(t.parent[v]), true
+}
+
+// ChildrenOf returns v's children in ascending order. Requires Finalize;
+// the returned slice must not be mutated.
+func (t *Tree) ChildrenOf(v graph.NodeID) []graph.NodeID {
+	if !t.final {
+		panic("decomp: ChildrenOf before Finalize")
+	}
+	if t.childOff == nil {
+		return nil
+	}
+	i := t.pos(v)
+	if i < 0 {
+		return nil
+	}
+	return t.childList[t.childOff[i]:t.childOff[i+1]]
+}
+
+// Nodes returns all tree nodes in ascending order. Requires Finalize; the
+// returned slice must not be mutated.
 func (t *Tree) Nodes() []graph.NodeID {
-	out := make([]graph.NodeID, 0, len(t.DepthOf))
-	for v := range t.DepthOf {
-		out = append(out, v)
+	if !t.final {
+		panic("decomp: Nodes before Finalize")
 	}
-	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
-	return out
+	if t.nodes == nil {
+		return []graph.NodeID{t.Root}
+	}
+	return t.nodes
 }
 
-// Edges returns the (parent, child) tree edges.
+// Edges returns the (parent, child) tree edges, sorted by parent then
+// child. Requires Finalize.
 func (t *Tree) Edges() [][2]graph.NodeID {
-	out := make([][2]graph.NodeID, 0, len(t.Parent))
-	for c, p := range t.Parent {
-		out = append(out, [2]graph.NodeID{p, c})
+	if !t.final {
+		panic("decomp: Edges before Finalize")
 	}
-	sort.Slice(out, func(i, j int) bool {
-		if out[i][0] != out[j][0] {
-			return out[i][0] < out[j][0]
+	out := make([][2]graph.NodeID, 0, t.size-1)
+	for i := range t.nodes {
+		for _, c := range t.childList[t.childOff[i]:t.childOff[i+1]] {
+			out = append(out, [2]graph.NodeID{t.nodes[i], c})
 		}
-		return out[i][1] < out[j][1]
-	})
+	}
 	return out
 }
 
@@ -97,11 +340,18 @@ type Decomposition struct {
 	K int
 	// Colors[c] lists the clusters of color c.
 	Colors [][]*Cluster
-	// ColorOf maps each clustered node to its color.
-	ColorOf map[graph.NodeID]int
-	// ClusterOf maps each clustered node to its cluster.
-	ClusterOf map[graph.NodeID]*Cluster
+
+	colorOf   []int32 // -1 for nodes outside the clustered set
+	clusterOf []*Cluster
 }
+
+// ColorOf returns the color of a clustered node, or -1 for nodes outside
+// the clustered set.
+func (d *Decomposition) ColorOf(v graph.NodeID) int { return int(d.colorOf[v]) }
+
+// ClusterOf returns the cluster of a clustered node, or nil for nodes
+// outside the clustered set.
+func (d *Decomposition) ClusterOf(v graph.NodeID) *Cluster { return d.clusterOf[v] }
 
 // Clusters returns all clusters across colors.
 func (d *Decomposition) Clusters() []*Cluster {
@@ -135,23 +385,27 @@ func Build(g *graph.Graph, k int, s []graph.NodeID) *Decomposition {
 	}
 	d := &Decomposition{
 		K:         k,
-		ColorOf:   make(map[graph.NodeID]int),
-		ClusterOf: make(map[graph.NodeID]*Cluster),
+		colorOf:   make([]int32, g.N()),
+		clusterOf: make([]*Cluster, g.N()),
 	}
+	for i := range d.colorOf {
+		d.colorOf[i] = -1
+	}
+	st := newPhaseState(g, k)
 	maxColors := 4*bits.Len(uint(g.N())) + 4
 	for color := 0; remaining > 0; color++ {
 		if color >= maxColors {
 			panic("decomp: color count exceeded 4·log n — clustering is not halving")
 		}
-		clusters := onePartition(g, k, living)
+		clusters := st.onePartition(living)
 		cleared := 0
 		for _, c := range clusters {
 			c.Color = color
 			for _, v := range c.Members {
 				living[v] = false
 				cleared++
-				d.ColorOf[v] = color
-				d.ClusterOf[v] = c
+				d.colorOf[v] = int32(color)
+				d.clusterOf[v] = c
 			}
 		}
 		if cleared == 0 {
@@ -163,69 +417,121 @@ func Build(g *graph.Graph, k int, s []graph.NodeID) *Decomposition {
 	return d
 }
 
-// phaseState carries the mutable per-run state of onePartition.
+// proposal is one (cluster label, proposing red node) pair of a grow-step;
+// the same shape doubles as the (label, member) pairs of the final cluster
+// assembly.
+type proposal struct {
+	label uint32
+	node  graph.NodeID
+}
+
+// phaseState carries the builder's mutable state. One instance serves every
+// partition run of a Build: all scratch is dense, node- or label-indexed
+// (labels are node ids, so both spaces are [0, n)), and the per-grow-step
+// BFS buffers are epoch-stamped instead of being reallocated per step.
 type phaseState struct {
-	g      *graph.Graph
-	k      int
-	b      int
-	alive  []bool   // alive within this partition run
-	label  []uint64 // current label of alive nodes
-	trees  map[uint64]*Tree
-	member map[uint64]map[graph.NodeID]bool
+	g *graph.Graph
+	k int
+	b int
+	n int
+
+	alive       []bool
+	label       []uint32
+	memberCount []int32
+	trees       []*Tree
+
+	// stoppedStamp[lab] == phaseStamp marks a cluster done for the current
+	// phase; propStamp[lab] == epoch marks a proposal seen this grow-step.
+	stoppedStamp []int32
+	propStamp    []int32
+
+	// Grow-step BFS scratch: entries are valid iff stamp[v] == epoch.
+	epoch int32
+	stamp []int32
+	dist  []int32
+	claim []uint32
+	par   []int32
+	queue []graph.NodeID
+
+	props []proposal
+	chain []graph.NodeID
+}
+
+func newPhaseState(g *graph.Graph, k int) *phaseState {
+	n := g.N()
+	return &phaseState{
+		g: g, k: k, n: n,
+		b:            bits.Len(uint(n)),
+		alive:        make([]bool, n),
+		label:        make([]uint32, n),
+		memberCount:  make([]int32, n),
+		trees:        make([]*Tree, n),
+		stoppedStamp: make([]int32, n),
+		propStamp:    make([]int32, n),
+		stamp:        make([]int32, n),
+		dist:         make([]int32, n),
+		claim:        make([]uint32, n),
+		par:          make([]int32, n),
+	}
 }
 
 // onePartition runs Lemma C.1: clusters at least half of the living nodes
 // into >k-separated clusters and returns them. Nodes it kills stay for the
 // next color.
-func onePartition(g *graph.Graph, k int, living []bool) []*Cluster {
-	st := &phaseState{
-		g:      g,
-		k:      k,
-		alive:  make([]bool, g.N()),
-		label:  make([]uint64, g.N()),
-		trees:  make(map[uint64]*Tree),
-		member: make(map[uint64]map[graph.NodeID]bool),
-	}
+func (st *phaseState) onePartition(living []bool) []*Cluster {
 	nLiving := 0
-	for v := 0; v < g.N(); v++ {
+	for v := 0; v < st.n; v++ {
+		st.alive[v] = living[v]
 		if living[v] {
-			st.alive[v] = true
 			nLiving++
-			lab := uint64(v)
-			st.label[v] = lab
-			st.trees[lab] = &Tree{
-				Root:     graph.NodeID(v),
-				Parent:   make(map[graph.NodeID]graph.NodeID),
-				Children: make(map[graph.NodeID][]graph.NodeID),
-				DepthOf:  map[graph.NodeID]int{graph.NodeID(v): 0},
-			}
-			st.member[lab] = map[graph.NodeID]bool{graph.NodeID(v): true}
+			st.label[v] = uint32(v)
+			st.memberCount[v] = 1
+			st.trees[v] = NewTree(st.n, graph.NodeID(v))
+		} else {
+			st.memberCount[v] = 0
+			st.trees[v] = nil
 		}
+		st.stoppedStamp[v] = 0
+		st.propStamp[v] = 0
 	}
 	if nLiving == 0 {
 		return nil
 	}
-	st.b = bits.Len(uint(g.N()))
 	for phase := 0; phase < st.b; phase++ {
 		st.runPhase(phase)
 	}
-	// Survivors with the same label form the clusters.
-	var labels []uint64
-	for lab, mem := range st.member {
-		if len(mem) > 0 {
-			labels = append(labels, lab)
+	// Survivors with the same label form the clusters: collect (label,
+	// member) pairs in one pass and group runs after sorting.
+	pairs := st.props[:0]
+	for v := 0; v < st.n; v++ {
+		if st.alive[v] {
+			pairs = append(pairs, proposal{label: st.label[v], node: graph.NodeID(v)})
 		}
 	}
-	sort.Slice(labels, func(i, j int) bool { return labels[i] < labels[j] })
-	clusters := make([]*Cluster, 0, len(labels))
-	for _, lab := range labels {
-		mem := make([]graph.NodeID, 0, len(st.member[lab]))
-		for v := range st.member[lab] {
-			mem = append(mem, v)
+	sort.Slice(pairs, func(i, j int) bool {
+		if pairs[i].label != pairs[j].label {
+			return pairs[i].label < pairs[j].label
 		}
-		sort.Slice(mem, func(i, j int) bool { return mem[i] < mem[j] })
-		clusters = append(clusters, &Cluster{Label: lab, Members: mem, Tree: st.trees[lab]})
+		return pairs[i].node < pairs[j].node
+	})
+	var clusters []*Cluster
+	for i := 0; i < len(pairs); {
+		j := i
+		for j < len(pairs) && pairs[j].label == pairs[i].label {
+			j++
+		}
+		mem := make([]graph.NodeID, 0, j-i)
+		for _, p := range pairs[i:j] {
+			mem = append(mem, p.node)
+		}
+		clusters = append(clusters, &Cluster{
+			Label:   uint64(pairs[i].label),
+			Members: mem,
+			Tree:    st.trees[pairs[i].label].Finalize(),
+		})
+		i = j
 	}
+	st.props = pairs[:0]
 	// Invariant (III) aggregate: at least half the living nodes survive.
 	survived := 0
 	for _, c := range clusters {
@@ -238,209 +544,161 @@ func onePartition(g *graph.Graph, k int, living []bool) []*Cluster {
 }
 
 func (st *phaseState) runPhase(phase int) {
-	bit := uint64(1) << uint(phase)
-	// Active blue clusters this phase: labels with phase-bit 0 and >= 1
-	// member. stopped[lab] marks clusters done for the phase.
-	stopped := make(map[uint64]bool)
+	bit := uint32(1) << uint(phase)
+	phaseStamp := int32(phase) + 1
 	maxSteps := 10 * st.b * st.b // R = O(log² n); early break below
 	for step := 0; step < maxSteps; step++ {
-		sources := st.activeBlueSources(bit, stopped)
-		if len(sources) == 0 {
-			return
-		}
-		dist, claim, parent := st.claimBFS(sources)
-		// Gather proposals: living red nodes reached within k.
-		proposals := make(map[uint64][]graph.NodeID)
-		for v := 0; v < st.g.N(); v++ {
-			id := graph.NodeID(v)
-			if !st.alive[v] || st.label[v]&bit == 0 {
-				continue // dead or blue
-			}
-			if dist[v] < 0 || dist[v] > st.k {
-				continue
-			}
-			lab := claim[v]
-			// Invariant (I'): only same-suffix reds can be within k.
-			suffixMask := bit - 1
-			if st.label[v]&suffixMask != lab&suffixMask {
-				panic(fmt.Sprintf("decomp: separation invariant broken at node %d", v))
-			}
-			proposals[lab] = append(proposals[lab], id)
-		}
-		progressed := false
-		var labs []uint64
-		for lab := range proposals {
-			labs = append(labs, lab)
-		}
-		sort.Slice(labs, func(i, j int) bool { return labs[i] < labs[j] })
-		for _, lab := range labs {
-			props := proposals[lab]
-			sort.Slice(props, func(i, j int) bool { return props[i] < props[j] })
-			if 2*len(props)*st.b <= len(st.member[lab]) {
-				// Deny: proposers die; cluster stops for the phase.
-				for _, u := range props {
-					st.kill(u)
-				}
-				stopped[lab] = true
-				continue
-			}
-			progressed = true
-			for _, u := range props {
-				st.absorb(u, lab, parent)
-			}
-		}
-		// Clusters that received no proposals at all stop too (nothing
-		// within k remains to grab).
-		for _, lab := range st.blueLabels(bit) {
-			if !stopped[lab] && len(proposals[lab]) == 0 {
-				stopped[lab] = true
-			}
-		}
-		if !progressed {
+		if !st.growStep(bit, phaseStamp) {
 			return
 		}
 	}
 	panic("decomp: phase did not converge within R steps")
 }
 
-// activeBlueSources returns the living terminals of all non-stopped blue
-// clusters, each annotated with its cluster label, sorted by (label, node).
-func (st *phaseState) activeBlueSources(bit uint64, stopped map[uint64]bool) []sourceSeed {
-	var out []sourceSeed
-	for _, lab := range st.blueLabels(bit) {
-		if stopped[lab] {
+// growStep runs one blue-cluster grow-step of the phase and reports whether
+// any cluster absorbed nodes (progress).
+func (st *phaseState) growStep(bit uint32, phaseStamp int32) bool {
+	// Seed the claim BFS from the living terminals of every non-stopped
+	// blue cluster. Scanning nodes in ascending order seeds deterministically.
+	st.epoch++
+	st.queue = st.queue[:0]
+	for v := 0; v < st.n; v++ {
+		if !st.alive[v] || st.label[v]&bit != 0 || st.stoppedStamp[st.label[v]] == phaseStamp {
 			continue
 		}
-		mems := make([]graph.NodeID, 0, len(st.member[lab]))
-		for v := range st.member[lab] {
-			mems = append(mems, v)
-		}
-		sort.Slice(mems, func(i, j int) bool { return mems[i] < mems[j] })
-		for _, v := range mems {
-			out = append(out, sourceSeed{node: v, label: lab})
-		}
+		st.stamp[v] = st.epoch
+		st.dist[v] = 0
+		st.claim[v] = st.label[v]
+		st.par[v] = -1
+		st.queue = append(st.queue, graph.NodeID(v))
 	}
-	sort.Slice(out, func(i, j int) bool {
-		if out[i].label != out[j].label {
-			return out[i].label < out[j].label
+	if len(st.queue) == 0 {
+		return false
+	}
+	st.claimBFS()
+
+	// Gather proposals: living red nodes reached within k. The ascending
+	// node scan plus the (label, node) sort reproduces the map-based
+	// builder's processing order exactly.
+	st.props = st.props[:0]
+	suffixMask := bit - 1
+	for v := 0; v < st.n; v++ {
+		if !st.alive[v] || st.label[v]&bit == 0 {
+			continue // dead or blue
 		}
-		return out[i].node < out[j].node
+		if st.stamp[v] != st.epoch || st.dist[v] > int32(st.k) {
+			continue
+		}
+		lab := st.claim[v]
+		// Invariant (I'): only same-suffix reds can be within k.
+		if st.label[v]&suffixMask != lab&suffixMask {
+			panic(fmt.Sprintf("decomp: separation invariant broken at node %d", v))
+		}
+		st.props = append(st.props, proposal{label: lab, node: graph.NodeID(v)})
+		st.propStamp[lab] = st.epoch
+	}
+	sort.Slice(st.props, func(i, j int) bool {
+		if st.props[i].label != st.props[j].label {
+			return st.props[i].label < st.props[j].label
+		}
+		return st.props[i].node < st.props[j].node
 	})
-	return out
-}
-
-func (st *phaseState) blueLabels(bit uint64) []uint64 {
-	var labs []uint64
-	for lab, mem := range st.member {
-		if lab&bit == 0 && len(mem) > 0 {
-			labs = append(labs, lab)
+	progressed := false
+	for i := 0; i < len(st.props); {
+		j := i
+		for j < len(st.props) && st.props[j].label == st.props[i].label {
+			j++
+		}
+		lab := st.props[i].label
+		if 2*(j-i)*st.b <= int(st.memberCount[lab]) {
+			// Deny: proposers die; cluster stops for the phase.
+			for _, p := range st.props[i:j] {
+				st.kill(p.node)
+			}
+			st.stoppedStamp[lab] = phaseStamp
+		} else {
+			progressed = true
+			for _, p := range st.props[i:j] {
+				st.absorb(p.node, lab)
+			}
+		}
+		i = j
+	}
+	// Clusters that received no proposals at all stop too (nothing within k
+	// remains to grab).
+	for lab := 0; lab < st.n; lab++ {
+		if st.memberCount[lab] > 0 && uint32(lab)&bit == 0 &&
+			st.stoppedStamp[lab] != phaseStamp && st.propStamp[lab] != st.epoch {
+			st.stoppedStamp[lab] = phaseStamp
 		}
 	}
-	sort.Slice(labs, func(i, j int) bool { return labs[i] < labs[j] })
-	return labs
+	return progressed
 }
 
-type sourceSeed struct {
-	node  graph.NodeID
-	label uint64
-}
-
-// claimBFS runs a multi-source BFS (through every node of G, any state) to
-// depth k from the given sources. It returns, per node: distance (-1 when
-// beyond k), the claiming cluster label (nearest; ties to smallest label),
-// and the BFS parent toward that cluster.
-func (st *phaseState) claimBFS(sources []sourceSeed) (dist []int, claim []uint64, parent []graph.NodeID) {
-	n := st.g.N()
-	dist = make([]int, n)
-	claim = make([]uint64, n)
-	parent = make([]graph.NodeID, n)
-	for i := range dist {
-		dist[i] = -1
-		parent[i] = -1
-	}
-	var order []graph.NodeID
-	var queue []graph.NodeID
-	for _, s := range sources {
-		if dist[s.node] != 0 {
-			dist[s.node] = 0
-			claim[s.node] = s.label
-			queue = append(queue, s.node)
-			order = append(order, s.node)
-		}
-	}
-	for len(queue) > 0 {
-		v := queue[0]
-		queue = queue[1:]
-		if dist[v] == st.k {
+// claimBFS expands the seeded queue through every node of G (any state) to
+// depth k, then resolves claims in BFS order: each node adopts the
+// smallest-label claim among predecessors (neighbors one level closer) and
+// records the BFS parent toward that cluster.
+func (st *phaseState) claimBFS() {
+	for head := 0; head < len(st.queue); head++ {
+		v := st.queue[head]
+		if st.dist[v] == int32(st.k) {
 			continue
 		}
 		for _, nb := range st.g.Neighbors(v) {
-			if dist[nb.Node] < 0 {
-				dist[nb.Node] = dist[v] + 1
-				queue = append(queue, nb.Node)
-				order = append(order, nb.Node)
+			if st.stamp[nb.Node] != st.epoch {
+				st.stamp[nb.Node] = st.epoch
+				st.dist[nb.Node] = st.dist[v] + 1
+				st.queue = append(st.queue, nb.Node)
 			}
 		}
 	}
-	// Claim pass in BFS order: adopt the smallest-label claim among
-	// predecessors (neighbors one level closer).
-	for _, u := range order {
-		if dist[u] == 0 {
+	for _, u := range st.queue {
+		if st.dist[u] == 0 {
 			continue
 		}
-		best := uint64(1<<63 - 1)
-		bestParent := graph.NodeID(-1)
+		best := ^uint32(0)
+		bestParent := int32(-1)
 		for _, nb := range st.g.Neighbors(u) {
 			w := nb.Node
-			if dist[w] == dist[u]-1 && claim[w] < best {
-				best = claim[w]
-				bestParent = w
+			if st.stamp[w] == st.epoch && st.dist[w] == st.dist[u]-1 && st.claim[w] < best {
+				best = st.claim[w]
+				bestParent = int32(w)
 			}
 		}
-		claim[u] = best
-		parent[u] = bestParent
+		st.claim[u] = best
+		st.par[u] = bestParent
 	}
-	return dist, claim, parent
 }
 
 // kill removes u from the living set and from its cluster's terminals (its
 // tree keeps u as a nonterminal).
 func (st *phaseState) kill(u graph.NodeID) {
 	st.alive[u] = false
-	delete(st.member[st.label[u]], u)
+	st.memberCount[st.label[u]]--
 }
 
 // absorb moves living red node u into the blue cluster lab, relabeling it
 // and splicing the BFS path from u to the cluster into lab's Steiner tree.
-func (st *phaseState) absorb(u graph.NodeID, lab uint64, parent []graph.NodeID) {
-	delete(st.member[st.label[u]], u)
+func (st *phaseState) absorb(u graph.NodeID, lab uint32) {
+	st.memberCount[st.label[u]]--
 	st.label[u] = lab
-	st.member[lab][u] = true
+	st.memberCount[lab]++
 	tree := st.trees[lab]
 	// Walk u -> parent(u) -> ... until a node already in the tree; collect
 	// the chain, then attach it rootward-first.
-	var chain []graph.NodeID
+	st.chain = st.chain[:0]
 	w := u
 	for !tree.Has(w) {
-		chain = append(chain, w)
-		w = parent[w]
-		if w < 0 {
+		st.chain = append(st.chain, w)
+		if st.par[w] < 0 {
 			panic("decomp: BFS path did not reach the cluster tree")
 		}
+		w = graph.NodeID(st.par[w])
 	}
-	for i := len(chain) - 1; i >= 0; i-- {
-		c := chain[i]
-		tree.Parent[c] = w
-		tree.Children[w] = insertSorted(tree.Children[w], c)
-		tree.DepthOf[c] = tree.DepthOf[w] + 1
+	for i := len(st.chain) - 1; i >= 0; i-- {
+		c := st.chain[i]
+		tree.Attach(c, w)
 		w = c
 	}
-}
-
-func insertSorted(s []graph.NodeID, v graph.NodeID) []graph.NodeID {
-	i := sort.Search(len(s), func(i int) bool { return s[i] >= v })
-	s = append(s, 0)
-	copy(s[i+1:], s[i:])
-	s[i] = v
-	return s
 }

@@ -60,15 +60,19 @@ func checkDecomposition(t *testing.T, g *graph.Graph, k int, d *Decomposition) {
 				t.Fatalf("member %d missing from tree", v)
 			}
 		}
-		for child, par := range tr.Parent {
+		for _, child := range tr.Nodes() {
+			par, ok := tr.ParentOf(child)
+			if !ok {
+				continue
+			}
 			if g.EdgeBetween(child, par) < 0 {
 				t.Fatalf("tree edge {%d,%d} not a graph edge", child, par)
 			}
-			if tr.DepthOf[child] != tr.DepthOf[par]+1 {
+			if tr.DepthAt(child) != tr.DepthAt(par)+1 {
 				t.Fatalf("depth inconsistency at %d", child)
 			}
 		}
-		if tr.DepthOf[tr.Root] != 0 {
+		if tr.DepthAt(tr.Root) != 0 {
 			t.Fatal("root depth nonzero")
 		}
 		if tr.Depth() > radiusBound {
