@@ -9,9 +9,14 @@
 //	syncbench -parallel 8          # run independent trials on 8 workers
 //	syncbench -json                # emit structured JSON records
 //	syncbench -exp E13 -json       # the CI bench-trajectory smoke run
+//	syncbench -seed 42             # override every adversary seed
+//	syncbench -mode multi          # force a lockstep execution mode
 //
-// Tables are byte-identical for any -parallel value; -json replaces the
-// tables with one syncbench/v1 JSON document of per-row records.
+// Tables are byte-identical for any -parallel or -mode value; -json
+// replaces the tables with one syncbench/v1 JSON document of per-row
+// records. -seed 0 (the default) keeps the per-experiment seeds that
+// reproduce the published tables; any other value sweeps every seeded
+// adversary, matching what cmd/synchronize's -seed flag does there.
 package main
 
 import (
@@ -21,6 +26,7 @@ import (
 	"strings"
 
 	"repro/internal/bench"
+	"repro/internal/syncrun"
 )
 
 func main() {
@@ -32,6 +38,8 @@ func run() int {
 	parallel := flag.Int("parallel", 1, "worker-pool size for independent trials (1 = serial)")
 	jsonOut := flag.Bool("json", false, "emit structured JSON records instead of text tables")
 	list := flag.Bool("list", false, "list experiment ids and titles, then exit")
+	seed := flag.Uint64("seed", 0, "delay adversary seed; 0 keeps each experiment's default")
+	mode := flag.String("mode", "auto", "lockstep execution mode: auto|single|multi")
 	flag.Parse()
 	if *list {
 		for _, info := range bench.List() {
@@ -39,13 +47,25 @@ func run() int {
 		}
 		return 0
 	}
+	var execMode syncrun.ExecutionMode
+	switch *mode {
+	case "auto":
+		execMode = syncrun.ModeAuto
+	case "single":
+		execMode = syncrun.ModeSingle
+	case "multi":
+		execMode = syncrun.ModeMulti
+	default:
+		fmt.Fprintf(os.Stderr, "unknown mode %q (want auto|single|multi)\n", *mode)
+		return 2
+	}
 	var ids []string
 	if *exp != "" {
 		for _, id := range strings.Split(*exp, ",") {
 			ids = append(ids, strings.TrimSpace(id))
 		}
 	}
-	opts := bench.Options{Workers: *parallel, JSON: *jsonOut}
+	opts := bench.Options{Workers: *parallel, JSON: *jsonOut, Seed: *seed, Mode: execMode}
 	if err := bench.Run(os.Stdout, ids, opts); err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		return 2

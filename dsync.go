@@ -21,10 +21,21 @@ import (
 	"repro/internal/cover"
 	"repro/internal/graph"
 	"repro/internal/syncrun"
+	"repro/internal/wire"
 )
 
 // Re-exported substrate types.
 type (
+	// Body is the typed wire payload every message carries: a Kind tag,
+	// fixed integer words (A–D), and an optional arena-backed segment.
+	// Plain value end to end — no boxing on the hot path (package wire).
+	Body = wire.Body
+	// Kind tags a Body's message type within its algorithm's namespace.
+	Kind = wire.Kind
+	// Arena recycles variable-length Body segments (API.Arena).
+	Arena = wire.Arena
+	// Seg is a pointer-free handle referencing an Arena segment.
+	Seg = wire.Seg
 	// Graph is an undirected network.
 	Graph = graph.Graph
 	// NodeID identifies a node.
@@ -71,6 +82,9 @@ var (
 	StarOfPaths        = graph.StarOfPaths
 	WithRandomWeights  = graph.WithRandomWeights
 )
+
+// Tag returns a words-free Body of the given kind (pure signal messages).
+func Tag(k Kind) Body { return wire.Tag(k) }
 
 // Delay adversaries for the asynchronous model (τ = 1 normalization).
 func FixedDelays(d float64) Adversary    { return async.Fixed{D: d} }

@@ -13,14 +13,20 @@ import (
 // outputs the pulse at which the token reached it (= its BFS distance).
 // Note the event-driven style (Appendix B of the paper): no node ever
 // references the round number except through the pulse of a reception.
+//
+// Messages are typed wire bodies: a Kind tag plus fixed integer words,
+// never a boxed interface. A pure signal like this token needs only the
+// tag.
 type hops struct{ seen bool }
+
+const tokenKind dsync.Kind = 1
 
 func (h *hops) Init(n dsync.API) {
 	if n.ID() == 0 {
 		h.seen = true
 		n.Output(0)
 		for _, nb := range n.Neighbors() {
-			n.Send(nb.Node, "token")
+			n.Send(nb.Node, dsync.Tag(tokenKind))
 		}
 	}
 }
@@ -32,7 +38,7 @@ func (h *hops) Pulse(n dsync.API, p int, recvd []dsync.Incoming) {
 	h.seen = true
 	n.Output(p)
 	for _, nb := range n.Neighbors() {
-		n.Send(nb.Node, "token")
+		n.Send(nb.Node, dsync.Tag(tokenKind))
 	}
 }
 

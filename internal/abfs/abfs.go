@@ -75,7 +75,7 @@ func (cg *checkGlue) Start(n *async.Node) {
 
 // Recv implements async.Module (the glue owns no wire traffic).
 func (cg *checkGlue) Recv(n *async.Node, _ graph.NodeID, m async.Msg) {
-	panic(fmt.Sprintf("abfs: glue at node %d got unexpected message %T", n.ID(), m.Body))
+	panic(fmt.Sprintf("abfs: glue at node %d got unexpected message (proto %d, kind %d)", n.ID(), m.Proto, m.Body.Kind))
 }
 
 // Ack implements async.Module.

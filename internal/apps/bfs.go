@@ -5,6 +5,7 @@ import (
 
 	"repro/internal/graph"
 	"repro/internal/syncrun"
+	"repro/internal/wire"
 )
 
 // BFSResult is the per-node output of the BFS algorithms.
@@ -34,8 +35,6 @@ type BFS struct {
 
 var _ syncrun.Handler = (*BFS)(nil)
 
-type bfsJoin struct{ Source graph.NodeID }
-
 // Init implements syncrun.Handler.
 func (h *BFS) Init(n syncrun.API) {
 	for _, s := range h.Sources {
@@ -46,7 +45,7 @@ func (h *BFS) Init(n syncrun.API) {
 		h.res = BFSResult{Dist: 0, Parent: -1, Source: s}
 		n.Output(h.res)
 		for _, nb := range n.Neighbors() {
-			n.Send(nb.Node, bfsJoin{Source: s})
+			n.Send(nb.Node, wire.Body{Kind: kindBFSJoin, A: int64(s)})
 		}
 		return
 	}
@@ -60,9 +59,9 @@ func (h *BFS) Pulse(n syncrun.API, p int, recvd []syncrun.Incoming) {
 	// Deterministic tie-break: smallest claimed source, then smallest
 	// sender.
 	best := recvd[0]
-	bestSrc := best.Body.(bfsJoin).Source
+	bestSrc := graph.NodeID(best.Body.A)
 	for _, in := range recvd[1:] {
-		src := in.Body.(bfsJoin).Source
+		src := graph.NodeID(in.Body.A)
 		if src < bestSrc || (src == bestSrc && in.From < best.From) {
 			best, bestSrc = in, src
 		}
@@ -71,7 +70,7 @@ func (h *BFS) Pulse(n syncrun.API, p int, recvd []syncrun.Incoming) {
 	h.res = BFSResult{Dist: p, Parent: best.From, Source: bestSrc}
 	n.Output(h.res)
 	for _, nb := range n.Neighbors() {
-		n.Send(nb.Node, bfsJoin{Source: bestSrc})
+		n.Send(nb.Node, wire.Body{Kind: kindBFSJoin, A: int64(bestSrc)})
 	}
 }
 

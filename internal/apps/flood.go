@@ -9,6 +9,7 @@ package apps
 import (
 	"repro/internal/graph"
 	"repro/internal/syncrun"
+	"repro/internal/wire"
 )
 
 // Flood broadcasts a token from Source; every node outputs the pulse at
@@ -26,7 +27,7 @@ func (h *Flood) Init(n syncrun.API) {
 		h.seen = true
 		n.Output(0)
 		for _, nb := range n.Neighbors() {
-			n.Send(nb.Node, "flood")
+			n.Send(nb.Node, wire.Tag(kindFlood))
 		}
 	}
 }
@@ -39,7 +40,7 @@ func (h *Flood) Pulse(n syncrun.API, p int, recvd []syncrun.Incoming) {
 	h.seen = true
 	n.Output(p)
 	for _, nb := range n.Neighbors() {
-		n.Send(nb.Node, "flood")
+		n.Send(nb.Node, wire.Tag(kindFlood))
 	}
 }
 
@@ -57,11 +58,6 @@ type Echo struct {
 
 var _ syncrun.Handler = (*Echo)(nil)
 
-type echoToken struct{}
-
-// EchoCount carries a subtree size to the parent.
-type EchoCount struct{ Sub int }
-
 // Init implements syncrun.Handler.
 func (h *Echo) Init(n syncrun.API) {
 	h.parent = -1
@@ -70,7 +66,7 @@ func (h *Echo) Init(n syncrun.API) {
 		h.count = 1
 		h.pending = n.Degree()
 		for _, nb := range n.Neighbors() {
-			n.Send(nb.Node, echoToken{})
+			n.Send(nb.Node, wire.Tag(kindEchoToken))
 		}
 	}
 }
@@ -78,8 +74,8 @@ func (h *Echo) Init(n syncrun.API) {
 // Pulse implements syncrun.Handler.
 func (h *Echo) Pulse(n syncrun.API, p int, recvd []syncrun.Incoming) {
 	for _, in := range recvd {
-		switch m := in.Body.(type) {
-		case echoToken:
+		switch in.Body.Kind {
+		case kindEchoToken:
 			if h.joined {
 				h.pending-- // crossing token answers ours
 				continue
@@ -89,18 +85,18 @@ func (h *Echo) Pulse(n syncrun.API, p int, recvd []syncrun.Incoming) {
 			h.count = 1
 			for _, nb := range n.Neighbors() {
 				if nb.Node != h.parent {
-					n.Send(nb.Node, echoToken{})
+					n.Send(nb.Node, wire.Tag(kindEchoToken))
 					h.pending++
 				}
 			}
-		case EchoCount:
+		case kindEchoCount:
 			h.pending--
-			h.count += m.Sub
+			h.count += int(in.Body.A)
 		}
 	}
 	if h.joined && h.pending == 0 && !n.HasOutput() {
 		if h.parent >= 0 {
-			n.Send(h.parent, EchoCount{Sub: h.count})
+			n.Send(h.parent, wire.Body{Kind: kindEchoCount, A: int64(h.count)})
 		}
 		n.Output(h.count)
 	}

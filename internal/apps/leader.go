@@ -92,18 +92,19 @@ func (h *Leader) Init(n syncrun.API) {
 // Pulse implements syncrun.Handler.
 func (h *Leader) Pulse(n syncrun.API, p int, recvd []syncrun.Incoming) {
 	for _, in := range recvd {
-		switch m := in.Body.(type) {
-		case leadUp:
+		switch in.Body.Kind {
+		case kindLeadUp:
+			m := decLeadUp(in.Body)
 			st := h.state(m.Level, m.Cluster)
 			st.reports++
 			if m.Min < st.minSeen {
 				st.minSeen = m.Min
 			}
 			h.maybeReport(n, m.Level, m.Cluster, st)
-		case leadDown:
-			h.deliverVerdict(n, m)
+		case kindLeadDown:
+			h.deliverVerdict(n, decLeadDown(in.Body))
 		default:
-			panic(fmt.Sprintf("apps: leader node %d got %T", n.ID(), in.Body))
+			panic(fmt.Sprintf("apps: leader node %d got kind %d", n.ID(), in.Body.Kind))
 		}
 	}
 	h.out.Flush(n)
@@ -159,7 +160,7 @@ func (h *Leader) maybeReport(n syncrun.API, level int, cid cover.ClusterID, st *
 		return
 	}
 	par, _ := cl.ParentOf(n.ID())
-	h.out.Send(par, leadUp{Level: level, Cluster: cid, Min: st.minSeen})
+	h.out.Send(par, encLeadUp(leadUp{Level: level, Cluster: cid, Min: st.minSeen}))
 }
 
 // deliverVerdict handles the broadcast at one tree node: forward to tree
@@ -168,7 +169,7 @@ func (h *Leader) maybeReport(n syncrun.API, level int, cid cover.ClusterID, st *
 func (h *Leader) deliverVerdict(n syncrun.API, v leadDown) {
 	cl := h.Covers.Level(v.Level).Cluster(v.Cluster)
 	for _, ch := range cl.ChildrenOf(n.ID()) {
-		h.out.Send(ch, v)
+		h.out.Send(ch, encLeadDown(v))
 	}
 	if !cl.Has(n.ID()) {
 		return // pure relay

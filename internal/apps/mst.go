@@ -6,6 +6,7 @@ import (
 	"repro/internal/cover"
 	"repro/internal/graph"
 	"repro/internal/syncrun"
+	"repro/internal/wire"
 )
 
 // MST is an event-driven synchronous Borůvka/GHS-style minimum spanning
@@ -91,30 +92,17 @@ func (e mstEdge) better(o mstEdge) bool {
 	return e.W < o.W
 }
 
-type mstTest struct {
-	Phase int
-	Frag  graph.NodeID
-}
-
-type mstMOE struct {
-	Phase int
-	Best  mstEdge
-}
-
+// mstDecision is the decoded fragment-wide MOE broadcast.
 type mstDecision struct {
 	Phase int
 	Best  mstEdge
 }
 
-type mstConnect struct{ Phase int }
-
+// mstNewFrag is the decoded new-fragment-ID broadcast.
 type mstNewFrag struct {
 	Phase int
 	Frag  graph.NodeID
 }
-
-type mstBarUp struct{ Seq int }
-type mstBarDown struct{ Seq int }
 
 var _ syncrun.Handler = (*MST)(nil)
 
@@ -156,7 +144,7 @@ func (h *MST) barrier(seq int) *mstBarrier {
 func (h *MST) enterPhase(n syncrun.API, k int) {
 	h.phase = k
 	for _, nb := range n.Neighbors() {
-		h.out.Send(nb.Node, mstTest{Phase: k, Frag: h.frag})
+		h.out.Send(nb.Node, wire.Body{Kind: kindMSTTest, A: int64(k), B: int64(h.frag)})
 	}
 	h.maybeLocalMOE(n, k)
 }
@@ -164,30 +152,33 @@ func (h *MST) enterPhase(n syncrun.API, k int) {
 // Pulse implements syncrun.Handler.
 func (h *MST) Pulse(n syncrun.API, p int, recvd []syncrun.Incoming) {
 	for _, in := range recvd {
-		switch m := in.Body.(type) {
-		case mstTest:
-			st := h.phaseState(m.Phase)
-			st.tests[in.From] = m.Frag
-			h.maybeLocalMOE(n, m.Phase)
-		case mstMOE:
-			st := h.phaseState(m.Phase)
+		switch in.Body.Kind {
+		case kindMSTTest:
+			phase := int(in.Body.A)
+			st := h.phaseState(phase)
+			st.tests[in.From] = graph.NodeID(in.Body.B)
+			h.maybeLocalMOE(n, phase)
+		case kindMSTMOE:
+			phase, best := decMSTEdge(in.Body)
+			st := h.phaseState(phase)
 			st.moeReports++
-			if m.Best.better(st.best) {
-				st.best = m.Best
+			if best.better(st.best) {
+				st.best = best
 			}
-			h.maybeReportMOE(n, m.Phase)
-		case mstDecision:
-			h.onDecision(n, m)
-		case mstConnect:
-			h.phaseState(m.Phase).connectIn[in.From] = true
-		case mstNewFrag:
-			h.onNewFrag(n, in.From, m)
-		case mstBarUp:
-			h.barrier(m.Seq).reports++
-		case mstBarDown:
-			h.onBarrierRelease(n, m.Seq)
+			h.maybeReportMOE(n, phase)
+		case kindMSTDecision:
+			phase, best := decMSTEdge(in.Body)
+			h.onDecision(n, mstDecision{Phase: phase, Best: best})
+		case kindMSTConnect:
+			h.phaseState(int(in.Body.A)).connectIn[in.From] = true
+		case kindMSTNewFrag:
+			h.onNewFrag(n, in.From, mstNewFrag{Phase: int(in.Body.A), Frag: graph.NodeID(in.Body.B)})
+		case kindMSTBarUp:
+			h.barrier(int(in.Body.A)).reports++
+		case kindMSTBarDown:
+			h.onBarrierRelease(n, int(in.Body.A))
 		default:
-			panic(fmt.Sprintf("apps: MST node %d got %T", n.ID(), in.Body))
+			panic(fmt.Sprintf("apps: MST node %d got kind %d", n.ID(), in.Body.Kind))
 		}
 	}
 	h.pump(n)
@@ -214,7 +205,7 @@ func (h *MST) maybeBarrierReport(n syncrun.API, seq int) {
 	}
 	b.sent = true
 	if par, ok := h.Barrier.ParentOf(n.ID()); ok {
-		h.out.Send(par, mstBarUp{Seq: seq})
+		h.out.Send(par, wire.Body{Kind: kindMSTBarUp, A: int64(seq)})
 		return
 	}
 	h.onBarrierRelease(n, seq) // root: broadcast and advance locally
@@ -227,7 +218,7 @@ func (h *MST) onBarrierRelease(n syncrun.API, seq int) {
 	}
 	b.done = true
 	for _, ch := range h.Barrier.ChildrenOf(n.ID()) {
-		h.out.Send(ch, mstBarDown{Seq: seq})
+		h.out.Send(ch, wire.Body{Kind: kindMSTBarDown, A: int64(seq)})
 	}
 	k := seq / 2
 	if seq%2 == 0 {
@@ -286,7 +277,7 @@ func (h *MST) maybeReportMOE(n syncrun.API, k int) {
 	}
 	st.reported = true
 	if h.parent >= 0 {
-		h.out.Send(h.parent, mstMOE{Phase: k, Best: st.best})
+		h.out.Send(h.parent, encMSTEdge(kindMSTMOE, k, st.best))
 		return
 	}
 	// Fragment leader: decide and broadcast.
@@ -304,7 +295,7 @@ func (h *MST) onDecision(n syncrun.API, m mstDecision) {
 	st.decisionNon = m.Best.None
 	for _, nb := range sortedKeys(h.treeNbrs) {
 		if nb != h.parent {
-			h.out.Send(nb, m)
+			h.out.Send(nb, encMSTEdge(kindMSTDecision, m.Phase, m.Best))
 		}
 	}
 	if m.Best.None {
@@ -313,7 +304,7 @@ func (h *MST) onDecision(n syncrun.API, m mstDecision) {
 		n.Output(h.result(n))
 	} else if m.Best.U == n.ID() {
 		st.sentConnect = m.Best.V
-		h.out.Send(m.Best.V, mstConnect{Phase: m.Phase})
+		h.out.Send(m.Best.V, wire.Body{Kind: kindMSTConnect, A: int64(m.Phase)})
 	}
 	h.barrier(2 * m.Phase).ready = true
 }
@@ -341,7 +332,7 @@ func (h *MST) startMerge(n syncrun.API, k int) {
 		h.frag = n.ID()
 		h.parent = -1
 		for _, nb := range sortedKeys(h.treeNbrs) {
-			h.out.Send(nb, mstNewFrag{Phase: k, Frag: h.frag})
+			h.out.Send(nb, wire.Body{Kind: kindMSTNewFrag, A: int64(k), B: int64(h.frag)})
 		}
 		h.barrier(2*k + 1).ready = true
 		return
@@ -367,7 +358,7 @@ func (h *MST) applyNewFrag(n syncrun.API, from graph.NodeID, m mstNewFrag) {
 	h.parent = from
 	for _, nb := range sortedKeys(h.treeNbrs) {
 		if nb != from {
-			h.out.Send(nb, mstNewFrag{Phase: m.Phase, Frag: m.Frag})
+			h.out.Send(nb, wire.Body{Kind: kindMSTNewFrag, A: int64(m.Phase), B: int64(m.Frag)})
 		}
 	}
 	h.barrier(2*m.Phase + 1).ready = true

@@ -5,6 +5,7 @@ import (
 
 	"repro/internal/graph"
 	"repro/internal/syncrun"
+	"repro/internal/wire"
 )
 
 // sendQueue serializes an algorithm's sends to one message per neighbor
@@ -14,13 +15,13 @@ import (
 // needs no clock. Algorithms that may address several cluster trees over
 // the same edge in one pulse route every send through a queue.
 type sendQueue struct {
-	q map[graph.NodeID][]any
+	q map[graph.NodeID][]wire.Body
 }
 
 // Send enqueues body for neighbor `to`.
-func (s *sendQueue) Send(to graph.NodeID, body any) {
+func (s *sendQueue) Send(to graph.NodeID, body wire.Body) {
 	if s.q == nil {
-		s.q = make(map[graph.NodeID][]any)
+		s.q = make(map[graph.NodeID][]wire.Body)
 	}
 	s.q[to] = append(s.q[to], body)
 }

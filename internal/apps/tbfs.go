@@ -5,6 +5,7 @@ import (
 
 	"repro/internal/graph"
 	"repro/internal/syncrun"
+	"repro/internal/wire"
 )
 
 // TBFS is the event-driven synchronous τ-thresholded (multi-source) BFS of
@@ -50,13 +51,6 @@ type TBFSSourceDone struct {
 	Frontier bool
 }
 
-type tbfsJoin struct{ Src graph.NodeID }
-type tbfsAccept struct{}
-type tbfsReject struct{}
-type tbfsProbe struct{}
-type tbfsProbeReply struct{ Reached bool }
-type tbfsEcho struct{ Frontier bool }
-
 var _ syncrun.Handler = (*TBFS)(nil)
 
 // Init implements syncrun.Handler.
@@ -85,7 +79,7 @@ func (h *TBFS) join(n syncrun.API, d int, parent, src graph.NodeID) {
 			if nb.Node == parent {
 				continue
 			}
-			h.out.Send(nb.Node, tbfsJoin{Src: src})
+			h.out.Send(nb.Node, wire.Body{Kind: kindTBFSJoin, A: int64(src)})
 			h.probed[nb.Node] = true
 			h.pending++
 		}
@@ -94,7 +88,7 @@ func (h *TBFS) join(n syncrun.API, d int, parent, src graph.NodeID) {
 			if nb.Node == parent {
 				continue
 			}
-			h.out.Send(nb.Node, tbfsProbe{})
+			h.out.Send(nb.Node, wire.Tag(kindTBFSProbe))
 			h.probed[nb.Node] = true
 			h.pending++
 		}
@@ -104,54 +98,54 @@ func (h *TBFS) join(n syncrun.API, d int, parent, src graph.NodeID) {
 // Pulse implements syncrun.Handler.
 func (h *TBFS) Pulse(n syncrun.API, p int, recvd []syncrun.Incoming) {
 	for _, in := range recvd {
-		switch m := in.Body.(type) {
-		case tbfsJoin:
-			h.onJoin(n, in.From, m, p)
-		case tbfsAccept:
+		switch in.Body.Kind {
+		case kindTBFSJoin:
+			h.onJoin(n, in.From, graph.NodeID(in.Body.A), p)
+		case kindTBFSAccept:
 			h.pending--
 			h.children++
-		case tbfsReject:
+		case kindTBFSReject:
 			h.pending--
-		case tbfsProbe:
+		case kindTBFSProbe:
 			if h.dist >= 0 {
 				if h.probed[in.From] {
 					h.pending-- // crossing probe answers ours
 				} else {
-					h.out.Send(in.From, tbfsProbeReply{Reached: true})
+					h.out.Send(in.From, wire.Body{Kind: kindTBFSProbeReply, A: wire.FromBool(true)})
 				}
 			} else {
-				h.out.Send(in.From, tbfsProbeReply{Reached: false})
+				h.out.Send(in.From, wire.Body{Kind: kindTBFSProbeReply, A: wire.FromBool(false)})
 			}
-		case tbfsProbeReply:
+		case kindTBFSProbeReply:
 			h.pending--
-			if !m.Reached {
+			if !wire.ToBool(in.Body.A) {
 				h.frontier = true
 			}
-		case tbfsEcho:
+		case kindTBFSEcho:
 			h.children--
-			if m.Frontier {
+			if wire.ToBool(in.Body.A) {
 				h.frontier = true
 			}
 		default:
-			panic(fmt.Sprintf("apps: TBFS node %d got %T", n.ID(), in.Body))
+			panic(fmt.Sprintf("apps: TBFS node %d got kind %d", n.ID(), in.Body.Kind))
 		}
 	}
 	h.maybeEcho(n)
 	h.out.Flush(n)
 }
 
-func (h *TBFS) onJoin(n syncrun.API, from graph.NodeID, m tbfsJoin, p int) {
+func (h *TBFS) onJoin(n syncrun.API, from graph.NodeID, src graph.NodeID, p int) {
 	if h.dist >= 0 {
 		// Already reached. A crossing join answers ours; otherwise reject.
 		if h.probed[from] {
 			h.pending--
 		} else {
-			h.out.Send(from, tbfsReject{})
+			h.out.Send(from, wire.Tag(kindTBFSReject))
 		}
 		return
 	}
-	h.join(n, p, from, m.Src)
-	h.out.Send(from, tbfsAccept{})
+	h.join(n, p, from, src)
+	h.out.Send(from, wire.Tag(kindTBFSAccept))
 }
 
 // maybeEcho reports completion up the BFS tree once all joins/probes are
@@ -162,7 +156,7 @@ func (h *TBFS) maybeEcho(n syncrun.API) {
 	}
 	h.reported = true
 	if h.parent >= 0 {
-		h.out.Send(h.parent, tbfsEcho{Frontier: h.frontier})
+		h.out.Send(h.parent, wire.Body{Kind: kindTBFSEcho, A: wire.FromBool(h.frontier)})
 		return
 	}
 	// Source: the whole tree is done.

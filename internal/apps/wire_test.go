@@ -1,0 +1,102 @@
+package apps
+
+import (
+	"testing"
+
+	"repro/internal/cover"
+	"repro/internal/graph"
+	"repro/internal/wire"
+)
+
+// TestLeaderCodecRoundTrips covers both leader-election kinds.
+func TestLeaderCodecRoundTrips(t *testing.T) {
+	ups := []leadUp{
+		{Level: 0, Cluster: 0, Min: 0},
+		{Level: 3, Cluster: 17, Min: 42},
+		{Level: 9, Cluster: 1 << 20, Min: noCandidate},
+	}
+	for _, m := range ups {
+		b := encLeadUp(m)
+		if b.Kind != kindLeadUp {
+			t.Fatalf("leadUp kind = %d", b.Kind)
+		}
+		if got := decLeadUp(b); got != m {
+			t.Fatalf("leadUp round trip: %+v vs %+v", got, m)
+		}
+	}
+	downs := []leadDown{
+		{Level: 0, Cluster: 0, Min: 0, IsLeader: false},
+		{Level: 5, Cluster: 9, Min: 3, IsLeader: true},
+	}
+	for _, m := range downs {
+		b := encLeadDown(m)
+		if b.Kind != kindLeadDown {
+			t.Fatalf("leadDown kind = %d", b.Kind)
+		}
+		if got := decLeadDown(b); got != m {
+			t.Fatalf("leadDown round trip: %+v vs %+v", got, m)
+		}
+	}
+}
+
+// TestMSTEdgeCodecRoundTrips covers the packed MOE/decision payloads,
+// including the None identity whose phase shares a word with the flag.
+func TestMSTEdgeCodecRoundTrips(t *testing.T) {
+	cases := []struct {
+		phase int
+		e     mstEdge
+	}{
+		{1, mstEdge{W: 7, U: 0, V: 1}},
+		{12, mstEdge{W: -1 << 40, U: 30000, V: 2}},
+		{3, mstEdge{None: true}},
+		{1 << 20, mstEdge{None: true}},
+	}
+	for _, k := range []wire.Kind{kindMSTMOE, kindMSTDecision} {
+		for _, tc := range cases {
+			b := encMSTEdge(k, tc.phase, tc.e)
+			if b.Kind != k {
+				t.Fatalf("kind = %d, want %d", b.Kind, k)
+			}
+			phase, e := decMSTEdge(b)
+			if phase != tc.phase || e != tc.e {
+				t.Fatalf("round trip: (%d, %+v) vs (%d, %+v)", phase, e, tc.phase, tc.e)
+			}
+		}
+	}
+}
+
+// FuzzLeaderCodec fuzzes the leadDown codec (the widest payload: four
+// words including a flag).
+func FuzzLeaderCodec(f *testing.F) {
+	f.Add(0, int64(0), int64(0), false)
+	f.Add(7, int64(123), int64(5), true)
+	f.Fuzz(func(t *testing.T, level int, cluster, min int64, isLeader bool) {
+		if level < 0 {
+			return
+		}
+		m := leadDown{Level: level, Cluster: cover.ClusterID(cluster), Min: graph.NodeID(min), IsLeader: isLeader}
+		if got := decLeadDown(encLeadDown(m)); got != m {
+			t.Fatalf("round trip: %+v vs %+v", got, m)
+		}
+	})
+}
+
+// FuzzMSTEdgeCodec fuzzes the packed edge payload: the phase/None packing
+// must never lose or invent an edge.
+func FuzzMSTEdgeCodec(f *testing.F) {
+	f.Add(1, int64(9), int64(0), int64(1), false)
+	f.Add(30, int64(-1), int64(7), int64(8), true)
+	f.Fuzz(func(t *testing.T, phase int, w, u, v int64, none bool) {
+		if phase < 0 || phase > 1<<40 {
+			return
+		}
+		e := mstEdge{W: w, U: graph.NodeID(u), V: graph.NodeID(v), None: none}
+		if none {
+			e = mstEdge{None: true} // canonical identity: W/U/V are meaningless
+		}
+		gotPhase, gotE := decMSTEdge(encMSTEdge(kindMSTMOE, phase, e))
+		if gotPhase != phase || gotE != e {
+			t.Fatalf("round trip: (%d, %+v) vs (%d, %+v)", gotPhase, gotE, phase, e)
+		}
+	})
+}

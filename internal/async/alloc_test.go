@@ -1,0 +1,62 @@
+package async
+
+import (
+	"testing"
+
+	"repro/internal/graph"
+	"repro/internal/wire"
+)
+
+// allocPing drives R messages over one link, one at a time (each next send
+// triggered by the previous ack), so the marginal cost between two run
+// lengths is purely the per-message hot path: send, outbox, event
+// push/pop, deliver, ack.
+type allocPing struct {
+	remaining int
+}
+
+func (h *allocPing) Init(n *Node) {
+	if n.ID() == 0 {
+		h.remaining--
+		n.Send(1, Msg{Proto: 1, Body: wire.Body{Kind: 1, A: int64(h.remaining)}})
+	}
+}
+
+func (h *allocPing) Recv(*Node, graph.NodeID, Msg) {}
+
+func (h *allocPing) Ack(n *Node, _ graph.NodeID, m Msg) {
+	if h.remaining > 0 {
+		h.remaining--
+		n.Send(1, Msg{Proto: 1, Body: wire.Body{Kind: 1, A: int64(h.remaining)}})
+	} else {
+		n.Output(true)
+	}
+}
+
+// TestZeroSteadyStateAllocsPerMessage is the regression test for the typed
+// message plane: once the per-run structures are warm, delivering a
+// message must not allocate. It measures whole-run allocations at two run
+// lengths on the same topology — construction costs cancel, so the
+// difference is the steady-state cost of the extra messages. With boxed
+// `any` bodies this difference was ~1 alloc per message; with wire.Body it
+// must be (close to) zero. A small absolute slack absorbs runtime noise.
+func TestZeroSteadyStateAllocsPerMessage(t *testing.T) {
+	g := graph.Path(2)
+	run := func(msgs int) func() {
+		return func() {
+			s := New(g, Fixed{D: 1}, func(graph.NodeID) Handler { return &allocPing{remaining: msgs} })
+			res := s.Run()
+			if res.Msgs != uint64(msgs) {
+				t.Fatalf("sent %d messages, want %d", res.Msgs, msgs)
+			}
+		}
+	}
+	const short, long = 200, 2200
+	a1 := testing.AllocsPerRun(5, run(short))
+	a2 := testing.AllocsPerRun(5, run(long))
+	const slack = 8
+	if extra := a2 - a1; extra > slack {
+		t.Fatalf("the %d extra messages allocated %.1f times (%.4f allocs/msg); want 0",
+			long-short, extra, extra/float64(long-short))
+	}
+}

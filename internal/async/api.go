@@ -14,13 +14,17 @@
 // events and may call Send and Output; they never see the clock.
 package async
 
-import "repro/internal/graph"
+import (
+	"repro/internal/graph"
+	"repro/internal/wire"
+)
 
 // Proto identifies an algorithmic subroutine for fair link scheduling and
 // per-protocol message accounting. Values are chosen by the application.
 type Proto int32
 
-// Msg is one network message.
+// Msg is one network message. It is a plain value end to end: queuing,
+// delivery, and acknowledgment never box the payload.
 type Msg struct {
 	// Proto tags the subroutine this message belongs to. The link layer
 	// round-robins across protos within a stage.
@@ -28,8 +32,12 @@ type Msg struct {
 	// Stage is the sequential-composition stage (Lemma 2.5). Lower stages
 	// are always scheduled before higher stages on a contended link.
 	Stage int
-	// Body is the algorithm payload.
-	Body any
+	// Body is the algorithm payload. Its Kind namespace is per Proto. If
+	// it carries a segment, ownership transfers to the engine at Send: the
+	// segment is recycled after the sender's Ack callback returns, and
+	// receivers must copy its data out inside the delivery callback to
+	// retain it (see package wire).
+	Body wire.Body
 }
 
 // Handler is an event-driven node program. One Handler instance exists per
@@ -89,3 +97,9 @@ func (n *Node) HasOutput() bool { return n.sim.hasOut[n.id] }
 func (n *Node) NeighborIndex(to graph.NodeID) int {
 	return n.sim.g.NeighborIndex(n.id, to)
 }
+
+// Arena returns the simulation's segment arena. Handlers that send
+// variable-length payloads carve Body.Seg from it; the engine returns each
+// sent segment to the arena when the message's lifecycle ends (after the
+// sender's Ack callback), so steady-state traffic allocates nothing.
+func (n *Node) Arena() *wire.Arena { return &n.sim.arena }

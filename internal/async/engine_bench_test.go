@@ -4,6 +4,7 @@ import (
 	"testing"
 
 	"repro/internal/graph"
+	"repro/internal/wire"
 )
 
 // benchFlood broadcasts once: the source sends to every neighbor at Init;
@@ -19,7 +20,7 @@ func (h *benchFlood) Init(n *Node) {
 	if n.ID() == 0 {
 		h.seen = true
 		for _, nb := range n.Neighbors() {
-			n.Send(nb.Node, Msg{Proto: 1, Body: int(n.ID())})
+			n.Send(nb.Node, Msg{Proto: 1, Body: wire.Body{Kind: 1, A: int64(n.ID())}})
 		}
 		n.Output(0)
 	}
@@ -31,7 +32,7 @@ func (h *benchFlood) Recv(n *Node, from graph.NodeID, m Msg) {
 	}
 	h.seen = true
 	for _, nb := range n.Neighbors() {
-		n.Send(nb.Node, Msg{Proto: 1, Body: int(n.ID())})
+		n.Send(nb.Node, Msg{Proto: 1, Body: wire.Body{Kind: 1, A: int64(n.ID())}})
 	}
 	n.Output(0)
 }

@@ -14,8 +14,14 @@ package async
 // Outboxes live by value in the simulator's flat []outbox, one per
 // graph.LinkID. The internal queues are plain slices — protocols per stage
 // are few (the synchronizer stack registers tens at most), so linear scans
-// beat hashing — and popped slots are zeroed and recycled, so a link that
-// reaches steady state stops allocating entirely.
+// beat hashing.
+//
+// Zeroing rules: popped message slots are cleared (so retained capacity
+// never pins a delivered body), but drained stageQueue and protoFIFO slots
+// are only truncated, never dropped — their slice capacity rotates back
+// into use when the stage or protocol reappears on the link. A link that
+// reaches steady state therefore stops allocating entirely, even when its
+// outbox fully drains between messages (the common, uncontended case).
 type outbox struct {
 	busy   bool
 	queued int
@@ -50,9 +56,18 @@ func (o *outbox) push(m Msg) {
 		}
 	}
 	if lo == len(o.stages) || o.stages[lo].stage != m.Stage {
-		o.stages = append(o.stages, stageQueue{})
-		copy(o.stages[lo+1:], o.stages[lo:])
-		o.stages[lo] = stageQueue{stage: m.Stage}
+		// Grow by one, then rotate the tail slot — whose protoFIFO capacity
+		// survives from a previously drained stage — into position lo.
+		n := len(o.stages)
+		if n < cap(o.stages) {
+			o.stages = o.stages[:n+1]
+		} else {
+			o.stages = append(o.stages, stageQueue{})
+		}
+		tail := o.stages[n]
+		copy(o.stages[lo+1:], o.stages[lo:n])
+		tail.stage = m.Stage
+		o.stages[lo] = tail
 	}
 	sq := &o.stages[lo]
 	sq.queued++
@@ -62,16 +77,28 @@ func (o *outbox) push(m Msg) {
 			return
 		}
 	}
-	sq.protos = append(sq.protos, protoFIFO{proto: m.Proto, msgs: []Msg{m}})
+	// Grow the rotation by one, reusing a drained protoFIFO's msgs capacity
+	// when the slice has room beyond its length.
+	n := len(sq.protos)
+	if n < cap(sq.protos) {
+		sq.protos = sq.protos[:n+1]
+	} else {
+		sq.protos = append(sq.protos, protoFIFO{})
+	}
+	pf := &sq.protos[n]
+	pf.proto = m.Proto
+	pf.msgs = append(pf.msgs, m)
 }
 
 // pop removes and returns the next message per the scheduling discipline.
 // The second return is false when the outbox is empty.
 func (o *outbox) pop() (Msg, bool) {
 	if o.queued == 0 {
-		// Reset any drained stage structure so long-lived links do not
-		// accumulate stale rotation state.
-		o.stages = o.stages[:0]
+		// Retire any lingering drained stages so long-lived links do not
+		// accumulate stale rotation state (capacity is kept for reuse).
+		for len(o.stages) > 0 {
+			o.removeFrontStage()
+		}
 		return Msg{}, false
 	}
 	// Stages are sorted ascending and drained stages are removed, so the
@@ -88,9 +115,17 @@ func (o *outbox) pop() (Msg, bool) {
 	return m, true
 }
 
+// removeFrontStage retires the drained front stage, rotating its slot —
+// scalars reset, protoFIFO capacity intact (each FIFO already reset itself
+// when it drained) — past the slice's length for later reuse.
 func (o *outbox) removeFrontStage() {
+	front := o.stages[0]
 	copy(o.stages, o.stages[1:])
-	o.stages[len(o.stages)-1] = stageQueue{}
+	front.stage = 0
+	front.queued = 0
+	front.next = 0
+	front.protos = front.protos[:0]
+	o.stages[len(o.stages)-1] = front
 	o.stages = o.stages[:len(o.stages)-1]
 }
 

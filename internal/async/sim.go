@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"repro/internal/graph"
+	"repro/internal/wire"
 )
 
 // Sim is a deterministic discrete-event simulation of one asynchronous
@@ -11,8 +12,11 @@ import (
 //
 // All per-link state is dense: the graph's CSR link index (graph.LinkID)
 // addresses a flat []outbox and []uint64 transmission-sequence array, both
-// pre-sized at New, so the send/dispatch/deliver hot path performs no map
-// operations and no steady-state allocations.
+// pre-sized at New, and message bodies are wire.Body values end to end —
+// the send/dispatch/deliver hot path performs no map operations, no
+// interface boxing, and no steady-state allocations. Variable-length
+// segments come from a per-run arena and are recycled when each message's
+// lifecycle ends (after the sender's Ack callback).
 type Sim struct {
 	g        *graph.Graph
 	adv      Adversary
@@ -39,6 +43,10 @@ type Sim struct {
 	maxEvents uint64
 	steps     uint64
 	running   bool
+
+	// arena backs Body.Seg segments; sent segments return to it after the
+	// ack completes the message's lifecycle.
+	arena wire.Arena
 }
 
 // Result summarizes one asynchronous run.
@@ -91,6 +99,19 @@ func (s *Sim) SetMaxEvents(limit uint64) { s.maxEvents = limit }
 // Handler returns node v's handler (tests use this to inspect final state).
 func (s *Sim) Handler(v graph.NodeID) Handler { return s.handlers[v] }
 
+// Stats snapshots the costs accrued so far: the current simulation time
+// and the message/ack counters, with a copy of the per-protocol breakdown.
+// It is safe to call mid-run — core.SynchronizeUnknownBound uses it to
+// bill doubling attempts that abort before Run returns (Theorem 5.4's
+// Σ 2^t accounting).
+func (s *Sim) Stats() (now float64, msgs, acks uint64, perProto map[Proto]uint64) {
+	pp := make(map[Proto]uint64, len(s.perProto))
+	for p, n := range s.perProto {
+		pp[p] = n
+	}
+	return s.now, s.msgs, s.acks, pp
+}
+
 // Run executes the simulation to quiescence and returns the result.
 func (s *Sim) Run() Result {
 	if s.running {
@@ -125,6 +146,9 @@ func (s *Sim) Run() Result {
 			ob.busy = false
 			s.dispatch(ev.src, ev.dst, ev.link, ob)
 			s.handlers[ev.src].Ack(&s.nodes[ev.src], ev.dst, ev.msg)
+			// The ack ends the message's lifecycle; recycle any segment
+			// (receivers copy data out if they keep it). No-op without one.
+			s.arena.Release(ev.msg.Body.Seg)
 		}
 	}
 	outputs := make(map[graph.NodeID]any, s.outCount)

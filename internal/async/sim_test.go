@@ -4,6 +4,7 @@ import (
 	"testing"
 
 	"repro/internal/graph"
+	"repro/internal/wire"
 )
 
 // echoHandler: node 0 sends "ping" to all neighbors at Init; every node
@@ -18,7 +19,7 @@ func (h *floodHandler) Init(n *Node) {
 		h.seen = true
 		n.Output(0)
 		for _, nb := range n.Neighbors() {
-			n.Send(nb.Node, Msg{Proto: 1, Body: "flood"})
+			n.Send(nb.Node, Msg{Proto: 1, Body: wire.Tag(1)})
 		}
 	}
 }
@@ -78,7 +79,7 @@ func TestDeterminism(t *testing.T) {
 // original payload.
 type ackCounter struct {
 	sent, acked int
-	lastBody    any
+	lastBody    wire.Body
 }
 
 func (h *ackCounter) Init(n *Node) {
@@ -86,7 +87,7 @@ func (h *ackCounter) Init(n *Node) {
 		return
 	}
 	for i := 0; i < 5; i++ {
-		n.Send(1, Msg{Proto: 2, Body: i})
+		n.Send(1, Msg{Proto: 2, Body: wire.Body{Kind: 1, A: int64(i)}})
 		h.sent++
 	}
 }
@@ -110,8 +111,8 @@ func TestAcksDeliveredPerMessage(t *testing.T) {
 	if hs[0].acked != 5 {
 		t.Fatalf("acked = %d, want 5", hs[0].acked)
 	}
-	if hs[0].lastBody != 4 {
-		t.Fatalf("last acked body = %v, want 4", hs[0].lastBody)
+	if hs[0].lastBody.A != 4 {
+		t.Fatalf("last acked body = %v, want A=4", hs[0].lastBody)
 	}
 	if res.Msgs != 5 || res.Acks != 5 {
 		t.Fatalf("msgs=%d acks=%d", res.Msgs, res.Acks)
@@ -121,12 +122,12 @@ func TestAcksDeliveredPerMessage(t *testing.T) {
 // orderProbe records delivery order at node 1.
 type orderProbe struct {
 	NopAck
-	got []any
+	got []int64
 }
 
 func (h *orderProbe) Init(n *Node) {}
 func (h *orderProbe) Recv(n *Node, _ graph.NodeID, m Msg) {
-	h.got = append(h.got, m.Body)
+	h.got = append(h.got, m.Body.A)
 	n.Output(len(h.got))
 }
 
@@ -141,10 +142,10 @@ func (h *stageSender) Init(n *Node) {
 	if n.ID() != 0 {
 		return
 	}
-	n.Send(1, Msg{Proto: 1, Stage: 2, Body: "s2"})
-	n.Send(1, Msg{Proto: 1, Stage: 1, Body: "s1a"})
-	n.Send(1, Msg{Proto: 1, Stage: 0, Body: "s0"})
-	n.Send(1, Msg{Proto: 1, Stage: 1, Body: "s1b"})
+	n.Send(1, Msg{Proto: 1, Stage: 2, Body: wire.Body{Kind: 1, A: 2}})  // s2
+	n.Send(1, Msg{Proto: 1, Stage: 1, Body: wire.Body{Kind: 1, A: 11}}) // s1a
+	n.Send(1, Msg{Proto: 1, Stage: 0, Body: wire.Body{Kind: 1, A: 0}})  // s0
+	n.Send(1, Msg{Proto: 1, Stage: 1, Body: wire.Body{Kind: 1, A: 12}}) // s1b
 	n.Output(true)
 }
 func (h *stageSender) Recv(*Node, graph.NodeID, Msg) {}
@@ -162,7 +163,7 @@ func TestStagePriority(t *testing.T) {
 	s.Run()
 	// First send dispatches immediately (link idle): s2 goes first. The
 	// remaining three are scheduled by stage: s0, s1a, s1b.
-	want := []any{"s2", "s0", "s1a", "s1b"}
+	want := []int64{2, 0, 11, 12}
 	if len(probe.got) != len(want) {
 		t.Fatalf("delivered %v", probe.got)
 	}
@@ -181,12 +182,12 @@ func (h *protoSender) Init(n *Node) {
 	if n.ID() != 0 {
 		return
 	}
-	n.Send(1, Msg{Proto: 7, Body: "first"}) // dispatches immediately
+	n.Send(1, Msg{Proto: 7, Body: wire.Body{Kind: 1, A: 0}}) // dispatches immediately
 	for i := 0; i < 3; i++ {
-		n.Send(1, Msg{Proto: 10, Body: "A"})
+		n.Send(1, Msg{Proto: 10, Body: wire.Body{Kind: 1, A: 1}})
 	}
 	for i := 0; i < 3; i++ {
-		n.Send(1, Msg{Proto: 20, Body: "B"})
+		n.Send(1, Msg{Proto: 20, Body: wire.Body{Kind: 1, A: 2}})
 	}
 	n.Output(true)
 }
@@ -203,7 +204,7 @@ func TestRoundRobinAcrossProtos(t *testing.T) {
 		return probe
 	})
 	s.Run()
-	want := []any{"first", "A", "B", "A", "B", "A", "B"}
+	want := []int64{0, 1, 2, 1, 2, 1, 2}
 	if len(probe.got) != len(want) {
 		t.Fatalf("delivered %v", probe.got)
 	}
@@ -229,7 +230,7 @@ func TestPerLinkFIFO(t *testing.T) {
 		})
 		s.Run()
 		for i := 0; i < 10; i++ {
-			if probe.got[i] != i {
+			if probe.got[i] != int64(i) {
 				t.Fatalf("%s: out-of-order delivery %v", adv.Name(), probe.got)
 			}
 		}
@@ -243,7 +244,7 @@ func (h *burstSender) Init(n *Node) {
 		return
 	}
 	for i := 0; i < 10; i++ {
-		n.Send(1, Msg{Proto: 1, Body: i})
+		n.Send(1, Msg{Proto: 1, Body: wire.Body{Kind: 1, A: int64(i)}})
 	}
 	n.Output(true)
 }
@@ -303,9 +304,9 @@ func (m *countMod) Ack(*Node, graph.NodeID, Msg)        {}
 type muxDriver struct{}
 
 func (m *muxDriver) Start(n *Node) {
-	n.Send(1, Msg{Proto: 100, Body: "a"})
-	n.Send(1, Msg{Proto: 200, Body: "b"})
-	n.Send(1, Msg{Proto: 100, Body: "c"})
+	n.Send(1, Msg{Proto: 100, Body: wire.Tag(1)})
+	n.Send(1, Msg{Proto: 200, Body: wire.Tag(2)})
+	n.Send(1, Msg{Proto: 100, Body: wire.Tag(3)})
 	n.Output(true)
 }
 func (m *muxDriver) Recv(*Node, graph.NodeID, Msg) {}

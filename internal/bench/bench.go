@@ -19,6 +19,10 @@ import (
 	"io"
 	"sync"
 	"text/tabwriter"
+
+	"repro/internal/async"
+	"repro/internal/graph"
+	"repro/internal/syncrun"
 )
 
 // Rec is one structured per-row record: column name -> raw (unformatted)
@@ -96,6 +100,16 @@ type Options struct {
 	// JSON emits one JSON document of structured records instead of text
 	// tables.
 	JSON bool
+	// Seed overrides every experiment's default delay-adversary seed
+	// (cmd/syncbench -seed). Zero keeps the per-experiment defaults, which
+	// reproduce the published tables. Experiments that deliberately use a
+	// degenerate adversary (Fixed delays) are unaffected.
+	Seed uint64
+	// Mode selects the lockstep execution mode for experiments that run a
+	// synchronous baseline (cmd/syncbench -mode). The default is ModeAuto;
+	// results are byte-identical across modes, so this is a wall-clock
+	// knob. E13 compares the modes explicitly and ignores it.
+	Mode syncrun.ExecutionMode
 }
 
 // ExpRecords is the JSON shape of one experiment's output.
@@ -112,12 +126,35 @@ type Output struct {
 }
 
 // Ctx is the per-run context handed to each experiment: table output,
-// worker pool, and the record accumulator.
+// worker pool, run-wide option overrides, and the record accumulator.
 type Ctx struct {
 	w       io.Writer
 	workers int
+	seed    uint64
+	mode    syncrun.ExecutionMode
 	cur     *ExpRecords
 	exps    []ExpRecords
+}
+
+// seedOr returns the run-wide adversary-seed override, or the
+// experiment's default when none was given.
+func (c *Ctx) seedOr(def uint64) uint64 {
+	if c.seed != 0 {
+		return c.seed
+	}
+	return def
+}
+
+// adv returns the seeded random delay adversary an experiment should use,
+// honoring the -seed override.
+func (c *Ctx) adv(def uint64) async.Adversary {
+	return async.SeededRandom{Seed: c.seedOr(def)}
+}
+
+// runSync executes a lockstep baseline in the selected execution mode
+// (results are mode-independent; only wall-clock changes).
+func (c *Ctx) runSync(g *graph.Graph, mk func(graph.NodeID) syncrun.Handler) syncrun.Result {
+	return syncrun.New(g, mk).WithMode(c.mode).Run()
 }
 
 // table accumulates aligned rows.
@@ -219,7 +256,7 @@ func Run(w io.Writer, ids []string, opts Options) error {
 	if opts.JSON {
 		tw = io.Discard
 	}
-	c := &Ctx{w: tw, workers: opts.Workers}
+	c := &Ctx{w: tw, workers: opts.Workers, seed: opts.Seed, mode: opts.Mode}
 	for _, id := range ids {
 		e := byID(id)
 		c.exps = append(c.exps, ExpRecords{ID: e.id, Title: e.title})

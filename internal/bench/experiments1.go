@@ -38,9 +38,9 @@ func e1SynchronizerOverheads(c *Ctx) {
 		tc := graphs[i]
 		g := tc.mk()
 		mk := bfsMk([]graph.NodeID{0})
-		sres := syncrun.New(g, mk).Run()
+		sres := c.runSync(g, mk)
 		bound := sres.Rounds + 2
-		adv := async.SeededRandom{Seed: 3}
+		adv := c.adv(3)
 		runs := []struct {
 			name string
 			res  async.Result
@@ -81,7 +81,7 @@ func e2BFSTimeVsD(c *Ctx) {
 	t.emit(c.jobs(len(cases), func(i int) []row {
 		tc := cases[i]
 		g := tc.mk()
-		res := abfs.Full(g, []graph.NodeID{0}, async.SeededRandom{Seed: 5})
+		res := abfs.Full(g, []graph.NodeID{0}, c.adv(5))
 		d := g.Diameter()
 		perD := res.Time / float64(d)
 		return []row{{
@@ -101,7 +101,7 @@ func e3BFSMessagesVsM(c *Ctx) {
 	ms := []int{150, 300, 600, 1200}
 	t.emit(c.jobs(len(ms), func(i int) []row {
 		g := graph.RandomConnected(n, ms[i], 11)
-		res := abfs.Full(g, []graph.NodeID{0}, async.SeededRandom{Seed: 5})
+		res := abfs.Full(g, []graph.NodeID{0}, c.adv(5))
 		perM := float64(res.Msgs) / float64(g.M())
 		return []row{{
 			cols: []any{n, g.M(), g.Diameter(), res.Time, res.Msgs, perM},
@@ -127,7 +127,7 @@ func e4MultiSourceD1(c *Ctx) {
 		g := graph.Grid(10, 10)
 		d := g.Diameter()
 		d1 := g.BallRadius(sources)
-		res := abfs.Full(g, sources, async.SeededRandom{Seed: 9})
+		res := abfs.Full(g, sources, c.adv(9))
 		perD1 := res.Time / float64(d1)
 		return []row{{
 			cols: []any{len(sources), d, d1, res.Iterations, res.Time, perD1, res.Msgs},
@@ -158,9 +158,9 @@ func e5LeaderElection(c *Ctx) {
 		mk := func(graph.NodeID) syncrun.Handler {
 			return &apps.Leader{Covers: layered, SpansAll: spans}
 		}
-		sres := syncrun.New(g, mk).Run()
+		sres := c.runSync(g, mk)
 		res := core.Synchronize(core.Config{Graph: g, Bound: sres.Rounds + 2,
-			Adversary: async.SeededRandom{Seed: 17}}, mk)
+			Adversary: c.adv(17)}, mk)
 		perD := res.Time / float64(d)
 		perM := float64(res.Msgs) / float64(g.M())
 		return []row{{
@@ -193,9 +193,9 @@ func e6MST(c *Ctx) {
 		mk := func(graph.NodeID) syncrun.Handler {
 			return &apps.MST{Barrier: tree, Weights: weights}
 		}
-		sres := syncrun.New(g, mk).Run()
+		sres := c.runSync(g, mk)
 		res := core.Synchronize(core.Config{Graph: g, Bound: sres.Rounds + 2,
-			Adversary: async.SeededRandom{Seed: 19}}, mk)
+			Adversary: c.adv(19)}, mk)
 		perM := float64(res.Msgs) / float64(g.M())
 		correct := mstCorrect(g, res.Outputs)
 		return []row{{

@@ -8,6 +8,7 @@ import (
 	"repro/internal/graph"
 	"repro/internal/reg"
 	"repro/internal/syncrun"
+	"repro/internal/wire"
 )
 
 // regClient drives one node for E7: register in all clusters at Start,
@@ -102,12 +103,15 @@ func e8AlphaBlowup(c *Ctx) {
 	}))
 }
 
-// pingAlgo bounces a token between nodes 0 and 1 (T = M = rounds).
+// pingAlgo bounces a token between nodes 0 and 1 (T = M = rounds). The
+// counter rides in the body's A word.
 type pingAlgo struct{ rounds int }
+
+const kindPing wire.Kind = 1
 
 func (h *pingAlgo) Init(n syncrun.API) {
 	if n.ID() == 0 {
-		n.Send(1, 0)
+		n.Send(1, wire.Body{Kind: kindPing})
 	}
 }
 
@@ -115,12 +119,12 @@ func (h *pingAlgo) Pulse(n syncrun.API, _ int, recvd []syncrun.Incoming) {
 	if len(recvd) == 0 {
 		return
 	}
-	k := recvd[0].Body.(int)
+	k := int(recvd[0].Body.A)
 	if k+1 >= h.rounds {
 		n.Output(k)
 		return
 	}
-	n.Send(recvd[0].From, k+1)
+	n.Send(recvd[0].From, wire.Body{Kind: kindPing, A: int64(k + 1)})
 }
 
 // e9AdversaryRobustness runs the synchronized BFS under every standard
@@ -133,8 +137,8 @@ func e9AdversaryRobustness(c *Ctx) {
 	// jobs: all deterministic, read-only once built, one adversary per job.
 	g := graph.Grid(6, 6)
 	mk := bfsMk([]graph.NodeID{0})
-	sres := syncrun.New(g, mk).Run()
-	advs := async.StandardAdversaries(g.N(), 77)
+	sres := c.runSync(g, mk)
+	advs := async.StandardAdversaries(g.N(), c.seedOr(77))
 	t.emit(c.jobs(len(advs), func(i int) []row {
 		adv := advs[i]
 		res := core.Synchronize(core.Config{Graph: g, Bound: sres.Rounds + 2, Adversary: adv}, mk)
@@ -237,7 +241,7 @@ func (h *floodK) Start(n *async.Node) {
 			stage = i
 		}
 		for _, nb := range n.Neighbors() {
-			n.Send(nb.Node, async.Msg{Proto: p, Stage: stage, Body: "f"})
+			n.Send(nb.Node, async.Msg{Proto: p, Stage: stage, Body: wire.Tag(1)})
 		}
 	}
 	if h.k == len(h.seen) && n.ID() == 0 {
@@ -325,7 +329,7 @@ func e12GatherCost(c *Ctx) {
 		for _, cl := range cov.Clusters {
 			budget += uint64(2 * cl.Tree.Size())
 		}
-		sim := async.New(g, async.SeededRandom{Seed: 3}, func(id graph.NodeID) async.Handler {
+		sim := async.New(g, c.adv(3), func(id graph.NodeID) async.Handler {
 			gb := &gatherBench{}
 			gb.mod = gather.New(1, cov, gb, nil)
 			mux := async.NewMux()

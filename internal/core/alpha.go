@@ -7,6 +7,7 @@ import (
 	"repro/internal/async"
 	"repro/internal/graph"
 	"repro/internal/syncrun"
+	"repro/internal/wire"
 )
 
 // AlphaSynchronizer is Awerbuch's α synchronizer (Appendix A): every node
@@ -35,8 +36,6 @@ type alphaNode struct {
 }
 
 const protoAlphaSafe async.Proto = 3
-
-type alphaSafe struct{ Pulse int }
 
 var _ async.Handler = (*alphaNode)(nil)
 
@@ -80,7 +79,7 @@ func (a *alphaNode) maybeSafe(n *async.Node, p int) {
 	a.sentSafe[p] = true
 	a.selfSafe[p] = true
 	for _, nb := range n.Neighbors() {
-		n.Send(nb.Node, async.Msg{Proto: protoAlphaSafe, Stage: p, Body: alphaSafe{Pulse: p}})
+		n.Send(nb.Node, async.Msg{Proto: protoAlphaSafe, Stage: p, Body: wire.Body{Kind: kindAlphaSafe, A: int64(p)}})
 	}
 	a.maybeAdvance(n, p)
 }
@@ -97,25 +96,27 @@ func (a *alphaNode) maybeAdvance(n *async.Node, p int) {
 
 // Recv implements async.Handler.
 func (a *alphaNode) Recv(n *async.Node, from graph.NodeID, m async.Msg) {
-	switch body := m.Body.(type) {
-	case algoMsg:
-		a.recvd[body.Pulse] = append(a.recvd[body.Pulse], syncrun.Incoming{From: from, Body: body.Body})
-	case alphaSafe:
-		a.safeCnt[body.Pulse]++
-		a.maybeAdvance(n, body.Pulse)
+	switch m.Body.Kind {
+	case kindAlgo:
+		pulse, inner := m.Body.Unframe()
+		a.recvd[pulse] = append(a.recvd[pulse], syncrun.Incoming{From: from, Body: inner})
+	case kindAlphaSafe:
+		p := int(m.Body.A)
+		a.safeCnt[p]++
+		a.maybeAdvance(n, p)
 	default:
-		panic(fmt.Sprintf("core: alpha node %d got payload %T", n.ID(), m.Body))
+		panic(fmt.Sprintf("core: alpha node %d got payload kind %d", n.ID(), m.Body.Kind))
 	}
 }
 
 // Ack implements async.Handler: algorithm-message acks gate safety.
 func (a *alphaNode) Ack(n *async.Node, _ graph.NodeID, m async.Msg) {
-	body, ok := m.Body.(algoMsg)
-	if !ok {
+	if m.Body.Kind != kindAlgo {
 		return
 	}
-	a.sendAcked[body.Pulse]--
-	a.maybeSafe(n, body.Pulse)
+	pulse := int(m.Body.P)
+	a.sendAcked[pulse]--
+	a.maybeSafe(n, pulse)
 }
 
 // alphaAPI is the synchronous API bound to one α pulse.
@@ -133,11 +134,12 @@ func (x *alphaAPI) Neighbors() []graph.Neighbor { return x.n.Neighbors() }
 func (x *alphaAPI) Degree() int                 { return x.n.Degree() }
 func (x *alphaAPI) Output(v any)                { x.n.Output(v) }
 func (x *alphaAPI) HasOutput() bool             { return x.n.HasOutput() }
+func (x *alphaAPI) Arena() *wire.Arena          { return x.n.Arena() }
 
-func (x *alphaAPI) Send(to graph.NodeID, body any) {
+func (x *alphaAPI) Send(to graph.NodeID, body wire.Body) {
 	x.a.cs.mark(x.n, to, x.epoch, "alpha")
 	x.a.sendAcked[x.pulse]++
-	x.n.Send(to, async.Msg{Proto: ProtoAlgo, Stage: x.pulse, Body: algoMsg{Pulse: x.pulse, Body: body}})
+	x.n.Send(to, async.Msg{Proto: ProtoAlgo, Stage: x.pulse, Body: frameAlgo(x.pulse, body)})
 }
 
 // SynchronizeAlpha runs the algorithm under the α synchronizer for exactly

@@ -7,6 +7,7 @@ import (
 	"repro/internal/graph"
 	"repro/internal/pulse"
 	"repro/internal/syncrun"
+	"repro/internal/wire"
 )
 
 // congestStamp enforces the CONGEST one-message-per-neighbor-per-pulse
@@ -66,8 +67,9 @@ func (a *captureAPI) Neighbors() []graph.Neighbor { return a.n.Neighbors() }
 func (a *captureAPI) Degree() int                 { return a.n.Degree() }
 func (a *captureAPI) Output(v any)                { a.n.Output(v) }
 func (a *captureAPI) HasOutput() bool             { return a.n.HasOutput() }
+func (a *captureAPI) Arena() *wire.Arena          { return a.n.Arena() }
 
-func (a *captureAPI) Send(to graph.NodeID, body any) {
+func (a *captureAPI) Send(to graph.NodeID, body wire.Body) {
 	a.core.cs.mark(a.n, to, a.epoch, "synchronizer")
 	if a.capture {
 		a.core.initSends = append(a.core.initSends, capturedSend{to: to, body: body})

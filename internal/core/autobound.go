@@ -17,18 +17,28 @@ import (
 // to a constant factor (Σ 2^t ≤ 2·2^T; DESIGN.md records the
 // substitution). Deterministic algorithms make restarts exact replays, so
 // the final outputs are unchanged.
+//
+// Accounting covers every attempt, not just the winner: a failed attempt's
+// costs are snapshotted from the simulator (Sim.Stats) before its state
+// unwinds, and PerProto merges across attempts, so the reported totals are
+// the Σ 2^t sum the theorem prices. Time sums each attempt's elapsed
+// simulation time (the failed attempts' full span plus the final attempt's
+// time-to-output); QuiesceTime adds only the final attempt's.
 func SynchronizeUnknownBound(g *graph.Graph, adv async.Adversary,
 	mk func(id graph.NodeID) syncrun.Handler) (async.Result, int) {
 	var total async.Result
+	total.PerProto = make(map[async.Proto]uint64)
 	for bound := 8; ; bound *= 2 {
 		res, ok := tryBound(g, bound, adv, mk)
 		total.Time += res.Time
 		total.Msgs += res.Msgs
 		total.Acks += res.Acks
+		for p, n := range res.PerProto {
+			total.PerProto[p] += n
+		}
 		if ok {
 			total.QuiesceTime += res.QuiesceTime
 			total.Outputs = res.Outputs
-			total.PerProto = res.PerProto
 			return total, bound
 		}
 		if bound > 64*g.N() {
@@ -39,8 +49,10 @@ func SynchronizeUnknownBound(g *graph.Graph, adv async.Adversary,
 
 // tryBound attempts one synchronized run; ok=false when the algorithm hit
 // the pulse bound (the only recoverable panic; everything else re-panics).
+// A failed attempt still reports the costs it accrued up to the abort.
 func tryBound(g *graph.Graph, bound int, adv async.Adversary,
 	mk func(id graph.NodeID) syncrun.Handler) (res async.Result, ok bool) {
+	sim := newSynchronizedSim(Config{Graph: g, Bound: bound, Adversary: adv}, mk)
 	defer func() {
 		r := recover()
 		if r == nil {
@@ -50,11 +62,12 @@ func tryBound(g *graph.Graph, bound int, adv async.Adversary,
 		if !isStr || !strings.Contains(msg, "bound too small") {
 			panic(r)
 		}
-		// The failed attempt's partial costs are lost with the unwound
-		// simulation; the reported totals therefore cover completed
-		// attempts only (a lower bound on the Theorem 5.4 cost, tight up
-		// to the constant factor Σ2^t ≤ 2·2^T).
-		res, ok = async.Result{}, false
+		// Bill the aborted attempt: the simulation unwinds, but its
+		// counters are still readable. Time is the span the attempt ran
+		// (every event up to the abort really happened).
+		now, msgs, acks, perProto := sim.Stats()
+		res = async.Result{Time: now, Msgs: msgs, Acks: acks, PerProto: perProto}
+		ok = false
 	}()
-	return Synchronize(Config{Graph: g, Bound: bound, Adversary: adv}, mk), true
+	return sim.Run(), true
 }

@@ -6,6 +6,7 @@ import (
 	"repro/internal/async"
 	"repro/internal/graph"
 	"repro/internal/syncrun"
+	"repro/internal/wire"
 )
 
 // runAllSynchronizers executes the same algorithm under α, β, γ, and the
@@ -75,7 +76,7 @@ type pingAlgo struct{ rounds int }
 
 func (h *pingAlgo) Init(n syncrun.API) {
 	if n.ID() == 0 {
-		n.Send(1, 0)
+		n.Send(1, wire.Body{Kind: tkPing, A: 0})
 	}
 }
 
@@ -83,12 +84,12 @@ func (h *pingAlgo) Pulse(n syncrun.API, p int, recvd []syncrun.Incoming) {
 	if len(recvd) == 0 {
 		return
 	}
-	k := recvd[0].Body.(int)
+	k := int(recvd[0].Body.A)
 	if k+1 >= h.rounds {
 		n.Output(k)
 		return
 	}
-	n.Send(recvd[0].From, k+1)
+	n.Send(recvd[0].From, wire.Body{Kind: tkPing, A: int64(k + 1)})
 }
 
 // The α message blow-up (E8's claim): on a high-T(A), low-M(A) algorithm

@@ -8,6 +8,7 @@ import (
 	"repro/internal/cover"
 	"repro/internal/graph"
 	"repro/internal/syncrun"
+	"repro/internal/wire"
 )
 
 // BetaSynchronizer is Awerbuch's β (Appendix A): a global BFS tree carries,
@@ -31,9 +32,6 @@ type betaNode struct {
 }
 
 const protoBetaTree async.Proto = 4
-
-type betaSafeUp struct{ Pulse int }
-type betaAdvance struct{ Pulse int } // run pulse Pulse
 
 var _ async.Handler = (*betaNode)(nil)
 
@@ -88,7 +86,7 @@ func (b *betaNode) maybeReport(n *async.Node, p int) {
 	}
 	b.reportSent[p] = true
 	if par, ok := b.tree.ParentOf(n.ID()); ok {
-		n.Send(par, async.Msg{Proto: protoBetaTree, Stage: p, Body: betaSafeUp{Pulse: p}})
+		n.Send(par, async.Msg{Proto: protoBetaTree, Stage: p, Body: wire.Body{Kind: kindBetaSafeUp, A: int64(p)}})
 		return
 	}
 	// Root: the whole network is safe for p; advance everyone.
@@ -100,34 +98,36 @@ func (b *betaNode) advance(n *async.Node, next int) {
 		return
 	}
 	for _, ch := range b.tree.ChildrenOf(n.ID()) {
-		n.Send(ch, async.Msg{Proto: protoBetaTree, Stage: next, Body: betaAdvance{Pulse: next}})
+		n.Send(ch, async.Msg{Proto: protoBetaTree, Stage: next, Body: wire.Body{Kind: kindBetaAdvance, A: int64(next)}})
 	}
 	b.runPulse(n, next)
 }
 
 // Recv implements async.Handler.
 func (b *betaNode) Recv(n *async.Node, from graph.NodeID, m async.Msg) {
-	switch body := m.Body.(type) {
-	case algoMsg:
-		b.recvd[body.Pulse] = append(b.recvd[body.Pulse], syncrun.Incoming{From: from, Body: body.Body})
-	case betaSafeUp:
-		b.childSafe[body.Pulse]++
-		b.maybeReport(n, body.Pulse)
-	case betaAdvance:
-		b.advance(n, body.Pulse)
+	switch m.Body.Kind {
+	case kindAlgo:
+		pulse, inner := m.Body.Unframe()
+		b.recvd[pulse] = append(b.recvd[pulse], syncrun.Incoming{From: from, Body: inner})
+	case kindBetaSafeUp:
+		p := int(m.Body.A)
+		b.childSafe[p]++
+		b.maybeReport(n, p)
+	case kindBetaAdvance:
+		b.advance(n, int(m.Body.A))
 	default:
-		panic(fmt.Sprintf("core: beta node %d got payload %T", n.ID(), m.Body))
+		panic(fmt.Sprintf("core: beta node %d got payload kind %d", n.ID(), m.Body.Kind))
 	}
 }
 
 // Ack implements async.Handler.
 func (b *betaNode) Ack(n *async.Node, _ graph.NodeID, m async.Msg) {
-	body, ok := m.Body.(algoMsg)
-	if !ok {
+	if m.Body.Kind != kindAlgo {
 		return
 	}
-	b.sendAcked[body.Pulse]--
-	b.maybeSafe(n, body.Pulse)
+	pulse := int(m.Body.P)
+	b.sendAcked[pulse]--
+	b.maybeSafe(n, pulse)
 }
 
 type betaAPI struct {
@@ -144,11 +144,12 @@ func (x *betaAPI) Neighbors() []graph.Neighbor { return x.n.Neighbors() }
 func (x *betaAPI) Degree() int                 { return x.n.Degree() }
 func (x *betaAPI) Output(v any)                { x.n.Output(v) }
 func (x *betaAPI) HasOutput() bool             { return x.n.HasOutput() }
+func (x *betaAPI) Arena() *wire.Arena          { return x.n.Arena() }
 
-func (x *betaAPI) Send(to graph.NodeID, body any) {
+func (x *betaAPI) Send(to graph.NodeID, body wire.Body) {
 	x.b.cs.mark(x.n, to, x.epoch, "beta")
 	x.b.sendAcked[x.pulse]++
-	x.n.Send(to, async.Msg{Proto: ProtoAlgo, Stage: x.pulse, Body: algoMsg{Pulse: x.pulse, Body: body}})
+	x.n.Send(to, async.Msg{Proto: ProtoAlgo, Stage: x.pulse, Body: frameAlgo(x.pulse, body)})
 }
 
 // SynchronizeBeta runs the algorithm under β for exactly `bound` pulses.

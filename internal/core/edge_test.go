@@ -7,6 +7,7 @@ import (
 	"repro/internal/async"
 	"repro/internal/graph"
 	"repro/internal/syncrun"
+	"repro/internal/wire"
 )
 
 // Tiny-graph edge cases: the synchronizer must handle K2, stars, and
@@ -47,7 +48,7 @@ type allInit struct{ sum int }
 
 func (h *allInit) Init(n syncrun.API) {
 	for _, nb := range n.Neighbors() {
-		n.Send(nb.Node, int(n.ID()))
+		n.Send(nb.Node, wire.Body{Kind: tkPing, A: int64(n.ID())})
 	}
 }
 
@@ -56,7 +57,7 @@ func (h *allInit) Pulse(n syncrun.API, p int, recvd []syncrun.Incoming) {
 		return
 	}
 	for _, in := range recvd {
-		h.sum += in.Body.(int)
+		h.sum += int(in.Body.A)
 	}
 	n.Output(h.sum)
 }

@@ -8,6 +8,7 @@ import (
 	"repro/internal/decomp"
 	"repro/internal/graph"
 	"repro/internal/syncrun"
+	"repro/internal/wire"
 )
 
 // GammaSynchronizer is Awerbuch's γ (Appendix A): a low-diameter partition
@@ -115,11 +116,10 @@ func (p *GammaPartition) ClusterCount() int { return len(p.clusters) }
 
 const protoGammaTree async.Proto = 5
 
-type gammaP1Up struct{ Cluster, Pulse int }
-type gammaClusterSafe struct{ Cluster, Pulse int }
-type gammaCSafe struct{ Pulse int }
-type gammaP2Up struct{ Cluster, Pulse int }
-type gammaAdvance struct{ Cluster, Pulse int }
+// encGamma encodes one γ tree/edge message (A = cluster, B = pulse).
+func encGamma(k wire.Kind, cluster, pulse int) wire.Body {
+	return wire.Body{Kind: k, A: int64(cluster), B: int64(pulse)}
+}
 
 var _ async.Handler = (*gammaNode)(nil)
 
@@ -195,7 +195,7 @@ func (gm *gammaNode) maybeP1(n *async.Node, c, p int) {
 	}
 	st.p1Sent = true
 	if par, ok := gm.tree(c).ParentOf(n.ID()); ok {
-		n.Send(par, async.Msg{Proto: protoGammaTree, Stage: p, Body: gammaP1Up{Cluster: c, Pulse: p}})
+		n.Send(par, async.Msg{Proto: protoGammaTree, Stage: p, Body: encGamma(kindGammaP1Up, c, p)})
 		return
 	}
 	gm.onClusterSafe(n, c, p)
@@ -206,11 +206,11 @@ func (gm *gammaNode) onClusterSafe(n *async.Node, c, p int) {
 	st := gm.phase(c, p)
 	st.cSafe = true
 	for _, ch := range gm.tree(c).ChildrenOf(n.ID()) {
-		n.Send(ch, async.Msg{Proto: protoGammaTree, Stage: p, Body: gammaClusterSafe{Cluster: c, Pulse: p}})
+		n.Send(ch, async.Msg{Proto: protoGammaTree, Stage: p, Body: encGamma(kindGammaClusterSafe, c, p)})
 	}
 	if gm.isMember(n, c) {
 		for _, peer := range gm.part.designated[n.ID()] {
-			n.Send(peer, async.Msg{Proto: protoGammaTree, Stage: p, Body: gammaCSafe{Pulse: p}})
+			n.Send(peer, async.Msg{Proto: protoGammaTree, Stage: p, Body: encGamma(kindGammaCSafe, 0, p)})
 		}
 	}
 	gm.maybeP2(n, c, p)
@@ -230,7 +230,7 @@ func (gm *gammaNode) maybeP2(n *async.Node, c, p int) {
 	}
 	st.p2Sent = true
 	if par, ok := gm.tree(c).ParentOf(n.ID()); ok {
-		n.Send(par, async.Msg{Proto: protoGammaTree, Stage: p, Body: gammaP2Up{Cluster: c, Pulse: p}})
+		n.Send(par, async.Msg{Proto: protoGammaTree, Stage: p, Body: encGamma(kindGammaP2Up, c, p)})
 		return
 	}
 	gm.broadcastAdvance(n, c, p+1)
@@ -241,7 +241,7 @@ func (gm *gammaNode) broadcastAdvance(n *async.Node, c, next int) {
 		return
 	}
 	for _, ch := range gm.tree(c).ChildrenOf(n.ID()) {
-		n.Send(ch, async.Msg{Proto: protoGammaTree, Stage: next, Body: gammaAdvance{Cluster: c, Pulse: next}})
+		n.Send(ch, async.Msg{Proto: protoGammaTree, Stage: next, Body: encGamma(kindGammaAdvance, c, next)})
 	}
 	if gm.isMember(n, c) {
 		gm.runPulse(n, next)
@@ -250,36 +250,38 @@ func (gm *gammaNode) broadcastAdvance(n *async.Node, c, next int) {
 
 // Recv implements async.Handler.
 func (gm *gammaNode) Recv(n *async.Node, from graph.NodeID, m async.Msg) {
-	switch body := m.Body.(type) {
-	case algoMsg:
-		gm.recvd[body.Pulse] = append(gm.recvd[body.Pulse], syncrun.Incoming{From: from, Body: body.Body})
-	case gammaP1Up:
-		gm.phase(body.Cluster, body.Pulse).p1Count++
-		gm.maybeP1(n, body.Cluster, body.Pulse)
-	case gammaClusterSafe:
-		gm.onClusterSafe(n, body.Cluster, body.Pulse)
-	case gammaCSafe:
+	cluster, pulse := int(m.Body.A), int(m.Body.B)
+	switch m.Body.Kind {
+	case kindAlgo:
+		p, inner := m.Body.Unframe()
+		gm.recvd[p] = append(gm.recvd[p], syncrun.Incoming{From: from, Body: inner})
+	case kindGammaP1Up:
+		gm.phase(cluster, pulse).p1Count++
+		gm.maybeP1(n, cluster, pulse)
+	case kindGammaClusterSafe:
+		gm.onClusterSafe(n, cluster, pulse)
+	case kindGammaCSafe:
 		c := int(gm.part.clusterOf[n.ID()])
-		gm.phase(c, body.Pulse).extSafe++
-		gm.maybeP2(n, c, body.Pulse)
-	case gammaP2Up:
-		gm.phase(body.Cluster, body.Pulse).p2Count++
-		gm.maybeP2(n, body.Cluster, body.Pulse)
-	case gammaAdvance:
-		gm.broadcastAdvance(n, body.Cluster, body.Pulse)
+		gm.phase(c, pulse).extSafe++
+		gm.maybeP2(n, c, pulse)
+	case kindGammaP2Up:
+		gm.phase(cluster, pulse).p2Count++
+		gm.maybeP2(n, cluster, pulse)
+	case kindGammaAdvance:
+		gm.broadcastAdvance(n, cluster, pulse)
 	default:
-		panic(fmt.Sprintf("core: gamma node %d got payload %T", n.ID(), m.Body))
+		panic(fmt.Sprintf("core: gamma node %d got payload kind %d", n.ID(), m.Body.Kind))
 	}
 }
 
 // Ack implements async.Handler.
 func (gm *gammaNode) Ack(n *async.Node, _ graph.NodeID, m async.Msg) {
-	body, ok := m.Body.(algoMsg)
-	if !ok {
+	if m.Body.Kind != kindAlgo {
 		return
 	}
-	gm.sendAcked[body.Pulse]--
-	gm.maybeSelfSafe(n, body.Pulse)
+	pulse := int(m.Body.P)
+	gm.sendAcked[pulse]--
+	gm.maybeSelfSafe(n, pulse)
 }
 
 type gammaAPI struct {
@@ -296,11 +298,12 @@ func (x *gammaAPI) Neighbors() []graph.Neighbor { return x.n.Neighbors() }
 func (x *gammaAPI) Degree() int                 { return x.n.Degree() }
 func (x *gammaAPI) Output(v any)                { x.n.Output(v) }
 func (x *gammaAPI) HasOutput() bool             { return x.n.HasOutput() }
+func (x *gammaAPI) Arena() *wire.Arena          { return x.n.Arena() }
 
-func (x *gammaAPI) Send(to graph.NodeID, body any) {
+func (x *gammaAPI) Send(to graph.NodeID, body wire.Body) {
 	x.g.cs.mark(x.n, to, x.epoch, "gamma")
 	x.g.sendAcked[x.pulse]++
-	x.n.Send(to, async.Msg{Proto: ProtoAlgo, Stage: x.pulse, Body: algoMsg{Pulse: x.pulse, Body: body}})
+	x.n.Send(to, async.Msg{Proto: ProtoAlgo, Stage: x.pulse, Body: frameAlgo(x.pulse, body)})
 }
 
 // SynchronizeGamma runs the algorithm under γ for exactly `bound` pulses.

@@ -102,6 +102,13 @@ func BuildLayeredFor(g *graph.Graph, b int) *cover.Layered {
 // run's measurements. The outputs are exactly those of the synchronous
 // execution (Theorem 5.2).
 func Synchronize(cfg Config, mk func(id graph.NodeID) syncrun.Handler) async.Result {
+	return newSynchronizedSim(cfg, mk).Run()
+}
+
+// newSynchronizedSim assembles the synchronizer stack without running it.
+// SynchronizeUnknownBound keeps the sim handle so an attempt that aborts
+// mid-run (pulse bound exceeded) can still be billed via Sim.Stats.
+func newSynchronizedSim(cfg Config, mk func(id graph.NodeID) syncrun.Handler) *async.Sim {
 	if cfg.Graph == nil {
 		panic("core: Config.Graph is nil")
 	}
@@ -121,10 +128,9 @@ func Synchronize(cfg Config, mk func(id graph.NodeID) syncrun.Handler) async.Res
 		panic(fmt.Sprintf("core: layered covers reach level %d, need %d",
 			layered.MaxLevel(), sched.MaxCoverLevel))
 	}
-	sim := async.New(cfg.Graph, adv, func(id graph.NodeID) async.Handler {
+	return async.New(cfg.Graph, adv, func(id graph.NodeID) async.Handler {
 		return NewNodeHandler(sched, layered, mk(id))
 	})
-	return sim.Run()
 }
 
 // NewNodeHandler wires one node's synchronizer stack: the core engine plus

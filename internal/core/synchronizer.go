@@ -10,6 +10,7 @@ import (
 	"repro/internal/graph"
 	"repro/internal/reg"
 	"repro/internal/syncrun"
+	"repro/internal/wire"
 )
 
 // nodeCore is the per-node synchronizer engine. It owns the embedded
@@ -36,7 +37,7 @@ type nodeCore struct {
 
 type capturedSend struct {
 	to   graph.NodeID
-	body any
+	body wire.Body
 }
 
 var _ async.Module = (*nodeCore)(nil)
@@ -104,54 +105,61 @@ func (c *nodeCore) createVnode(n *async.Node, p int, parentPhys graph.NodeID, pa
 		parent.selfChild = true
 		c.onChildStatus(n, parent, statusMsg{Q: p, ChildPulse: p, Ready: true}, -1, true)
 	} else {
-		n.Send(parentPhys, async.Msg{Proto: ProtoAlgo, Stage: p - 1, Body: replyMsg{Pulse: p - 1, Chosen: true}})
-		n.Send(parentPhys, async.Msg{Proto: ProtoTree, Stage: p, Body: statusMsg{Q: p, ChildPulse: p, Ready: true}})
+		n.Send(parentPhys, async.Msg{Proto: ProtoAlgo, Stage: p - 1, Body: encReply(replyMsg{Pulse: p - 1, Chosen: true})})
+		n.Send(parentPhys, async.Msg{Proto: ProtoTree, Stage: p, Body: encStatus(statusMsg{Q: p, ChildPulse: p, Ready: true})})
 	}
 	return v
 }
 
-// sendAlgo transmits one synchronous-algorithm message of pulse v.pulse.
-func (c *nodeCore) sendAlgo(n *async.Node, v *vnode, to graph.NodeID, body any) {
+// sendAlgo transmits one synchronous-algorithm message of pulse v.pulse,
+// framed as kindAlgo (the pulse rides in P, the payload stays in place).
+func (c *nodeCore) sendAlgo(n *async.Node, v *vnode, to graph.NodeID, body wire.Body) {
 	v.outstandingReplies++
-	n.Send(to, async.Msg{Proto: ProtoAlgo, Stage: v.pulse, Body: algoMsg{Pulse: v.pulse, Body: body}})
+	n.Send(to, async.Msg{Proto: ProtoAlgo, Stage: v.pulse, Body: frameAlgo(v.pulse, body)})
 }
 
 // Recv implements async.Module for ProtoAlgo and ProtoTree.
 func (c *nodeCore) Recv(n *async.Node, from graph.NodeID, m async.Msg) {
-	switch body := m.Body.(type) {
-	case algoMsg:
-		c.onAlgoMsg(n, from, body)
-	case replyMsg:
-		c.onReply(n, from, body)
-	case statusMsg:
+	switch m.Body.Kind {
+	case kindAlgo:
+		pulse, inner := m.Body.Unframe()
+		c.onAlgoMsg(n, from, pulse, inner)
+	case kindReply:
+		c.onReply(n, from, decReply(m.Body))
+	case kindStatus:
+		body := decStatus(m.Body)
 		parent := c.vnodes[body.ChildPulse-1]
 		if parent == nil {
 			panic(fmt.Sprintf("core: node %d got report for absent vnode %d", n.ID(), body.ChildPulse-1))
 		}
 		c.onChildStatus(n, parent, body, from, false)
-	case gaMsg:
+	case kindGA:
+		body := decGA(m.Body)
 		v := c.vnodes[body.ChildPulse]
 		if v == nil {
 			panic(fmt.Sprintf("core: node %d got GA(%d) for absent vnode %d", n.ID(), body.Q, body.ChildPulse))
 		}
 		c.onGA(n, v, body.Q)
 	default:
-		panic(fmt.Sprintf("core: node %d got unknown payload %T", n.ID(), m.Body))
+		panic(fmt.Sprintf("core: node %d got unknown payload kind %d", n.ID(), m.Body.Kind))
 	}
 }
 
 // Ack implements async.Module.
 func (c *nodeCore) Ack(*async.Node, graph.NodeID, async.Msg) {}
 
-func (c *nodeCore) onAlgoMsg(n *async.Node, from graph.NodeID, m algoMsg) {
-	p := m.Pulse + 1
-	if c.recvdClosed[m.Pulse] {
-		panic(fmt.Sprintf("core: node %d got pulse-%d message after Go-Ahead(%d) — synchronization broken", n.ID(), m.Pulse, p))
+func (c *nodeCore) onAlgoMsg(n *async.Node, from graph.NodeID, pulse int, body wire.Body) {
+	p := pulse + 1
+	if c.recvdClosed[pulse] {
+		panic(fmt.Sprintf("core: node %d got pulse-%d message after Go-Ahead(%d) — synchronization broken", n.ID(), pulse, p))
 	}
-	c.recvd[m.Pulse] = append(c.recvd[m.Pulse], syncrun.Incoming{From: from, Body: m.Body})
+	// The batch is retained until Go-Ahead(p) evaluates the pulse — long
+	// past the carrying message's lifecycle — which is why frameAlgo
+	// rejects seg-carrying algorithm payloads at the send side.
+	c.recvd[pulse] = append(c.recvd[pulse], syncrun.Incoming{From: from, Body: body})
 	if c.vnodes[p] != nil {
 		// Already triggered: decline.
-		n.Send(from, async.Msg{Proto: ProtoAlgo, Stage: m.Pulse, Body: replyMsg{Pulse: m.Pulse, Chosen: false}})
+		n.Send(from, async.Msg{Proto: ProtoAlgo, Stage: pulse, Body: encReply(replyMsg{Pulse: pulse, Chosen: false})})
 		return
 	}
 	c.createVnode(n, p, from, false)
@@ -283,7 +291,7 @@ func (c *nodeCore) forwardStatus(n *async.Node, v *vnode, qs *qstate) {
 		c.onChildStatus(n, c.vnodes[v.pulse-1], report, -1, true)
 		return
 	}
-	n.Send(v.parentPhys, async.Msg{Proto: ProtoTree, Stage: qs.q, Body: report})
+	n.Send(v.parentPhys, async.Msg{Proto: ProtoTree, Stage: qs.q, Body: encStatus(report)})
 }
 
 // onGA handles Go-Ahead(q) at vnode v (pulse <= q): evaluate when this is
@@ -302,7 +310,7 @@ func (c *nodeCore) propagateGA(n *async.Node, v *vnode, q int) {
 		panic(fmt.Sprintf("core: node %d pulse %d forwarding GA(%d) before resolution", n.ID(), v.pulse, q))
 	}
 	for _, w := range qs.readyPhys {
-		n.Send(w, async.Msg{Proto: ProtoTree, Stage: q, Body: gaMsg{Q: q, ChildPulse: v.pulse + 1}})
+		n.Send(w, async.Msg{Proto: ProtoTree, Stage: q, Body: encGA(gaMsg{Q: q, ChildPulse: v.pulse + 1})})
 	}
 	if qs.readySelf {
 		c.onGA(n, c.vnodes[v.pulse+1], q)

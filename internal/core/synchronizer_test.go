@@ -9,9 +9,18 @@ import (
 	"repro/internal/async"
 	"repro/internal/graph"
 	"repro/internal/syncrun"
+	"repro/internal/wire"
 )
 
 // --- synchronous test algorithms -----------------------------------------
+
+// Wire kinds of the test algorithms (each algorithm owns its namespace).
+const (
+	tkJoin  wire.Kind = 100 // bfsAlgo / msBFSAlgo join
+	tkToken wire.Kind = 101 // echoAlgo token, chainAlgo hop
+	tkCount wire.Kind = 102 // echoAlgo subtree count (A = size)
+	tkPing  wire.Kind = 103 // pingAlgo counter (A = k)
+)
 
 // bfsAlgo is the event-driven synchronous BFS: the source floods "join";
 // each node adopts the pulse of the first join as its distance.
@@ -26,7 +35,7 @@ func (h *bfsAlgo) Init(n syncrun.API) {
 		h.dist = 0
 		n.Output(0)
 		for _, nb := range n.Neighbors() {
-			n.Send(nb.Node, "join")
+			n.Send(nb.Node, wire.Tag(tkJoin))
 		}
 	}
 }
@@ -38,7 +47,7 @@ func (h *bfsAlgo) Pulse(n syncrun.API, p int, recvd []syncrun.Incoming) {
 	h.dist = p
 	n.Output(p)
 	for _, nb := range n.Neighbors() {
-		n.Send(nb.Node, "join")
+		n.Send(nb.Node, wire.Tag(tkJoin))
 	}
 }
 
@@ -60,13 +69,10 @@ func (h *echoAlgo) Init(n syncrun.API) {
 		h.count = 1
 		h.pending = n.Degree()
 		for _, nb := range n.Neighbors() {
-			n.Send(nb.Node, tokenMsg{})
+			n.Send(nb.Node, wire.Tag(tkToken))
 		}
 	}
 }
-
-type tokenMsg struct{}
-type echoCount struct{ Sub int }
 
 // Pulse implements the classic echo with crossing tokens: a token received
 // while already joined answers the token we sent over that edge, so no
@@ -74,8 +80,8 @@ type echoCount struct{ Sub int }
 // per direction per pulse (CONGEST-safe).
 func (h *echoAlgo) Pulse(n syncrun.API, p int, recvd []syncrun.Incoming) {
 	for _, in := range recvd {
-		switch m := in.Body.(type) {
-		case tokenMsg:
+		switch in.Body.Kind {
+		case tkToken:
 			if h.joined {
 				h.pending-- // crossing token answers ours
 				continue
@@ -85,18 +91,18 @@ func (h *echoAlgo) Pulse(n syncrun.API, p int, recvd []syncrun.Incoming) {
 			h.count = 1
 			for _, nb := range n.Neighbors() {
 				if nb.Node != h.par {
-					n.Send(nb.Node, tokenMsg{})
+					n.Send(nb.Node, wire.Tag(tkToken))
 					h.pending++
 				}
 			}
-		case echoCount:
+		case tkCount:
 			h.pending--
-			h.count += m.Sub
+			h.count += int(in.Body.A)
 		}
 	}
 	if h.joined && h.pending == 0 && !n.HasOutput() {
 		if h.par >= 0 {
-			n.Send(h.par, echoCount{Sub: h.count})
+			n.Send(h.par, wire.Body{Kind: tkCount, A: int64(h.count)})
 		}
 		n.Output(h.count)
 	}
@@ -110,7 +116,7 @@ type chainAlgo struct{}
 func (h *chainAlgo) Init(n syncrun.API) {
 	if n.ID() == 0 {
 		n.Output(0)
-		n.Send(1, "tok")
+		n.Send(1, wire.Tag(tkToken))
 	}
 }
 
@@ -122,7 +128,7 @@ func (h *chainAlgo) Pulse(n syncrun.API, p int, recvd []syncrun.Incoming) {
 	next := n.ID() + 1
 	for _, nb := range n.Neighbors() {
 		if nb.Node == next {
-			n.Send(next, "tok")
+			n.Send(next, wire.Tag(tkToken))
 		}
 	}
 }
@@ -254,7 +260,7 @@ func (h *msBFSAlgo) Init(n syncrun.API) {
 			h.dist = 0
 			n.Output(0)
 			for _, nb := range n.Neighbors() {
-				n.Send(nb.Node, "join")
+				n.Send(nb.Node, wire.Tag(tkJoin))
 			}
 		}
 	}
@@ -267,7 +273,7 @@ func (h *msBFSAlgo) Pulse(n syncrun.API, p int, recvd []syncrun.Incoming) {
 	h.dist = p
 	n.Output(p)
 	for _, nb := range n.Neighbors() {
-		n.Send(nb.Node, "join")
+		n.Send(nb.Node, wire.Tag(tkJoin))
 	}
 }
 

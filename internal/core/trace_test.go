@@ -8,6 +8,7 @@ import (
 	"repro/internal/async"
 	"repro/internal/graph"
 	"repro/internal/syncrun"
+	"repro/internal/wire"
 )
 
 // tracingAlgo wraps bfsAlgo and records every send it performs, tagged
@@ -26,7 +27,7 @@ type tracingAPI struct {
 	pulse int
 }
 
-func (a *tracingAPI) Send(to graph.NodeID, body any) {
+func (a *tracingAPI) Send(to graph.NodeID, body wire.Body) {
 	*a.t.log = append(*a.t.log, fmt.Sprintf("p%d %d->%d %v", a.pulse, a.t.me, to, body))
 	a.API.Send(to, body)
 }
@@ -102,11 +103,35 @@ func TestTheorem54UnknownBound(t *testing.T) {
 			t.Fatalf("node %d output %v", v, res.Outputs[graph.NodeID(v)])
 		}
 	}
-	// Completed-attempt accounting: the final attempt's cost must match a
-	// fresh run at the discovered bound (failed attempts unwind and are
-	// not billed; see autobound.go).
+	// Σ2^t accounting (see autobound.go): the failed attempts at bounds 8
+	// and 16 are billed too, so the doubling totals must strictly exceed a
+	// fresh run at the discovered bound — in messages, time, and the
+	// merged per-protocol breakdown — while staying within the doubling
+	// argument's small constant factor.
 	fresh := Synchronize(Config{Graph: g, Bound: 32, Adversary: async.SeededRandom{Seed: 5}}, mk)
-	if res.Msgs != fresh.Msgs {
-		t.Fatalf("doubling msgs %d, want single-run %d", res.Msgs, fresh.Msgs)
+	if res.Msgs <= fresh.Msgs {
+		t.Fatalf("doubling msgs %d do not include failed attempts (final attempt alone: %d)", res.Msgs, fresh.Msgs)
+	}
+	if res.Msgs > 4*fresh.Msgs {
+		t.Fatalf("doubling msgs %d exceed the Σ2^t envelope of final-run %d", res.Msgs, fresh.Msgs)
+	}
+	if res.Time <= fresh.Time {
+		t.Fatalf("doubling time %g does not include failed attempts (final attempt alone: %g)", res.Time, fresh.Time)
+	}
+	// An aborted attempt can have sends still in flight, so acks may trail
+	// msgs — but never exceed them, and the failed attempts' acks count.
+	if res.Acks > res.Msgs || res.Acks <= fresh.Acks {
+		t.Fatalf("acks %d implausible (msgs %d, final attempt alone %d)", res.Acks, res.Msgs, fresh.Acks)
+	}
+	var perProtoSum uint64
+	for _, n := range res.PerProto {
+		perProtoSum += n
+	}
+	if perProtoSum != res.Msgs {
+		t.Fatalf("merged PerProto sums to %d, want Msgs %d", perProtoSum, res.Msgs)
+	}
+	if res.PerProto[ProtoAlgo] <= fresh.PerProto[ProtoAlgo] {
+		t.Fatalf("PerProto[algo] %d not merged across attempts (final attempt alone: %d)",
+			res.PerProto[ProtoAlgo], fresh.PerProto[ProtoAlgo])
 	}
 }

@@ -1,0 +1,21 @@
+package gather
+
+import (
+	"testing"
+
+	"repro/internal/wire"
+)
+
+// TestPayloadCodecRoundTrips covers both gather kinds.
+func TestPayloadCodecRoundTrips(t *testing.T) {
+	for _, k := range []wire.Kind{kindDoneUp, kindConfirmDown} {
+		b := encPayload(k, 9, 4)
+		if b.Kind != k {
+			t.Fatalf("kind = %d, want %d", b.Kind, k)
+		}
+		c, s := decPayload(b)
+		if c != 9 || s != 4 {
+			t.Fatalf("round trip: (%d, %d)", c, s)
+		}
+	}
+}

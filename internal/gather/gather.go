@@ -19,6 +19,7 @@ import (
 	"repro/internal/async"
 	"repro/internal/cover"
 	"repro/internal/graph"
+	"repro/internal/wire"
 )
 
 // Callbacks receives gather completions.
@@ -28,17 +29,19 @@ type Callbacks interface {
 	NeighborhoodDone(n *async.Node, session int)
 }
 
-type gKind int8
-
+// Wire kinds of gather traffic (namespace: this module's proto). Every
+// payload carries A = cluster, B = session.
 const (
-	kindDoneUp gKind = iota + 1
+	kindDoneUp wire.Kind = iota + 1
 	kindConfirmDown
 )
 
-type payload struct {
-	Kind    gKind
-	Cluster cover.ClusterID
-	Session int
+func encPayload(k wire.Kind, c cover.ClusterID, session int) wire.Body {
+	return wire.Body{Kind: k, A: int64(c), B: int64(session)}
+}
+
+func decPayload(b wire.Body) (cover.ClusterID, int) {
+	return cover.ClusterID(b.A), int(b.B)
 }
 
 type clusterState struct {
@@ -157,19 +160,16 @@ func (m *Module) MarkDone(n *async.Node, session int) {
 
 // Recv implements async.Module.
 func (m *Module) Recv(n *async.Node, from graph.NodeID, msg async.Msg) {
-	p, ok := msg.Body.(payload)
-	if !ok {
-		panic(fmt.Sprintf("gather: node %d got payload %T", n.ID(), msg.Body))
-	}
-	st := m.state(p.Cluster, p.Session)
-	switch p.Kind {
+	c, session := decPayload(msg.Body)
+	st := m.state(c, session)
+	switch msg.Body.Kind {
 	case kindDoneUp:
 		st.childDone[from] = true
-		m.maybeReport(n, p.Cluster, p.Session, st)
+		m.maybeReport(n, c, session, st)
 	case kindConfirmDown:
-		m.confirm(n, p.Cluster, p.Session, st)
+		m.confirm(n, c, session, st)
 	default:
-		panic(fmt.Sprintf("gather: unknown kind %d", p.Kind))
+		panic(fmt.Sprintf("gather: unknown kind %d", msg.Body.Kind))
 	}
 }
 
@@ -192,7 +192,7 @@ func (m *Module) maybeReport(n *async.Node, c cover.ClusterID, session int, st *
 		return
 	}
 	par, _ := cl.ParentOf(n.ID())
-	n.Send(par, async.Msg{Proto: m.proto, Stage: m.stageOf(session), Body: payload{Kind: kindDoneUp, Cluster: c, Session: session}})
+	n.Send(par, async.Msg{Proto: m.proto, Stage: m.stageOf(session), Body: encPayload(kindDoneUp, c, session)})
 }
 
 // confirm marks the cluster complete at this node and forwards the
@@ -204,7 +204,7 @@ func (m *Module) confirm(n *async.Node, c cover.ClusterID, session int, st *clus
 	st.confirmed = true
 	cl := m.cov.Cluster(c)
 	for _, ch := range cl.ChildrenOf(n.ID()) {
-		n.Send(ch, async.Msg{Proto: m.proto, Stage: m.stageOf(session), Body: payload{Kind: kindConfirmDown, Cluster: c, Session: session}})
+		n.Send(ch, async.Msg{Proto: m.proto, Stage: m.stageOf(session), Body: encPayload(kindConfirmDown, c, session)})
 	}
 	if cl.Has(n.ID()) {
 		ns := m.session(session)

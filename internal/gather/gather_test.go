@@ -7,6 +7,7 @@ import (
 	"repro/internal/async"
 	"repro/internal/cover"
 	"repro/internal/graph"
+	"repro/internal/wire"
 )
 
 const (
@@ -66,7 +67,7 @@ func (c *gclient) onFlood(n *async.Node) {
 	}
 	c.flooded = true
 	for _, nb := range n.Neighbors() {
-		n.Send(nb.Node, async.Msg{Proto: protoFlood, Body: "go"})
+		n.Send(nb.Node, async.Msg{Proto: protoFlood, Body: wire.Tag(1)})
 	}
 	c.w.log = append(c.w.log, event{kind: evMarked, node: n.ID()})
 	if c.useChain {

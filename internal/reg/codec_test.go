@@ -1,0 +1,33 @@
+package reg
+
+import (
+	"testing"
+
+	"repro/internal/cover"
+	"repro/internal/graph"
+	"repro/internal/wire"
+)
+
+// TestPayloadCodecRoundTrips covers every wave-registration kind.
+func TestPayloadCodecRoundTrips(t *testing.T) {
+	for _, k := range []wire.Kind{kindRegUp, kindRegDone, kindDeregUp, kindGoAhead} {
+		b := encPayload(k, 17, 3)
+		if b.Kind != k {
+			t.Fatalf("kind = %d, want %d", b.Kind, k)
+		}
+		c, s := decPayload(b)
+		if c != 17 || s != 3 {
+			t.Fatalf("round trip: (%d, %d)", c, s)
+		}
+	}
+}
+
+// TestNaiveCodecRoundTrips covers every naive-scheme kind, origin included.
+func TestNaiveCodecRoundTrips(t *testing.T) {
+	for _, k := range []wire.Kind{nkReg, nkRegAck, nkDereg, nkDeregAck, nkGo} {
+		m := naivePayload{Kind: k, Cluster: cover.ClusterID(5), Session: 2, Origin: graph.NodeID(31)}
+		if got := decNaive(encNaive(m)); got != m {
+			t.Fatalf("round trip: %+v vs %+v", got, m)
+		}
+	}
+}

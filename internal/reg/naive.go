@@ -7,6 +7,7 @@ import (
 	"repro/internal/async"
 	"repro/internal/cover"
 	"repro/internal/graph"
+	"repro/internal/wire"
 )
 
 // NaiveModule is the "natural attempt" of §3.2: every registration and
@@ -36,22 +37,32 @@ type naiveState struct {
 	local      localState
 }
 
-type naiveKind int8
-
+// Wire kinds of the naive scheme (namespace: this module's proto); these
+// deliberately reuse the wave module's numeric space — the two schemes
+// never share a proto. Payloads carry A = cluster, B = session, and
+// C = origin (the registering client; acks route back toward it).
 const (
-	nkReg naiveKind = iota + 1
+	nkReg wire.Kind = iota + 1
 	nkRegAck
 	nkDereg
 	nkDeregAck
 	nkGo
 )
 
+// naivePayload is the decoded form of one naive-scheme message.
 type naivePayload struct {
-	Kind    naiveKind
+	Kind    wire.Kind
 	Cluster cover.ClusterID
 	Session int
-	// Origin is the registering client (acks route back toward it).
-	Origin graph.NodeID
+	Origin  graph.NodeID
+}
+
+func encNaive(p naivePayload) wire.Body {
+	return wire.Body{Kind: p.Kind, A: int64(p.Cluster), B: int64(p.Session), C: int64(p.Origin)}
+}
+
+func decNaive(b wire.Body) naivePayload {
+	return naivePayload{Kind: b.Kind, Cluster: cover.ClusterID(b.A), Session: int(b.B), Origin: graph.NodeID(b.C)}
 }
 
 var _ async.Module = (*NaiveModule)(nil)
@@ -86,7 +97,7 @@ func (m *NaiveModule) state(k key) *naiveState {
 }
 
 func (m *NaiveModule) send(n *async.Node, to graph.NodeID, p naivePayload) {
-	n.Send(to, async.Msg{Proto: m.proto, Stage: m.stageOf(p.Session), Body: p})
+	n.Send(to, async.Msg{Proto: m.proto, Stage: m.stageOf(p.Session), Body: encNaive(p)})
 }
 
 // Register sends this node's registration toward the root.
@@ -111,10 +122,7 @@ func (m *NaiveModule) Deregister(n *async.Node, c cover.ClusterID, session int) 
 
 // Recv implements async.Module.
 func (m *NaiveModule) Recv(n *async.Node, from graph.NodeID, msg async.Msg) {
-	p, ok := msg.Body.(naivePayload)
-	if !ok {
-		panic(fmt.Sprintf("reg: naive got payload %T", msg.Body))
-	}
+	p := decNaive(msg.Body)
 	st := m.state(key{c: p.Cluster, s: p.Session})
 	switch p.Kind {
 	case nkReg:

@@ -28,6 +28,7 @@ import (
 	"repro/internal/async"
 	"repro/internal/cover"
 	"repro/internal/graph"
+	"repro/internal/wire"
 )
 
 // localState tracks this node's own client within one (cluster, session).
@@ -50,20 +51,23 @@ const (
 	markWaiting
 )
 
-type msgKind int8
-
+// Wire kinds of registration traffic (namespace: this module's proto).
+// Every payload carries A = cluster, B = session.
 const (
-	kindRegUp msgKind = iota + 1
+	kindRegUp wire.Kind = iota + 1
 	kindRegDone
 	kindDeregUp
 	kindGoAhead
 )
 
-// payload is the wire format of registration traffic.
-type payload struct {
-	Kind    msgKind
-	Cluster cover.ClusterID
-	Session int
+// encPayload encodes one registration message.
+func encPayload(k wire.Kind, c cover.ClusterID, session int) wire.Body {
+	return wire.Body{Kind: k, A: int64(c), B: int64(session)}
+}
+
+// decPayload decodes the cluster and session words.
+func decPayload(b wire.Body) (cover.ClusterID, int) {
+	return cover.ClusterID(b.A), int(b.B)
 }
 
 // Callbacks receives client-visible events.
@@ -148,11 +152,11 @@ func (m *Module) parent(n *async.Node, c cover.ClusterID) graph.NodeID {
 	return p
 }
 
-func (m *Module) send(n *async.Node, to graph.NodeID, kind msgKind, c cover.ClusterID, session int) {
+func (m *Module) send(n *async.Node, to graph.NodeID, kind wire.Kind, c cover.ClusterID, session int) {
 	n.Send(to, async.Msg{
 		Proto: m.proto,
 		Stage: m.stageOf(session),
-		Body:  payload{Kind: kind, Cluster: c, Session: session},
+		Body:  encPayload(kind, c, session),
 	})
 }
 
@@ -196,58 +200,55 @@ func (m *Module) Deregister(n *async.Node, c cover.ClusterID, session int) {
 
 // Recv implements async.Module.
 func (m *Module) Recv(n *async.Node, from graph.NodeID, msg async.Msg) {
-	p, ok := msg.Body.(payload)
-	if !ok {
-		panic(fmt.Sprintf("reg: node %d got non-registration payload %T", n.ID(), msg.Body))
-	}
-	st := m.state(n, p.Cluster, p.Session)
-	switch p.Kind {
+	c, session := decPayload(msg.Body)
+	st := m.state(n, c, session)
+	switch msg.Body.Kind {
 	case kindRegUp:
-		m.onRegUp(n, from, p, st)
+		m.onRegUp(n, from, c, session, st)
 	case kindRegDone:
-		m.onRegDone(n, p, st)
+		m.onRegDone(n, c, session, st)
 	case kindDeregUp:
-		m.onDeregUp(n, from, p, st)
+		m.onDeregUp(n, from, c, session, st)
 	case kindGoAhead:
-		m.runG(n, p.Cluster, p.Session, st)
+		m.runG(n, c, session, st)
 	default:
-		panic(fmt.Sprintf("reg: unknown kind %d", p.Kind))
+		panic(fmt.Sprintf("reg: unknown kind %d", msg.Body.Kind))
 	}
 }
 
-func (m *Module) onRegUp(n *async.Node, child graph.NodeID, p payload, st *state) {
+func (m *Module) onRegUp(n *async.Node, child graph.NodeID, c cover.ClusterID, session int, st *state) {
 	st.childMark[child] = markDirty
 	if st.finished {
-		m.send(n, child, kindRegDone, p.Cluster, p.Session)
+		m.send(n, child, kindRegDone, c, session)
 		return
 	}
 	st.invokers = append(st.invokers, child)
-	m.invokeRUp(n, p.Cluster, p.Session, st)
+	m.invokeRUp(n, c, session, st)
 }
 
-func (m *Module) onRegDone(n *async.Node, p payload, st *state) {
+func (m *Module) onRegDone(n *async.Node, c cover.ClusterID, session int, st *state) {
 	st.finished = true
 	st.pending = false
 	for _, ch := range st.invokers {
-		m.send(n, ch, kindRegDone, p.Cluster, p.Session)
+		m.send(n, ch, kindRegDone, c, session)
 	}
 	st.invokers = st.invokers[:0]
 	if st.local == registering {
 		st.local = registered
-		m.cb.Registered(n, p.Cluster, p.Session)
+		m.cb.Registered(n, c, session)
 	}
 }
 
-func (m *Module) onDeregUp(n *async.Node, child graph.NodeID, p payload, st *state) {
+func (m *Module) onDeregUp(n *async.Node, child graph.NodeID, c cover.ClusterID, session int, st *state) {
 	if st.childMark[child] != markDirty {
 		panic(fmt.Sprintf("reg: node %d got DeregUp on non-dirty edge from %d", n.ID(), child))
 	}
 	st.childMark[child] = markWaiting
-	if m.isRoot(n, p.Cluster) {
-		m.maybeIssueGo(n, p.Cluster, p.Session, st)
+	if m.isRoot(n, c) {
+		m.maybeIssueGo(n, c, session, st)
 		return
 	}
-	m.runD(n, p.Cluster, p.Session, st)
+	m.runD(n, c, session, st)
 }
 
 // runD is the deregistration wave step D(me).

@@ -7,6 +7,7 @@ import (
 	"repro/internal/async"
 	"repro/internal/cover"
 	"repro/internal/graph"
+	"repro/internal/wire"
 )
 
 const (
@@ -82,7 +83,7 @@ func (c *client) onFlood(n *async.Node) {
 	}
 	c.flooded = true
 	for _, nb := range n.Neighbors() {
-		n.Send(nb.Node, async.Msg{Proto: protoOrch, Body: "dereg"})
+		n.Send(nb.Node, async.Msg{Proto: protoOrch, Body: wire.Tag(1)})
 	}
 	c.deregisterReady(n)
 }

@@ -4,6 +4,7 @@ import (
 	"testing"
 
 	"repro/internal/graph"
+	"repro/internal/wire"
 )
 
 // benchBFS is the minimal event-driven BFS used to exercise one lockstep
@@ -17,7 +18,7 @@ func (h *benchBFS) Init(n API) {
 		h.dist = 0
 		n.Output(0)
 		for _, nb := range n.Neighbors() {
-			n.Send(nb.Node, "join")
+			n.Send(nb.Node, wire.Body{Kind: 1, A: int64(n.ID())})
 		}
 	}
 }
@@ -29,7 +30,7 @@ func (h *benchBFS) Pulse(n API, p int, recvd []Incoming) {
 	h.dist = p
 	n.Output(p)
 	for _, nb := range n.Neighbors() {
-		n.Send(nb.Node, "join")
+		n.Send(nb.Node, wire.Body{Kind: 1, A: int64(n.ID())})
 	}
 }
 

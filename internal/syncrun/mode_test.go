@@ -4,6 +4,7 @@ import (
 	"testing"
 
 	"repro/internal/graph"
+	"repro/internal/wire"
 )
 
 // forceMulti returns a runner with the worker pool forced on regardless of
@@ -39,14 +40,14 @@ type pulseDoubleSender struct{}
 
 func (h *pulseDoubleSender) Init(n API) {
 	if n.ID() == 0 {
-		n.Send(1, "go")
+		n.Send(1, wire.Tag(1))
 	}
 }
 
 func (h *pulseDoubleSender) Pulse(n API, p int, recvd []Incoming) {
 	if n.ID() == 1 && len(recvd) > 0 {
-		n.Send(0, "a")
-		n.Send(0, "b")
+		n.Send(0, wire.Tag(1))
+		n.Send(0, wire.Tag(2))
 	}
 }
 
@@ -69,8 +70,9 @@ func TestMultiBFSMatchesSingle(t *testing.T) {
 		t.Fatalf("scalars differ: %+v vs %+v", single, multi)
 	}
 	for i := range single.Trace {
-		if single.Trace[i] != multi.Trace[i] {
-			t.Fatalf("trace[%d]: %+v vs %+v", i, single.Trace[i], multi.Trace[i])
+		a, b := single.Trace[i], multi.Trace[i]
+		if a.Pulse != b.Pulse || a.From != b.From || a.To != b.To || !wire.Equal(a.Body, b.Body) {
+			t.Fatalf("trace[%d]: %+v vs %+v", i, a, b)
 		}
 	}
 	for v, out := range single.Outputs {
@@ -91,7 +93,7 @@ type sortChecker struct {
 func (h *sortChecker) Init(n API) {
 	// Star center is node 0; leaves all send to it at pulse 1.
 	if n.ID() != 0 {
-		n.Send(0, int(n.ID()))
+		n.Send(0, wire.Body{Kind: 1, A: int64(n.ID())})
 	}
 }
 

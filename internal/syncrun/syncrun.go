@@ -11,7 +11,8 @@
 // pulse(v,p) = p), so providing it changes nothing about synchronizability
 // while making algorithms like BFS natural to write.
 //
-// The engine is dense and allocation-light: per-node inboxes are
+// The engine is dense and allocation-free at steady state: message bodies
+// are wire.Body values (no interface boxing), per-node inboxes are
 // double-buffered slices whose capacity persists across pulses, the
 // activation set is a bitmap iterated in node-index order, and the CONGEST
 // one-message-per-link-per-pulse guard is a flat pulse-stamp array indexed
@@ -34,12 +35,15 @@ import (
 	"sync"
 
 	"repro/internal/graph"
+	"repro/internal/wire"
 )
 
-// Incoming is one received message: the sender and the payload.
+// Incoming is one received message: the sender and the payload, both plain
+// values — delivery never boxes. A Body segment is recycled when the
+// receiving Pulse returns; copy its data out inside Pulse to retain it.
 type Incoming struct {
 	From graph.NodeID
-	Body any
+	Body wire.Body
 }
 
 // API is the surface an event-driven synchronous algorithm sees. The
@@ -54,8 +58,11 @@ type API interface {
 	// Degree returns the node degree.
 	Degree() int
 	// Send transmits body to a neighbor; it arrives next pulse. At most
-	// one message per neighbor per pulse (CONGEST link capacity).
-	Send(to graph.NodeID, body any)
+	// one message per neighbor per pulse (CONGEST link capacity). Segment
+	// ownership transfers to the engine at Send (see package wire).
+	Send(to graph.NodeID, body wire.Body)
+	// Arena returns the run's segment arena for variable-length payloads.
+	Arena() *wire.Arena
 	// Output records this node's final output.
 	Output(v any)
 	// HasOutput reports whether output was already produced.
@@ -126,7 +133,7 @@ func (n *Node) Degree() int { return n.run.g.Degree(n.id) }
 // message per neighbor per pulse (CONGEST-style link capacity; the async
 // ack discipline enforces the same limit, so algorithms written against
 // this runner synchronize without surprises).
-func (n *Node) Send(to graph.NodeID, body any) {
+func (n *Node) Send(to graph.NodeID, body wire.Body) {
 	r := n.run
 	l := r.g.LinkBetween(n.id, to)
 	if l < 0 {
@@ -165,12 +172,17 @@ func (n *Node) Output(v any) {
 // HasOutput reports whether this node already produced output.
 func (n *Node) HasOutput() bool { return n.run.hasOut[n.id] }
 
+// Arena returns the run's segment arena. Sent segments are recycled after
+// the receiving pulse's batch is delivered; the arena is safe for the
+// Multi-mode worker pool.
+func (n *Node) Arena() *wire.Arena { return &n.run.arena }
+
 // TraceEntry records one message for trace-equivalence checking against the
 // synchronized asynchronous execution (Theorem 5.2).
 type TraceEntry struct {
 	Pulse    int
 	From, To graph.NodeID
-	Body     any
+	Body     wire.Body
 }
 
 // Result summarizes a synchronous run.
@@ -190,7 +202,7 @@ type Result struct {
 // pendingSend is one buffered worker-mode send, applied at merge time.
 type pendingSend struct {
 	from, to graph.NodeID
-	body     any
+	body     wire.Body
 }
 
 // sendSink routes a node's effects. With r set, effects apply to the
@@ -252,6 +264,10 @@ type Runner struct {
 	activeIDs    []graph.NodeID
 	workerSinks  []sendSink
 	workerPanics []any
+
+	// arena backs Body.Seg segments; delivered segments return to it after
+	// the receiving pulse's batch is processed.
+	arena wire.Arena
 }
 
 // New builds a Runner; mk creates each node's handler. The graph is
@@ -400,7 +416,7 @@ func (r *Runner) stepNode(v graph.NodeID, sink *sendSink) {
 	r.handlers[v].Pulse(n, r.pulse, batch)
 	n.sink = &r.direct
 	for i := range batch {
-		batch[i] = Incoming{} // release delivered bodies
+		r.arena.Release(batch[i].Body.Seg) // the batch was the segment's last use
 	}
 	r.cur.inbox[v] = batch[:0]
 }
@@ -477,12 +493,15 @@ func (r *Runner) stepParallel() {
 // activate both endpoints. Active nodes step in ascending index order and
 // each sends at most once per neighbor, so every inbox batch is sorted by
 // sender by construction — no per-batch sort.
-func (r *Runner) record(from, to graph.NodeID, body any) {
+func (r *Runner) record(from, to graph.NodeID, body wire.Body) {
 	r.msgs++
 	r.nxt.inbox[to] = append(r.nxt.inbox[to], Incoming{From: from, Body: body})
 	r.nxt.activate(to)
 	r.nxt.activate(from)
 	if r.keepTrace {
+		// A seg-carrying trace Body keeps only the handle; its storage is
+		// recycled after delivery, so traces of seg traffic are compared
+		// by handle, not resolved afterwards.
 		r.trace = append(r.trace, TraceEntry{Pulse: r.pulse, From: from, To: to, Body: body})
 	}
 }

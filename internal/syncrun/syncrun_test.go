@@ -4,6 +4,7 @@ import (
 	"testing"
 
 	"repro/internal/graph"
+	"repro/internal/wire"
 )
 
 // syncBFS: source sends "join" at pulse 0; a node adopts the first pulse at
@@ -19,7 +20,7 @@ func (h *syncBFS) Init(n API) {
 		h.dist = 0
 		n.Output(0)
 		for _, nb := range n.Neighbors() {
-			n.Send(nb.Node, "join")
+			n.Send(nb.Node, wire.Tag(1))
 		}
 	}
 }
@@ -31,7 +32,7 @@ func (h *syncBFS) Pulse(n API, p int, recvd []Incoming) {
 	h.dist = p
 	n.Output(p)
 	for _, nb := range n.Neighbors() {
-		n.Send(nb.Node, "join")
+		n.Send(nb.Node, wire.Tag(1))
 	}
 }
 
@@ -83,7 +84,7 @@ type pingPong struct{ sends int }
 
 func (h *pingPong) Init(n API) {
 	if n.ID() == 0 {
-		n.Send(1, 0)
+		n.Send(1, wire.Body{Kind: 1, A: 0})
 		h.sends = 1
 	}
 }
@@ -91,7 +92,7 @@ func (h *pingPong) Init(n API) {
 func (h *pingPong) Pulse(n API, p int, recvd []Incoming) {
 	if n.ID() == 0 && len(recvd) == 0 && h.sends < 3 {
 		// Triggered by own send of pulse p-1.
-		n.Send(1, h.sends)
+		n.Send(1, wire.Body{Kind: 1, A: int64(h.sends)})
 		h.sends++
 	}
 	if n.ID() == 1 && len(recvd) == 3 {
@@ -130,8 +131,8 @@ type doubleSender struct{}
 
 func (h *doubleSender) Init(n API) {
 	if n.ID() == 0 {
-		n.Send(1, "a")
-		n.Send(1, "b")
+		n.Send(1, wire.Tag(1))
+		n.Send(1, wire.Tag(2))
 	}
 }
 func (h *doubleSender) Pulse(API, int, []Incoming) {}
