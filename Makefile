@@ -1,0 +1,38 @@
+# Build/test/bench entry points. CI runs the same targets.
+
+# The engine microbenchmark suite committed as the bench trajectory:
+# the four PR-3 engine benchmarks (async flood under random + fixed
+# delays, lockstep pulse serial + worker-pool) plus the bounded-lag
+# parallel-async and engine-reuse benchmarks added with the async
+# ExecutionMode work.
+ASYNC_BENCH  = BenchmarkSimFlood$$|BenchmarkSimFloodFixed|BenchmarkSimFloodParallel|BenchmarkSimFloodReset
+SYNC_BENCH   = BenchmarkLockstepPulse$$|BenchmarkLockstepPulseMulti
+BENCH_OUT    = BENCH_4.json
+BENCH_NOTE  ?= engine microbenchmark suite; multi-mode columns measure staging overhead when GOMAXPROCS=1 (single-core CI) and parallel speedup otherwise
+
+.PHONY: build test race bench fmt vet
+
+build:
+	go build ./...
+
+test: build
+	go test ./...
+
+race:
+	go test -race ./internal/async/ ./internal/syncrun/ ./internal/apps/ ./internal/bench/ ./internal/core/
+
+fmt:
+	@fmt=$$(gofmt -l .); if [ -n "$$fmt" ]; then echo "gofmt needed on:"; echo "$$fmt"; exit 1; fi
+
+vet:
+	go vet ./...
+
+# Separate recipe lines so a failing benchmark suite fails the target
+# instead of being swallowed by a pipe (benchjson would happily emit a
+# truncated document from whatever lines did arrive).
+bench:
+	go test -run '^$$' -bench '$(ASYNC_BENCH)' -benchmem ./internal/async/ > .bench-async.out
+	go test -run '^$$' -bench '$(SYNC_BENCH)' -benchmem ./internal/syncrun/ > .bench-sync.out
+	cat .bench-async.out .bench-sync.out | go run ./cmd/benchjson -note "$(BENCH_NOTE)" > $(BENCH_OUT)
+	rm -f .bench-async.out .bench-sync.out
+	@cat $(BENCH_OUT)

@@ -53,3 +53,7 @@ func BenchmarkE12GatherCost(b *testing.B) { runExperiment(b, bench.E12GatherCost
 func BenchmarkE13EngineThroughput(b *testing.B) {
 	runExperiment(b, bench.E13EngineThroughput)
 }
+
+func BenchmarkE14AsyncEngineThroughput(b *testing.B) {
+	runExperiment(b, bench.E14AsyncEngineThroughput)
+}

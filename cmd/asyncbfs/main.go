@@ -33,9 +33,22 @@ func run() int {
 		cols    = flag.Int("cols", 6, "grid cols")
 		seed    = flag.Uint64("seed", 1, "delay adversary seed")
 		sources = flag.String("sources", "0", "comma-separated source IDs")
+		mode    = flag.String("mode", "auto", "async engine execution mode: auto|single|multi")
 		quiet   = flag.Bool("quiet", false, "suppress per-node output")
 	)
 	flag.Parse()
+	var execMode dsync.AsyncExecutionMode
+	switch *mode {
+	case "auto":
+		execMode = dsync.AsyncModeAuto
+	case "single":
+		execMode = dsync.AsyncModeSingle
+	case "multi":
+		execMode = dsync.AsyncModeMulti
+	default:
+		fmt.Fprintf(os.Stderr, "unknown mode %q (want auto|single|multi)\n", *mode)
+		return 2
+	}
 	g, err := buildGraph(*kind, *n, *m, *rows, *cols, *seed)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
@@ -46,7 +59,7 @@ func run() int {
 		fmt.Fprintln(os.Stderr, err)
 		return 2
 	}
-	res := dsync.AsyncBFS(g, srcs, dsync.RandomDelays(*seed))
+	res := dsync.AsyncBFSMode(g, srcs, dsync.RandomDelays(*seed), execMode)
 	fmt.Printf("graph=%s n=%d m=%d D=%d sources=%v\n", *kind, g.N(), g.M(), g.Diameter(), srcs)
 	fmt.Printf("iterations=%d final-threshold=%d time=%.1f msgs=%d\n",
 		res.Iterations, res.FinalThreshold, res.Time, res.Msgs)

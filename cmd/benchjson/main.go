@@ -1,0 +1,138 @@
+// Command benchjson converts `go test -bench` output on stdin into the
+// committed bench-trajectory artifact (BENCH_N.json): one record per
+// benchmark with ns/op, allocs/op, bytes/op, any custom metrics, the
+// execution mode inferred from the benchmark name, and the GOMAXPROCS the
+// benchmark ran at (the -N name suffix). `make bench` pipes the engine
+// microbenchmark suite through it.
+//
+// Usage:
+//
+//	go test -run '^$' -bench ... ./... | benchjson -note "..." > BENCH_4.json
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+)
+
+// Benchmark is one parsed benchmark result line.
+type Benchmark struct {
+	// Name is the benchmark name without the -GOMAXPROCS suffix.
+	Name string `json:"name"`
+	// Mode is the engine execution mode inferred from the name
+	// ("single", "multi", or "default" when the name carries none).
+	Mode string `json:"mode"`
+	// Gomaxprocs is the -N suffix go test appends to the name.
+	Gomaxprocs int     `json:"gomaxprocs"`
+	Iterations int64   `json:"iterations"`
+	NsPerOp    float64 `json:"nsPerOp"`
+	AllocsOp   float64 `json:"allocsPerOp,omitempty"`
+	BytesOp    float64 `json:"bytesPerOp,omitempty"`
+	// Metrics carries every other reported unit (events/op, msgs/op, …).
+	Metrics map[string]float64 `json:"metrics,omitempty"`
+}
+
+// Output is the whole document.
+type Output struct {
+	Schema     string      `json:"schema"`
+	Goos       string      `json:"goos,omitempty"`
+	Goarch     string      `json:"goarch,omitempty"`
+	CPU        string      `json:"cpu,omitempty"`
+	Note       string      `json:"note,omitempty"`
+	Benchmarks []Benchmark `json:"benchmarks"`
+}
+
+func main() {
+	os.Exit(run())
+}
+
+func run() int {
+	note := flag.String("note", "", "free-form provenance note embedded in the document")
+	flag.Parse()
+	out := Output{Schema: "enginebench/v1", Note: *note}
+	sc := bufio.NewScanner(os.Stdin)
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		switch {
+		case strings.HasPrefix(line, "goos:"):
+			out.Goos = strings.TrimSpace(strings.TrimPrefix(line, "goos:"))
+		case strings.HasPrefix(line, "goarch:"):
+			out.Goarch = strings.TrimSpace(strings.TrimPrefix(line, "goarch:"))
+		case strings.HasPrefix(line, "cpu:"):
+			out.CPU = strings.TrimSpace(strings.TrimPrefix(line, "cpu:"))
+		case strings.HasPrefix(line, "Benchmark"):
+			if b, ok := parseLine(line); ok {
+				out.Benchmarks = append(out.Benchmarks, b)
+			}
+		}
+	}
+	if err := sc.Err(); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		return 1
+	}
+	if len(out.Benchmarks) == 0 {
+		fmt.Fprintln(os.Stderr, "benchjson: no benchmark lines on stdin")
+		return 1
+	}
+	enc := json.NewEncoder(os.Stdout)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(out); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		return 1
+	}
+	return 0
+}
+
+// parseLine parses one result line:
+//
+//	BenchmarkName/sub-8  123  456.7 ns/op  89 B/op  1 allocs/op  2 events/op
+func parseLine(line string) (Benchmark, bool) {
+	fields := strings.Fields(line)
+	if len(fields) < 4 {
+		return Benchmark{}, false
+	}
+	b := Benchmark{Name: fields[0], Gomaxprocs: 1, Mode: "default", Metrics: map[string]float64{}}
+	if i := strings.LastIndex(b.Name, "-"); i > 0 {
+		if p, err := strconv.Atoi(b.Name[i+1:]); err == nil {
+			b.Gomaxprocs = p
+			b.Name = b.Name[:i]
+		}
+	}
+	lower := strings.ToLower(b.Name)
+	switch {
+	case strings.Contains(lower, "multi"):
+		b.Mode = "multi"
+	case strings.Contains(lower, "single"):
+		b.Mode = "single"
+	}
+	iters, err := strconv.ParseInt(fields[1], 10, 64)
+	if err != nil {
+		return Benchmark{}, false
+	}
+	b.Iterations = iters
+	for i := 2; i+1 < len(fields); i += 2 {
+		v, err := strconv.ParseFloat(fields[i], 64)
+		if err != nil {
+			return Benchmark{}, false
+		}
+		switch unit := fields[i+1]; unit {
+		case "ns/op":
+			b.NsPerOp = v
+		case "allocs/op":
+			b.AllocsOp = v
+		case "B/op":
+			b.BytesOp = v
+		default:
+			b.Metrics[unit] = v
+		}
+	}
+	if len(b.Metrics) == 0 {
+		b.Metrics = nil
+	}
+	return b, true
+}

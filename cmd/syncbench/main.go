@@ -3,20 +3,23 @@
 // Usage:
 //
 //	syncbench                      # run every experiment
-//	syncbench -exp E5              # run one experiment (E1..E13)
+//	syncbench -exp E5              # run one experiment (E1..E14)
 //	syncbench -exp E2,E3,E4        # run a subset, in the given order
 //	syncbench -list                # list experiment ids and titles
 //	syncbench -parallel 8          # run independent trials on 8 workers
 //	syncbench -json                # emit structured JSON records
 //	syncbench -exp E13 -json       # the CI bench-trajectory smoke run
 //	syncbench -seed 42             # override every adversary seed
-//	syncbench -mode multi          # force a lockstep execution mode
+//	syncbench -mode multi          # force an execution mode, both engines
 //
 // Tables are byte-identical for any -parallel or -mode value; -json
 // replaces the tables with one syncbench/v1 JSON document of per-row
 // records. -seed 0 (the default) keeps the per-experiment seeds that
 // reproduce the published tables; any other value sweeps every seeded
 // adversary, matching what cmd/synchronize's -seed flag does there.
+// -mode selects the execution mode of BOTH engines: the lockstep runner's
+// worker pool and the async engine's bounded-lag parallel windows (E13 and
+// E14 compare the modes explicitly and ignore it).
 package main
 
 import (
@@ -25,6 +28,7 @@ import (
 	"os"
 	"strings"
 
+	"repro/internal/async"
 	"repro/internal/bench"
 	"repro/internal/syncrun"
 )
@@ -39,7 +43,7 @@ func run() int {
 	jsonOut := flag.Bool("json", false, "emit structured JSON records instead of text tables")
 	list := flag.Bool("list", false, "list experiment ids and titles, then exit")
 	seed := flag.Uint64("seed", 0, "delay adversary seed; 0 keeps each experiment's default")
-	mode := flag.String("mode", "auto", "lockstep execution mode: auto|single|multi")
+	mode := flag.String("mode", "auto", "execution mode for both engines: auto|single|multi")
 	flag.Parse()
 	if *list {
 		for _, info := range bench.List() {
@@ -48,13 +52,14 @@ func run() int {
 		return 0
 	}
 	var execMode syncrun.ExecutionMode
+	var asyncMode async.ExecutionMode
 	switch *mode {
 	case "auto":
-		execMode = syncrun.ModeAuto
+		execMode, asyncMode = syncrun.ModeAuto, async.ModeAuto
 	case "single":
-		execMode = syncrun.ModeSingle
+		execMode, asyncMode = syncrun.ModeSingle, async.ModeSingle
 	case "multi":
-		execMode = syncrun.ModeMulti
+		execMode, asyncMode = syncrun.ModeMulti, async.ModeMulti
 	default:
 		fmt.Fprintf(os.Stderr, "unknown mode %q (want auto|single|multi)\n", *mode)
 		return 2
@@ -65,7 +70,7 @@ func run() int {
 			ids = append(ids, strings.TrimSpace(id))
 		}
 	}
-	opts := bench.Options{Workers: *parallel, JSON: *jsonOut, Seed: *seed, Mode: execMode}
+	opts := bench.Options{Workers: *parallel, JSON: *jsonOut, Seed: *seed, Mode: execMode, AsyncMode: asyncMode}
 	if err := bench.Run(os.Stdout, ids, opts); err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		return 2

@@ -49,6 +49,11 @@ type (
 	// ExecutionMode selects how the lockstep runner steps each pulse
 	// (results are byte-identical across modes).
 	ExecutionMode = syncrun.ExecutionMode
+	// AsyncExecutionMode selects how the asynchronous engine consumes its
+	// event queue: serially, or in bounded-lag parallel time windows whose
+	// width is the adversary's declared MinDelay lookahead. Results are
+	// byte-identical across modes.
+	AsyncExecutionMode = async.ExecutionMode
 	// Algorithm is an event-driven synchronous node program.
 	Algorithm = syncrun.Handler
 	// API is the node-side surface an Algorithm sees.
@@ -102,6 +107,16 @@ const (
 	ModeMulti  = syncrun.ModeMulti
 )
 
+// Asynchronous engine execution modes (conservative bounded-lag
+// parallelism; byte-identical results, wall-clock only). AsyncModeAuto
+// engages the parallel windows when the adversary's MinDelay lookahead and
+// the graph are both large enough to amortize the window barriers.
+const (
+	AsyncModeAuto   = async.ModeAuto
+	AsyncModeSingle = async.ModeSingle
+	AsyncModeMulti  = async.ModeMulti
+)
+
 // RunSync executes an event-driven synchronous algorithm in lockstep rounds
 // and measures T(A) and M(A). On large graphs the engine may step
 // different nodes' handlers concurrently (ModeAuto); handlers own their
@@ -123,6 +138,14 @@ func RunSyncMode(g *Graph, mode ExecutionMode, mk func(NodeID) Algorithm) SyncRe
 // which the algorithm sends.
 func Synchronize(g *Graph, bound int, adv Adversary, mk func(NodeID) Algorithm) AsyncResult {
 	return core.Synchronize(core.Config{Graph: g, Bound: bound, Adversary: adv}, mk)
+}
+
+// SynchronizeMode is Synchronize with an explicit asynchronous-engine
+// execution mode (AsyncModeSingle forces the serial event loop,
+// AsyncModeMulti the bounded-lag parallel windows).
+func SynchronizeMode(g *Graph, bound int, adv Adversary, mode AsyncExecutionMode,
+	mk func(NodeID) Algorithm) AsyncResult {
+	return core.Synchronize(core.Config{Graph: g, Bound: bound, Adversary: adv, Mode: mode}, mk)
 }
 
 // SynchronizeWithCovers is Synchronize with prebuilt layered covers
@@ -222,6 +245,11 @@ func AsyncMST(g *Graph, adv Adversary) AsyncResult {
 // 4.23/4.24: Õ(D1) time, Õ(m) messages, no prior knowledge of D.
 func AsyncBFS(g *Graph, sources []NodeID, adv Adversary) abfs.FullResult {
 	return abfs.Full(g, sources, adv)
+}
+
+// AsyncBFSMode is AsyncBFS with an explicit engine execution mode.
+func AsyncBFSMode(g *Graph, sources []NodeID, adv Adversary, mode AsyncExecutionMode) abfs.FullResult {
+	return abfs.FullMode(g, sources, adv, mode)
 }
 
 // ThresholdedBFS runs the τ-thresholded asynchronous BFS of Theorem 4.15;

@@ -26,11 +26,21 @@ import (
 	"repro/internal/cover"
 	"repro/internal/gather"
 	"repro/internal/graph"
+	"repro/internal/outval"
+	"repro/internal/wire"
 )
 
 // Unreachable is the output of nodes whose distance to every source
 // exceeds the threshold (the paper's ∞ symbol, Definition 4.2).
 type Unreachable struct{}
+
+// KindOutUnreachable is the typed-output encoding of Unreachable (a pure
+// tag; see outval for the output-kind namespace).
+const KindOutUnreachable wire.Kind = 0x7D01
+
+func init() {
+	outval.Register(KindOutUnreachable, func(wire.Body) any { return Unreachable{} })
+}
 
 // protoCheck carries the checking-stage gather (distinct from every proto
 // the synchronizer stack uses).
@@ -94,7 +104,7 @@ func (cg *checkGlue) onSourceDone(frontier bool) {
 // NeighborhoodDone implements gather.Callbacks: the τ-ball is settled.
 func (cg *checkGlue) NeighborhoodDone(n *async.Node, _ int) {
 	if !cg.tb.Reached() {
-		n.Output(Unreachable{})
+		n.OutputBody(wire.Tag(KindOutUnreachable))
 	}
 }
 
@@ -107,6 +117,9 @@ type Config struct {
 	// Layered covers; nil builds them (they must reach the synchronizer's
 	// level for bound 2·Threshold+4 and the checking level ⌈log₂τ⌉).
 	Layered *cover.Layered
+	// Mode selects the asynchronous engine's execution mode (default
+	// ModeAuto); results are byte-identical across modes.
+	Mode async.ExecutionMode
 }
 
 // pulseBound returns the synchronizer bound for a τ-thresholded BFS: joins
@@ -131,6 +144,16 @@ func checkLevel(tau int) int {
 // Outputs: apps.TBFSResult for reached non-source nodes,
 // apps.TBFSSourceDone at sources, Unreachable{} beyond the threshold.
 func Thresholded(cfg Config) Result {
+	res, _ := thresholdedOn(nil, cfg, false)
+	return res
+}
+
+// thresholdedOn runs one thresholded iteration, either on a fresh engine
+// (sim nil) or by rearming a previous iteration's engine via Sim.Reset —
+// the doubling loop of Full reuses one engine's event wheel, outboxes, and
+// arena across all its iterations. dense selects the engine's dense-output
+// mode (no Outputs map materialization; the caller decodes OutBodies).
+func thresholdedOn(sim *async.Sim, cfg Config, dense bool) (Result, *async.Sim) {
 	if len(cfg.Sources) == 0 {
 		panic("abfs: no sources")
 	}
@@ -155,7 +178,7 @@ func Thresholded(cfg Config) Result {
 		isSource[s] = true
 	}
 	glues := make([]*checkGlue, cfg.Graph.N())
-	sim := async.New(cfg.Graph, adv, func(id graph.NodeID) async.Handler {
+	mk := func(id graph.NodeID) async.Handler {
 		tb := &apps.TBFS{Sources: cfg.Sources, Threshold: cfg.Threshold}
 		glue := &checkGlue{tb: tb, isSource: isSource[id]}
 		glue.gm = gather.New(protoCheck, checkCov, glue, nil)
@@ -165,7 +188,15 @@ func Thresholded(cfg Config) Result {
 		stack.Register(protoCheck, glue.gm)
 		stack.Register(protoCheck+1, glue)
 		return stack
-	})
+	}
+	if sim == nil {
+		sim = async.New(cfg.Graph, adv, mk).WithMode(cfg.Mode)
+		if dense {
+			sim.DenseOutputs()
+		}
+	} else {
+		sim.Reset(adv, mk)
+	}
 	res := sim.Run()
 	complete := true
 	for _, s := range cfg.Sources {
@@ -176,7 +207,7 @@ func Thresholded(cfg Config) Result {
 			complete = false
 		}
 	}
-	return Result{Result: res, Complete: complete}
+	return Result{Result: res, Complete: complete}, sim
 }
 
 // FullResult aggregates the doubling iterations of the complete BFS.
@@ -196,15 +227,27 @@ type FullResult struct {
 // 4.23/4.24: thresholds 1, 2, 4, … until the Approach-2 frontier
 // convergecast reports no unreached neighbor anywhere.
 func Full(g *graph.Graph, sources []graph.NodeID, adv async.Adversary) FullResult {
+	return FullMode(g, sources, adv, async.ModeAuto)
+}
+
+// FullMode is Full with an explicit engine execution mode. One simulation
+// engine serves every doubling iteration (rearmed with Sim.Reset between
+// them), and intermediate iterations run with dense outputs — only the
+// winning iteration's outputs are decoded into the result map.
+func FullMode(g *graph.Graph, sources []graph.NodeID, adv async.Adversary,
+	mode async.ExecutionMode) FullResult {
 	out := FullResult{}
+	var sim *async.Sim
 	for tau := 1; ; tau *= 2 {
-		res := Thresholded(Config{Graph: g, Sources: sources, Threshold: tau, Adversary: adv})
+		var res Result
+		res, sim = thresholdedOn(sim, Config{Graph: g, Sources: sources,
+			Threshold: tau, Adversary: adv, Mode: mode}, true)
 		out.Iterations++
 		out.Time += res.Time
 		out.Msgs += res.Msgs
 		out.FinalThreshold = tau
 		if res.Complete {
-			out.Outputs = res.Outputs
+			out.Outputs = res.DecodedOutputs()
 			return out
 		}
 		if tau > 4*g.N() {

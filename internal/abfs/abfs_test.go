@@ -1,6 +1,7 @@
 package abfs
 
 import (
+	"reflect"
 	"testing"
 
 	"repro/internal/apps"
@@ -129,4 +130,42 @@ func TestCheckLevel(t *testing.T) {
 			t.Errorf("checkLevel(%d) = %d, want %d", tau, got, lvl)
 		}
 	}
+}
+
+// TestFullModeMatchesSerial runs the complete doubling BFS — every
+// iteration on the reused bounded-lag engine — and requires the aggregate
+// FullResult (summed costs, decoded final outputs, iteration count) to
+// deep-equal the serial run's.
+func TestFullModeMatchesSerial(t *testing.T) {
+	g := graph.Grid(6, 6)
+	sources := []graph.NodeID{0, 35}
+	for _, adv := range []async.Adversary{
+		async.Fixed{D: 1},
+		async.SeededRandom{Seed: 23},
+	} {
+		serial := FullMode(g, sources, adv, async.ModeSingle)
+		par := FullMode(g, sources, adv, async.ModeMulti)
+		if !reflect.DeepEqual(serial, par) {
+			t.Fatalf("%s: FullMode parallel differs from serial:\n%+v\nvs\n%+v", adv.Name(), serial, par)
+		}
+		if bad := apps.CheckBFSOutputs(g, sources, toBFSOutputs(serial.Outputs)); bad >= 0 {
+			t.Fatalf("%s: node %d has wrong BFS output", adv.Name(), bad)
+		}
+	}
+}
+
+// toBFSOutputs adapts TBFS outputs to the BFS checker's shape.
+func toBFSOutputs(outputs map[graph.NodeID]any) map[graph.NodeID]any {
+	conv := make(map[graph.NodeID]any, len(outputs))
+	for v, o := range outputs {
+		switch x := o.(type) {
+		case apps.TBFSResult:
+			conv[v] = apps.BFSResult{Dist: x.Dist, Parent: x.Parent, Source: x.Source}
+		case apps.TBFSSourceDone:
+			conv[v] = apps.BFSResult{Dist: 0, Parent: -1, Source: v}
+		default:
+			conv[v] = o
+		}
+	}
+	return conv
 }

@@ -43,7 +43,7 @@ func (h *BFS) Init(n syncrun.API) {
 		}
 		h.set = true
 		h.res = BFSResult{Dist: 0, Parent: -1, Source: s}
-		n.Output(h.res)
+		n.OutputBody(encBFSOut(h.res))
 		for _, nb := range n.Neighbors() {
 			n.Send(nb.Node, wire.Body{Kind: kindBFSJoin, A: int64(s)})
 		}
@@ -68,7 +68,7 @@ func (h *BFS) Pulse(n syncrun.API, p int, recvd []syncrun.Incoming) {
 	}
 	h.set = true
 	h.res = BFSResult{Dist: p, Parent: best.From, Source: bestSrc}
-	n.Output(h.res)
+	n.OutputBody(encBFSOut(h.res))
 	for _, nb := range n.Neighbors() {
 		n.Send(nb.Node, wire.Body{Kind: kindBFSJoin, A: int64(bestSrc)})
 	}

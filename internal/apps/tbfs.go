@@ -73,7 +73,7 @@ func (h *TBFS) join(n syncrun.API, d int, parent, src graph.NodeID) {
 	h.dist = d
 	h.parent = parent
 	h.src = src
-	n.Output(TBFSResult{Dist: d, Parent: parent, Source: src})
+	n.OutputBody(encTBFSOut(TBFSResult{Dist: d, Parent: parent, Source: src}))
 	if d < h.Threshold {
 		for _, nb := range n.Neighbors() {
 			if nb.Node == parent {
@@ -163,7 +163,7 @@ func (h *TBFS) maybeEcho(n syncrun.API) {
 	if h.OnSourceDone != nil {
 		h.OnSourceDone(h.frontier)
 	}
-	n.Output(TBFSSourceDone{Frontier: h.frontier})
+	n.OutputBody(encTBFSSourceDone(TBFSSourceDone{Frontier: h.frontier}))
 }
 
 // Reached reports whether this node joined the BFS.

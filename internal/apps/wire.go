@@ -3,6 +3,7 @@ package apps
 import (
 	"repro/internal/cover"
 	"repro/internal/graph"
+	"repro/internal/outval"
 	"repro/internal/wire"
 )
 
@@ -35,6 +36,44 @@ const (
 	kindMSTBarUp    wire.Kind = 45 // A = barrier sequence
 	kindMSTBarDown  wire.Kind = 46 // A = barrier sequence
 )
+
+// Output kinds: fixed-size per-node results encoded as typed Bodies so the
+// engines store them in their dense output arrays (no interface boxing at
+// Output time; outval.Decode materializes the structs only at the Result
+// boundary). Output kinds share one global namespace across packages —
+// outval's registry — so they live in a high range of their own.
+const (
+	// KindOutBFS carries a BFSResult: A = dist, B = parent, C = source.
+	KindOutBFS wire.Kind = 0x7E01
+	// KindOutTBFS carries a TBFSResult with the same layout.
+	KindOutTBFS wire.Kind = 0x7E02
+	// KindOutTBFSSourceDone carries a TBFSSourceDone: A = frontier.
+	KindOutTBFSSourceDone wire.Kind = 0x7E03
+)
+
+func init() {
+	outval.Register(KindOutBFS, func(b wire.Body) any {
+		return BFSResult{Dist: int(b.A), Parent: graph.NodeID(b.B), Source: graph.NodeID(b.C)}
+	})
+	outval.Register(KindOutTBFS, func(b wire.Body) any {
+		return TBFSResult{Dist: int(b.A), Parent: graph.NodeID(b.B), Source: graph.NodeID(b.C)}
+	})
+	outval.Register(KindOutTBFSSourceDone, func(b wire.Body) any {
+		return TBFSSourceDone{Frontier: wire.ToBool(b.A)}
+	})
+}
+
+func encBFSOut(r BFSResult) wire.Body {
+	return wire.Body{Kind: KindOutBFS, A: int64(r.Dist), B: int64(r.Parent), C: int64(r.Source)}
+}
+
+func encTBFSOut(r TBFSResult) wire.Body {
+	return wire.Body{Kind: KindOutTBFS, A: int64(r.Dist), B: int64(r.Parent), C: int64(r.Source)}
+}
+
+func encTBFSSourceDone(r TBFSSourceDone) wire.Body {
+	return wire.Body{Kind: KindOutTBFSSourceDone, A: wire.FromBool(r.Frontier)}
+}
 
 // --- leader codec ----------------------------------------------------------
 

@@ -6,10 +6,23 @@ import "repro/internal/graph"
 // normalized time unit τ of the model (§1.1). The adversary sees everything
 // the model allows it to see — endpoints, a per-link sequence number, and
 // the protocol tag — and must be deterministic so experiments reproduce.
+//
+// Every adversary additionally declares a positive lower bound on its
+// delays via MinDelay. The model itself guarantees such a bound exists
+// (delays are drawn from a fixed deterministic rule over a finite value
+// set), and the bounded-lag parallel execution mode turns it into
+// lookahead: all events within one MinDelay-wide time window are causally
+// independent across nodes, so they may execute concurrently. The engine
+// enforces the declaration at dispatch time — returning a delay below the
+// declared bound panics, in every execution mode.
 type Adversary interface {
 	// Delay returns the transit delay for the seq-th transmission (message
 	// or ack) on the directed link from→to.
 	Delay(from, to graph.NodeID, seq uint64, p Proto) float64
+	// MinDelay returns a positive lower bound d_min <= 1 such that every
+	// Delay call returns at least d_min. It is the conservative-simulation
+	// lookahead: larger bounds admit wider parallel windows.
+	MinDelay() float64
 	// Name identifies the adversary in experiment tables.
 	Name() string
 }
@@ -19,6 +32,10 @@ type Fixed struct{ D float64 }
 
 // Delay implements Adversary.
 func (f Fixed) Delay(_, _ graph.NodeID, _ uint64, _ Proto) float64 { return clamp(f.D) }
+
+// MinDelay implements Adversary: every delay is exactly D (clamped), so the
+// lookahead is the whole delay — the best case for the parallel mode.
+func (f Fixed) MinDelay() float64 { return clamp(f.D) }
 
 // Name implements Adversary.
 func (f Fixed) Name() string { return "fixed" }
@@ -33,6 +50,10 @@ func (a SeededRandom) Delay(from, to graph.NodeID, seq uint64, _ Proto) float64 
 	// Map to (0,1]: (h mod 2^20 + 1) / 2^20.
 	return float64(h%(1<<20)+1) / (1 << 20)
 }
+
+// MinDelay implements Adversary: the delay map's smallest value is
+// (0+1)/2^20.
+func (a SeededRandom) MinDelay() float64 { return 1.0 / (1 << 20) }
 
 // Name implements Adversary.
 func (a SeededRandom) Name() string { return "random" }
@@ -55,6 +76,10 @@ func (a Skew) Delay(_, to graph.NodeID, _ uint64, _ Proto) float64 {
 	return 1.0
 }
 
+// MinDelay implements Adversary: min(FastD, 1), via the same clamping
+// Delay applies (clamp never exceeds 1, and slow links pay exactly 1).
+func (a Skew) MinDelay() float64 { return clamp(a.FastD) }
+
 // Name implements Adversary.
 func (a Skew) Name() string { return "skew" }
 
@@ -72,6 +97,9 @@ func (a Flaky) Delay(from, to graph.NodeID, seq uint64, _ Proto) float64 {
 	return 1.0
 }
 
+// MinDelay implements Adversary: the near-instant branch's 1/2^16.
+func (a Flaky) MinDelay() float64 { return 1.0 / (1 << 16) }
+
 // Name implements Adversary.
 func (a Flaky) Name() string { return "flaky" }
 
@@ -84,6 +112,10 @@ func (a EdgeLottery) Delay(from, to graph.NodeID, _ uint64, _ Proto) float64 {
 	h := mix(a.Seed, uint64(from)*0xD6E8FEB86659FD93^uint64(to))
 	return float64(h%(1<<16)+1) / (1 << 16)
 }
+
+// MinDelay implements Adversary: the speed map's smallest value is
+// (0+1)/2^16.
+func (a EdgeLottery) MinDelay() float64 { return 1.0 / (1 << 16) }
 
 // Name implements Adversary.
 func (a EdgeLottery) Name() string { return "edge-lottery" }

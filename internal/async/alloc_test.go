@@ -10,15 +10,19 @@ import (
 // allocPing drives R messages over one link, one at a time (each next send
 // triggered by the previous ack), so the marginal cost between two run
 // lengths is purely the per-message hot path: send, outbox, event
-// push/pop, deliver, ack.
+// push/pop, deliver, ack. Sends rotate across three protocol tags so the
+// dense per-proto counters are exercised on every message — the counter
+// slice must grow once per proto and never again.
 type allocPing struct {
 	remaining int
 }
 
+func (h *allocPing) proto() Proto { return Proto(1 + h.remaining%3) }
+
 func (h *allocPing) Init(n *Node) {
 	if n.ID() == 0 {
 		h.remaining--
-		n.Send(1, Msg{Proto: 1, Body: wire.Body{Kind: 1, A: int64(h.remaining)}})
+		n.Send(1, Msg{Proto: h.proto(), Body: wire.Body{Kind: 1, A: int64(h.remaining)}})
 	}
 }
 
@@ -27,7 +31,7 @@ func (h *allocPing) Recv(*Node, graph.NodeID, Msg) {}
 func (h *allocPing) Ack(n *Node, _ graph.NodeID, m Msg) {
 	if h.remaining > 0 {
 		h.remaining--
-		n.Send(1, Msg{Proto: 1, Body: wire.Body{Kind: 1, A: int64(h.remaining)}})
+		n.Send(1, Msg{Proto: h.proto(), Body: wire.Body{Kind: 1, A: int64(h.remaining)}})
 	} else {
 		n.Output(true)
 	}
@@ -39,7 +43,10 @@ func (h *allocPing) Ack(n *Node, _ graph.NodeID, m Msg) {
 // lengths on the same topology — construction costs cancel, so the
 // difference is the steady-state cost of the extra messages. With boxed
 // `any` bodies this difference was ~1 alloc per message; with wire.Body it
-// must be (close to) zero. A small absolute slack absorbs runtime noise.
+// must be (close to) zero. The workload rotates protocol tags, so the
+// dense per-proto counter slice (the map it replaced cost a hash per send)
+// is pinned to zero steady-state allocations too. A small absolute slack
+// absorbs runtime noise.
 func TestZeroSteadyStateAllocsPerMessage(t *testing.T) {
 	g := graph.Path(2)
 	run := func(msgs int) func() {
@@ -49,6 +56,9 @@ func TestZeroSteadyStateAllocsPerMessage(t *testing.T) {
 			if res.Msgs != uint64(msgs) {
 				t.Fatalf("sent %d messages, want %d", res.Msgs, msgs)
 			}
+			if len(res.PerProto) != 3 {
+				t.Fatalf("per-proto breakdown %v, want 3 protos", res.PerProto)
+			}
 		}
 	}
 	const short, long = 200, 2200
@@ -57,6 +67,36 @@ func TestZeroSteadyStateAllocsPerMessage(t *testing.T) {
 	const slack = 8
 	if extra := a2 - a1; extra > slack {
 		t.Fatalf("the %d extra messages allocated %.1f times (%.4f allocs/msg); want 0",
+			long-short, extra, extra/float64(long-short))
+	}
+}
+
+// TestZeroSteadyStateAllocsReset is the engine-reuse analogue: after the
+// first Run warms every structure, a Reset/Run cycle's allocations must
+// not scale with the message count — the wheel, outboxes, counters, and
+// arena all retain their capacity across Reset. (Each cycle still pays
+// O(1) allocs plus the handler remakes; the per-message cost is pinned.)
+func TestZeroSteadyStateAllocsReset(t *testing.T) {
+	g := graph.Path(2)
+	cycle := func(msgs int) (*Sim, func()) {
+		mk := func(graph.NodeID) Handler { return &allocPing{remaining: msgs} }
+		s := New(g, Fixed{D: 1}, mk)
+		s.Run()
+		return s, func() {
+			s.Reset(Fixed{D: 1}, mk)
+			if res := s.Run(); res.Msgs != uint64(msgs) {
+				t.Fatalf("sent %d messages, want %d", res.Msgs, msgs)
+			}
+		}
+	}
+	const short, long = 200, 2200
+	_, runShort := cycle(short)
+	_, runLong := cycle(long)
+	a1 := testing.AllocsPerRun(5, runShort)
+	a2 := testing.AllocsPerRun(5, runLong)
+	const slack = 8
+	if extra := a2 - a1; extra > slack {
+		t.Fatalf("the %d extra messages allocated %.1f times across Reset (%.4f allocs/msg); want 0",
 			long-short, extra, extra/float64(long-short))
 	}
 }

@@ -66,6 +66,11 @@ func (NopAck) Ack(*Node, graph.NodeID, Msg) {}
 type Node struct {
 	id  graph.NodeID
 	sim *Sim
+	// ctx routes the node's effects: the engine's direct context in
+	// ModeSingle, the owning worker's staging context inside a ModeMulti
+	// window. Exactly one worker owns a node, so the pointer is stable for
+	// the duration of a window.
+	ctx *execCtx
 }
 
 // ID returns this node's identifier.
@@ -80,13 +85,22 @@ func (n *Node) Degree() int { return n.sim.g.Degree(n.id) }
 
 // Send enqueues m on the directed link to neighbor `to`. Panics if `to` is
 // not a neighbor: algorithms in this model can only talk over graph edges.
-func (n *Node) Send(to graph.NodeID, m Msg) { n.sim.send(n.id, to, m) }
+func (n *Node) Send(to graph.NodeID, m Msg) { n.ctx.send(n.id, to, m) }
 
 // Output records this node's final output for the problem being solved.
 // The simulator's time-to-output clock stops when the last node outputs.
 // Calling Output again overwrites the value but does not move the clock
-// backwards.
-func (n *Node) Output(v any) { n.sim.setOutput(n.id, v) }
+// backwards. Primitive values (int, int64, bool, graph.NodeID) are stored
+// as typed wire.Body entries without boxing; anything else falls back to a
+// boxed escape slot. Algorithms with struct results should prefer
+// OutputBody with a registered outval decoder.
+func (n *Node) Output(v any) { n.ctx.setOutput(n.id, v) }
+
+// OutputBody records this node's final output as a typed wire.Body —
+// the allocation-free path. The Kind must be non-zero and either one of
+// outval's reserved primitive kinds or a kind with a registered outval
+// decoder, so Result materialization can produce the user-facing value.
+func (n *Node) OutputBody(b wire.Body) { n.ctx.setOutputBody(n.id, b) }
 
 // HasOutput reports whether this node has already produced output.
 func (n *Node) HasOutput() bool { return n.sim.hasOut[n.id] }

@@ -115,6 +115,26 @@ func (o *outbox) pop() (Msg, bool) {
 	return m, true
 }
 
+// reset empties the outbox in place for engine reuse (Sim.Reset), keeping
+// the stage rotation's and every protoFIFO's capacity. Msg slots are
+// pointer-free values, so the retained arrays pin nothing.
+func (o *outbox) reset() {
+	o.busy = false
+	o.queued = 0
+	for i := range o.stages {
+		sq := &o.stages[i]
+		sq.stage = 0
+		sq.queued = 0
+		sq.next = 0
+		for j := range sq.protos {
+			sq.protos[j].head = 0
+			sq.protos[j].msgs = sq.protos[j].msgs[:0]
+		}
+		sq.protos = sq.protos[:0]
+	}
+	o.stages = o.stages[:0]
+}
+
 // removeFrontStage retires the drained front stage, rotating its slot —
 // scalars reset, protoFIFO capacity intact (each FIFO already reset itself
 // when it drained) — past the slice's length for later reuse.

@@ -58,12 +58,22 @@ func (q *eventQueue) pop() event {
 	if q.size == 0 {
 		panic("async: pop from empty event queue")
 	}
+	ev, _ := q.popBefore(maxEventTime)
+	return ev
+}
+
+// maxEventTime (2^64) exceeds every reachable event timestamp — the event
+// cap bounds runs to ~2^34 time units — so popBefore(maxEventTime) never
+// refuses a queued event.
+const maxEventTime = float64(1<<63) * 2
+
+// advance moves the clock to the next non-empty slot. The caller must hold
+// size > 0. It returns the slot, which is non-empty.
+func (q *eventQueue) advance() *[]event {
 	for {
 		slot := &q.wheel[q.cur&(cqBuckets-1)]
 		if len(*slot) > 0 {
-			q.size--
-			q.onWheel--
-			return evHeapPop(slot)
+			return slot
 		}
 		if q.onWheel == 0 {
 			// Nothing on the wheel: jump straight to the first overflow tick.
@@ -82,6 +92,51 @@ func (q *eventQueue) pop() event {
 			evHeapPush(&q.wheel[k&(cqBuckets-1)], ev)
 		}
 	}
+}
+
+// popBefore removes and returns the earliest event by (t, seq) if its
+// timestamp is strictly below limit; otherwise it leaves the queue intact
+// and reports false. The bounded-lag executor drains each shard's window
+// [wStart, wStart+lookahead) with it.
+//
+// The earliest event is always in the first non-empty slot at or after cur:
+// tick(t) is monotone in t, slots hold only events of their own tick (or
+// events clamped INTO the then-current slot, which are even earlier), and
+// every overflow event's timestamp lies beyond the whole wheel horizon.
+func (q *eventQueue) popBefore(limit float64) (event, bool) {
+	if q.size == 0 {
+		return event{}, false
+	}
+	slot := q.advance()
+	if (*slot)[0].t >= limit {
+		return event{}, false
+	}
+	q.size--
+	q.onWheel--
+	return evHeapPop(slot), true
+}
+
+// minT reports the earliest queued timestamp without removing the event.
+// It advances the clock past empty slots exactly as popBefore would, so a
+// minT/popBefore pair per window does the slot walk only once.
+func (q *eventQueue) minT() (float64, bool) {
+	if q.size == 0 {
+		return 0, false
+	}
+	return (*q.advance())[0].t, true
+}
+
+// reset empties the queue in place, keeping every slot's and the overflow
+// heap's capacity for the next run. Events are pointer-free values, so the
+// retained arrays pin nothing.
+func (q *eventQueue) reset() {
+	for i := range q.wheel {
+		q.wheel[i] = q.wheel[i][:0]
+	}
+	q.overflow = q.overflow[:0]
+	q.size = 0
+	q.onWheel = 0
+	q.cur = 0
 }
 
 func evLess(a, b event) bool {

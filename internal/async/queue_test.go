@@ -105,3 +105,82 @@ func BenchmarkEventQueuePushPop(b *testing.B) {
 		seq++
 	}
 }
+
+// TestEventQueuePopBefore drives the window-draining primitive against a
+// reference sort: popBefore(limit) must yield exactly the events with
+// t < limit, in (t, seq) order, and leave the rest poppable afterwards.
+func TestEventQueuePopBefore(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	var q eventQueue
+	var all []event
+	now := 0.0
+	for i := 0; i < 400; i++ {
+		ev := event{t: now + rng.Float64()*0.999 + 0.001, seq: uint64(i)}
+		all = append(all, ev)
+		q.push(ev)
+		if i%7 == 0 { // keep the clock moving like the simulator does
+			now += 0.05
+		}
+	}
+	sort.Slice(all, func(i, j int) bool { return evLess(all[i], all[j]) })
+	limit := all[len(all)/3].t // boundary event: t >= limit stays queued
+	var before []event
+	for {
+		ev, ok := q.popBefore(limit)
+		if !ok {
+			break
+		}
+		before = append(before, ev)
+	}
+	// minT on the remainder must report the first at-or-beyond-limit event.
+	if mt, ok := q.minT(); !ok || mt < limit {
+		t.Fatalf("minT after window = %g, want >= %g", mt, limit)
+	}
+	i := 0
+	for ; i < len(all) && all[i].t < limit; i++ {
+		if i >= len(before) || before[i].seq != all[i].seq {
+			t.Fatalf("popBefore order diverges at %d", i)
+		}
+	}
+	if i != len(before) {
+		t.Fatalf("popBefore yielded %d events, want %d", len(before), i)
+	}
+	for ; i < len(all); i++ {
+		ev := q.pop()
+		if ev.seq != all[i].seq || ev.t != all[i].t {
+			t.Fatalf("post-window pop %d = {t:%g seq:%d}, want {t:%g seq:%d}",
+				i, ev.t, ev.seq, all[i].t, all[i].seq)
+		}
+	}
+	if !q.empty() {
+		t.Fatal("queue not drained")
+	}
+}
+
+// TestEventQueueReset verifies reset yields an empty, reusable queue whose
+// retained capacity still orders correctly.
+func TestEventQueueReset(t *testing.T) {
+	var q eventQueue
+	for i := 0; i < 300; i++ {
+		q.push(event{t: float64(i%13) * 0.07, seq: uint64(i)})
+	}
+	q.pop()
+	q.reset()
+	if !q.empty() {
+		t.Fatal("queue not empty after reset")
+	}
+	if _, ok := q.minT(); ok {
+		t.Fatal("minT reported an event after reset")
+	}
+	for i := 0; i < 100; i++ {
+		q.push(event{t: float64((i*31)%97) / 97, seq: uint64(i)})
+	}
+	last := -1.0
+	for !q.empty() {
+		ev := q.pop()
+		if ev.t < last {
+			t.Fatalf("out of order after reset: %g after %g", ev.t, last)
+		}
+		last = ev.t
+	}
+}

@@ -2,10 +2,43 @@ package async
 
 import (
 	"fmt"
+	"runtime"
+	"sync"
 
 	"repro/internal/graph"
+	"repro/internal/outval"
 	"repro/internal/wire"
 )
+
+// ExecutionMode selects how Sim.Run consumes the event queue. Results are
+// byte-identical across modes; the choice is purely about wall-clock
+// performance.
+type ExecutionMode int
+
+const (
+	// ModeAuto picks ModeMulti when the adversary's lookahead and the
+	// graph's link count are both large enough to amortize the per-window
+	// coordination and more than one CPU is available, else ModeSingle.
+	ModeAuto ExecutionMode = iota
+	// ModeSingle pops one event at a time on the calling goroutine.
+	ModeSingle
+	// ModeMulti executes bounded-lag time windows on a worker pool: per
+	// window, each worker drains its own node shard's event wheel, staging
+	// effects that merge deterministically at the window barrier.
+	ModeMulti
+)
+
+func (m ExecutionMode) String() string {
+	switch m {
+	case ModeAuto:
+		return "auto"
+	case ModeSingle:
+		return "single"
+	case ModeMulti:
+		return "multi"
+	}
+	return fmt.Sprintf("ExecutionMode(%d)", int(m))
+}
 
 // Sim is a deterministic discrete-event simulation of one asynchronous
 // execution: a graph, one Handler per node, and a delay adversary.
@@ -14,16 +47,41 @@ import (
 // addresses a flat []outbox and []uint64 transmission-sequence array, both
 // pre-sized at New, and message bodies are wire.Body values end to end —
 // the send/dispatch/deliver hot path performs no map operations, no
-// interface boxing, and no steady-state allocations. Variable-length
-// segments come from a per-run arena and are recycled when each message's
-// lifecycle ends (after the sender's Ack callback).
+// interface boxing, and no steady-state allocations. Per-protocol message
+// counts live in a flat slice indexed by Proto (the map form exists only
+// at the Result/Stats boundary), and node outputs are stored as typed
+// wire.Body values (outval encoding) rather than boxed interfaces.
+// Variable-length segments come from a per-run arena and are recycled when
+// each message's lifecycle ends (after the sender's Ack callback).
+//
+// Run supports a bounded-lag parallel mode (ModeMulti): because every
+// adversary declares a positive delay lower bound (Adversary.MinDelay),
+// all events inside one MinDelay-wide window are pairwise independent
+// across nodes — any event they cause lands at or beyond the window's end.
+// Events are owned by the node whose handler they invoke (deliveries by
+// the receiver, ack-returns by the sender), the calendar queue is sharded
+// by owner across the workers, and each worker executes its shard's window
+// slice in (t, seq) order against worker-private staging buffers. At the
+// window barrier the staged schedules merge in exactly the order the
+// serial engine would have issued them, so event sequence numbers — and
+// therefore every tie-break, every Result field, and the message trace —
+// are byte-identical to ModeSingle. Handlers on different nodes must not
+// share mutable state (read-only shared data is fine), the same contract
+// the lockstep runner's Multi mode imposes.
 type Sim struct {
-	g        *graph.Graph
-	adv      Adversary
-	handlers []Handler
-	nodes    []Node
+	g         *graph.Graph
+	adv       Adversary
+	lookahead float64 // adv.MinDelay(), validated at New/Reset
+	handlers  []Handler
+	nodes     []Node
 
-	events  eventQueue
+	mode        ExecutionMode
+	workers     int
+	minParallel int
+
+	events  eventQueue   // ModeSingle event store
+	shards  []eventQueue // ModeMulti per-worker event stores, by owner node
+	sharded bool
 	eventSq uint64
 	now     float64
 
@@ -32,24 +90,53 @@ type Sim struct {
 	out   []outbox
 	txSeq []uint64
 
-	outputs        []any
+	// Outputs: typed bodies (Kind != 0) with a boxed escape hatch for
+	// values outval cannot encode (outBody zero, value in outAny).
+	outBody        []wire.Body
+	outAny         []any
 	hasOut         []bool
 	outCount       int
 	lastOutputTime float64
-	msgs           uint64
-	acks           uint64
-	perProto       map[Proto]uint64
+	denseOut       bool
+
+	msgs     uint64
+	acks     uint64
+	perProto []uint64 // dense, indexed by Proto
+
+	keepTrace bool
+	trace     []TraceEntry
 
 	maxEvents uint64
 	steps     uint64
 	running   bool
+
+	// direct is the apply-immediately execution context (ModeSingle and
+	// the Init phase); wctx are the ModeMulti worker contexts.
+	direct       execCtx
+	wctx         []execCtx
+	workerPanics []any
+	mergeCur     []int
 
 	// arena backs Body.Seg segments; sent segments return to it after the
 	// ack completes the message's lifecycle.
 	arena wire.Arena
 }
 
-// Result summarizes one asynchronous run.
+// TraceEntry records one delivered message (KeepTrace). Entries appear in
+// delivery order — the engine's (t, seq) event order — and are identical
+// across execution modes. Note that for segment-carrying bodies the Seg
+// handle value, not its contents, is recorded; concurrent arena allocation
+// in ModeMulti may assign different handles than ModeSingle (no shipped
+// protocol carries segments in traced runs).
+type TraceEntry struct {
+	T        float64
+	Seq      uint64
+	From, To graph.NodeID
+	Msg      Msg
+}
+
+// Result summarizes one asynchronous run. Every field is safe to retain
+// after Sim.Reset reuses the engine.
 type Result struct {
 	// Time is the normalized time (τ = 1) at which the last node produced
 	// its output — the paper's time complexity measure (Appendix B).
@@ -61,10 +148,21 @@ type Result struct {
 	Msgs uint64
 	// Acks counts link-level acknowledgments (the model's 2x factor).
 	Acks uint64
-	// PerProto breaks Msgs down by protocol tag.
+	// PerProto breaks Msgs down by protocol tag (materialized from the
+	// engine's dense counters at this boundary).
 	PerProto map[Proto]uint64
-	// Outputs maps node -> output for nodes that called Output.
+	// Outputs maps node -> decoded output for nodes that called Output.
+	// With DenseOutputs it carries only the rare non-encodable values;
+	// everything else is in OutBodies.
 	Outputs map[graph.NodeID]any
+	// OutBodies/OutSet are the dense typed outputs, populated only with
+	// DenseOutputs: OutSet[v] reports whether node v output, OutBodies[v]
+	// is its outval-encoded value. Finishing a run in this mode allocates
+	// two slices, not one interface box per node.
+	OutBodies []wire.Body
+	OutSet    []bool
+	// Trace lists every delivered message (only with KeepTrace).
+	Trace []TraceEntry
 }
 
 // New builds a simulation. mk is called once per node, in ascending node
@@ -73,51 +171,213 @@ type Result struct {
 func New(g *graph.Graph, adv Adversary, mk func(id graph.NodeID) Handler) *Sim {
 	g.Finalize()
 	s := &Sim{
-		g:         g,
-		adv:       adv,
-		handlers:  make([]Handler, g.N()),
-		nodes:     make([]Node, g.N()),
-		out:       make([]outbox, g.Links()),
-		txSeq:     make([]uint64, g.Links()),
-		outputs:   make([]any, g.N()),
-		hasOut:    make([]bool, g.N()),
-		perProto:  make(map[Proto]uint64),
-		maxEvents: 1 << 34,
+		g:           g,
+		adv:         adv,
+		lookahead:   checkedLookahead(adv),
+		handlers:    make([]Handler, g.N()),
+		nodes:       make([]Node, g.N()),
+		out:         make([]outbox, g.Links()),
+		txSeq:       make([]uint64, g.Links()),
+		outBody:     make([]wire.Body, g.N()),
+		outAny:      make([]any, g.N()),
+		hasOut:      make([]bool, g.N()),
+		maxEvents:   1 << 34,
+		workers:     defaultWorkers(),
+		minParallel: defaultMinParallel,
 	}
+	s.direct = execCtx{s: s, direct: true}
 	for i := 0; i < g.N(); i++ {
 		id := graph.NodeID(i)
-		s.nodes[i] = Node{id: id, sim: s}
+		s.nodes[i] = Node{id: id, sim: s, ctx: &s.direct}
 		s.handlers[i] = mk(id)
 	}
 	return s
 }
 
+// checkedLookahead validates the adversary's declared delay lower bound.
+func checkedLookahead(adv Adversary) float64 {
+	la := adv.MinDelay()
+	if la <= 0 || la > 1 {
+		panic(fmt.Sprintf("async: adversary %q declares MinDelay %g outside (0,1]", adv.Name(), la))
+	}
+	return la
+}
+
+func defaultWorkers() int {
+	w := runtime.GOMAXPROCS(0)
+	if w > 16 {
+		w = 16
+	}
+	return w
+}
+
+// autoMinLookahead is the smallest adversary lookahead for which ModeAuto
+// engages the window executor: below one wheel tick, windows rarely hold
+// more than one event and the barrier is pure overhead.
+const autoMinLookahead = 1.0 / cqBuckets
+
+// autoMultiLinks is the graph size (directed links) at which ModeAuto
+// considers the worker pool.
+const autoMultiLinks = 4096
+
+// defaultMinParallel is the smallest queue population for which a ModeMulti
+// window fans out to goroutines; smaller windows run their shards inline
+// (through the same staging, so results are identical either way).
+const defaultMinParallel = 128
+
+// WithMode selects the execution mode (default ModeAuto).
+func (s *Sim) WithMode(m ExecutionMode) *Sim { s.mode = m; return s }
+
+// WithWorkers caps the ModeMulti worker pool (default GOMAXPROCS, max 16).
+func (s *Sim) WithWorkers(k int) *Sim {
+	if k < 1 {
+		panic(fmt.Sprintf("async: worker count %d < 1", k))
+	}
+	s.workers = k
+	return s
+}
+
+// WithMinParallel sets the smallest queue population for which a ModeMulti
+// window fans out to goroutines (default 128); tests lower it to force the
+// concurrent path on small graphs — results are byte-identical regardless.
+func (s *Sim) WithMinParallel(k int) *Sim {
+	if k < 1 {
+		panic(fmt.Sprintf("async: parallel threshold %d < 1", k))
+	}
+	s.minParallel = k
+	return s
+}
+
+// KeepTrace enables message-trace recording (determinism tests compare
+// traces across execution modes).
+func (s *Sim) KeepTrace() *Sim { s.keepTrace = true; return s }
+
+// DenseOutputs makes Run return outputs as the dense OutBodies/OutSet pair
+// instead of materializing the Outputs map — O(1) allocations at the
+// finish line instead of one interface box per node. Callers decode with
+// outval.Decode; non-encodable legacy outputs still surface in the map.
+func (s *Sim) DenseOutputs() *Sim { s.denseOut = true; return s }
+
 // SetMaxEvents caps the number of processed events; exceeding it panics
-// (runaway protocols are bugs, not conditions to limp through).
+// (runaway protocols are bugs, not conditions to limp through). In
+// ModeMulti the cap is checked at window barriers.
 func (s *Sim) SetMaxEvents(limit uint64) { s.maxEvents = limit }
 
 // Handler returns node v's handler (tests use this to inspect final state).
 func (s *Sim) Handler(v graph.NodeID) Handler { return s.handlers[v] }
 
+// Graph returns the simulated topology.
+func (s *Sim) Graph() *graph.Graph { return s.g }
+
 // Stats snapshots the costs accrued so far: the current simulation time
-// and the message/ack counters, with a copy of the per-protocol breakdown.
-// It is safe to call mid-run — core.SynchronizeUnknownBound uses it to
-// bill doubling attempts that abort before Run returns (Theorem 5.4's
-// Σ 2^t accounting).
+// and the message/ack counters, with the per-protocol breakdown
+// materialized as a map. Mid-run snapshots are well-defined only in
+// ModeSingle — under ModeMulti, workers stage their counter increments
+// until the window barrier, so a mid-window snapshot is stale by whatever
+// the in-flight window has processed. core.SynchronizeUnknownBound pins
+// ModeSingle for exactly this reason: it bills doubling attempts that
+// abort before Run returns (Theorem 5.4's Σ 2^t accounting) from this
+// snapshot, and serial event order is what defines an aborted attempt's
+// cost.
 func (s *Sim) Stats() (now float64, msgs, acks uint64, perProto map[Proto]uint64) {
-	pp := make(map[Proto]uint64, len(s.perProto))
+	return s.now, s.msgs, s.acks, s.perProtoMap()
+}
+
+func (s *Sim) perProtoMap() map[Proto]uint64 {
+	pp := make(map[Proto]uint64)
 	for p, n := range s.perProto {
-		pp[p] = n
+		if n != 0 {
+			pp[Proto(p)] = n
+		}
 	}
-	return s.now, s.msgs, s.acks, pp
+	return pp
+}
+
+// Reset rearms the engine for another run on the same graph: counters,
+// queues, outboxes, outputs, and the segment arena all return to their
+// initial state while keeping every backing array they grew — the wheel
+// slots, per-link outbox capacity, and arena chunks are reused, so a
+// harness sweeping many trials on one topology allocates the engine once.
+// mk rebuilds the per-node handlers; adv may differ from the previous run.
+func (s *Sim) Reset(adv Adversary, mk func(id graph.NodeID) Handler) {
+	s.adv = adv
+	s.lookahead = checkedLookahead(adv)
+	s.running = false
+	s.events.reset()
+	for k := range s.shards {
+		s.shards[k].reset()
+	}
+	s.sharded = false
+	s.eventSq = 0
+	s.now = 0
+	s.direct.now = 0
+	s.direct.curSeq = 0
+	s.steps = 0
+	for i := range s.out {
+		s.out[i].reset()
+	}
+	for i := range s.txSeq {
+		s.txSeq[i] = 0
+	}
+	for i := range s.hasOut {
+		s.outBody[i] = wire.Body{}
+		s.outAny[i] = nil
+		s.hasOut[i] = false
+	}
+	s.outCount = 0
+	s.lastOutputTime = 0
+	s.msgs, s.acks = 0, 0
+	for i := range s.perProto {
+		s.perProto[i] = 0
+	}
+	s.trace = s.trace[:0]
+	// Clear worker staging state: a run that panicked mid-window (the
+	// recoverable engine-panic idiom core.tryBound relies on) leaves
+	// staged events, counters, and possibly a recorded panic behind.
+	for k := range s.wctx {
+		c := &s.wctx[k]
+		c.now, c.maxT, c.lastOut = 0, 0, 0
+		c.curSeq, c.msgs, c.acks, c.steps = 0, 0, 0, 0
+		c.outCount = 0
+		for i := range c.perProto {
+			c.perProto[i] = 0
+		}
+		c.staged = c.staged[:0]
+		c.trace = c.trace[:0]
+	}
+	for k := range s.workerPanics {
+		s.workerPanics[k] = nil
+	}
+	s.arena.Reset()
+	for i := range s.handlers {
+		s.nodes[i].ctx = &s.direct
+		s.handlers[i] = mk(graph.NodeID(i))
+	}
 }
 
 // Run executes the simulation to quiescence and returns the result.
 func (s *Sim) Run() Result {
 	if s.running {
-		panic("async: Run called twice")
+		panic("async: Run called twice (use Reset to rearm)")
 	}
 	s.running = true
+	mode := s.mode
+	if mode == ModeAuto {
+		if s.workers > 1 && s.lookahead >= autoMinLookahead && s.g.Links() >= autoMultiLinks {
+			mode = ModeMulti
+		} else {
+			mode = ModeSingle
+		}
+	}
+	if mode == ModeMulti {
+		s.runWindows()
+	} else {
+		s.runSerial()
+	}
+	return s.result()
+}
+
+func (s *Sim) runSerial() {
 	for i := range s.handlers {
 		s.handlers[i].Init(&s.nodes[i])
 	}
@@ -131,86 +391,477 @@ func (s *Sim) Run() Result {
 		if s.steps > s.maxEvents {
 			panic(fmt.Sprintf("async: exceeded %d events at t=%g (livelock?)", s.maxEvents, s.now))
 		}
-		switch ev.kind {
-		case evDeliver:
-			s.handlers[ev.dst].Recv(&s.nodes[ev.dst], ev.src, ev.msg)
-			// Ack travels back; its arrival frees the link.
-			s.acks++
-			back := s.g.ReverseLink(ev.link)
-			d := s.adv.Delay(ev.dst, ev.src, s.txSeq[back], ev.msg.Proto)
-			s.txSeq[back]++
-			s.schedule(event{t: s.now + d, kind: evAckArrive, link: ev.link, src: ev.src, dst: ev.dst, msg: ev.msg})
-		case evAckArrive:
-			// ev.src is the original sender whose link is now free.
-			ob := &s.out[ev.link]
-			ob.busy = false
-			s.dispatch(ev.src, ev.dst, ev.link, ob)
-			s.handlers[ev.src].Ack(&s.nodes[ev.src], ev.dst, ev.msg)
-			// The ack ends the message's lifecycle; recycle any segment
-			// (receivers copy data out if they keep it). No-op without one.
-			s.arena.Release(ev.msg.Body.Seg)
+		s.direct.processEvent(&ev)
+	}
+}
+
+// runWindows is the bounded-lag executor: repeatedly take the earliest
+// queued timestamp wStart, execute every event in [wStart, wStart +
+// lookahead) — the adversary's MinDelay guarantees no event processed in
+// the window can schedule anything inside it, in exact floating-point
+// arithmetic too, since fl(t+d) is monotone in t and d — and merge the
+// staged effects deterministically at the barrier.
+func (s *Sim) runWindows() {
+	w := s.workers
+	if w < 1 {
+		w = 1
+	}
+	s.ensureWindowState(w)
+	s.sharded = true
+	defer func() {
+		s.sharded = false
+		for i := range s.nodes {
+			s.nodes[i].ctx = &s.direct
+		}
+	}()
+	// Init runs serially through the direct context (its schedules route
+	// to the shards), exactly as in ModeSingle.
+	for i := range s.handlers {
+		s.handlers[i].Init(&s.nodes[i])
+	}
+	for i := range s.nodes {
+		s.nodes[i].ctx = &s.wctx[i%w]
+	}
+	// Fan out to goroutines only when windows are actually populated: the
+	// previous window's event count is the predictor (window occupancy is
+	// unknowable before draining, and total queue size is the wrong
+	// proxy — a tiny-lookahead adversary keeps thousands of events queued
+	// while every window holds one). A forced ModeMulti under such an
+	// adversary therefore stays on the inline staging path — same merge,
+	// same results, no per-event goroutine barrier.
+	prevWindow := 0
+	for {
+		wStart, ok := s.minShardT()
+		if !ok {
+			break
+		}
+		if wStart < s.now {
+			panic(fmt.Sprintf("async: time went backwards: %g < %g", wStart, s.now))
+		}
+		wEnd := wStart + s.lookahead
+		if w == 1 || prevWindow < s.minParallel {
+			for k := range s.shards {
+				s.runShard(k, wEnd)
+			}
+		} else {
+			var wg sync.WaitGroup
+			for k := 0; k < w; k++ {
+				wg.Add(1)
+				go func(k int) {
+					defer wg.Done()
+					defer func() {
+						if p := recover(); p != nil {
+							s.workerPanics[k] = p
+						}
+					}()
+					s.runShard(k, wEnd)
+				}(k)
+			}
+			wg.Wait()
+			for k := 0; k < w; k++ {
+				if p := s.workerPanics[k]; p != nil {
+					panic(p)
+				}
+			}
+		}
+		stepsBefore := s.steps
+		s.mergeWindow()
+		prevWindow = int(s.steps - stepsBefore)
+	}
+}
+
+// ensureWindowState sizes the shard queues and worker contexts, reusing
+// them across Reset cycles when the worker count is unchanged.
+func (s *Sim) ensureWindowState(w int) {
+	if len(s.shards) != w {
+		s.shards = make([]eventQueue, w)
+		s.wctx = make([]execCtx, w)
+		for k := range s.wctx {
+			s.wctx[k] = execCtx{s: s}
+		}
+		s.workerPanics = make([]any, w)
+		s.mergeCur = make([]int, w)
+	}
+	for k := range s.wctx {
+		c := &s.wctx[k]
+		c.maxT = 0
+		c.lastOut = 0
+	}
+}
+
+// minShardT returns the earliest timestamp across all shards.
+func (s *Sim) minShardT() (float64, bool) {
+	best, any := 0.0, false
+	for k := range s.shards {
+		if t, ok := s.shards[k].minT(); ok && (!any || t < best) {
+			best, any = t, true
 		}
 	}
-	outputs := make(map[graph.NodeID]any, s.outCount)
-	for i, has := range s.hasOut {
-		if has {
-			outputs[graph.NodeID(i)] = s.outputs[i]
+	return best, any
+}
+
+// runShard drains one shard's slice of the window in (t, seq) order.
+func (s *Sim) runShard(k int, wEnd float64) {
+	c := &s.wctx[k]
+	q := &s.shards[k]
+	for {
+		ev, ok := q.popBefore(wEnd)
+		if !ok {
+			return
+		}
+		c.steps++
+		c.maxT = ev.t // shards pop in nondecreasing t
+		c.processEvent(&ev)
+	}
+}
+
+// mergeWindow folds every worker's staged effects back into the engine in
+// the exact order the serial engine would have produced them: counters are
+// plain sums and maxima; staged schedules and trace entries k-way merge by
+// their triggering event's (t, seq) — each worker's buffer is already
+// sorted by that key because shards process their events in order, and no
+// key appears in two buffers because each event has one owner.
+func (s *Sim) mergeWindow() {
+	for k := range s.wctx {
+		c := &s.wctx[k]
+		s.msgs += c.msgs
+		s.acks += c.acks
+		s.steps += c.steps
+		s.outCount += c.outCount
+		c.msgs, c.acks, c.steps, c.outCount = 0, 0, 0, 0
+		if c.lastOut > s.lastOutputTime {
+			s.lastOutputTime = c.lastOut
+		}
+		if c.maxT > s.now {
+			s.now = c.maxT
+		}
+		for p, n := range c.perProto {
+			if n != 0 {
+				s.perProto = bumpProtoBy(s.perProto, Proto(p), n)
+				c.perProto[p] = 0
+			}
 		}
 	}
-	return Result{
+	if s.steps > s.maxEvents {
+		panic(fmt.Sprintf("async: exceeded %d events at t=%g (livelock?)", s.maxEvents, s.now))
+	}
+	// Merge staged schedules; seq assignment happens in merge order, which
+	// reproduces the serial engine's schedule-call order exactly.
+	mergeWorkerLists(s.mergeCur, len(s.wctx),
+		func(k int) []stagedEv { return s.wctx[k].staged },
+		stagedLess,
+		func(se *stagedEv) { s.schedule(se.ev) })
+	for k := range s.wctx {
+		s.wctx[k].staged = s.wctx[k].staged[:0]
+	}
+	if s.keepTrace {
+		mergeWorkerLists(s.mergeCur, len(s.wctx),
+			func(k int) []TraceEntry { return s.wctx[k].trace },
+			traceLess,
+			func(te *TraceEntry) { s.trace = append(s.trace, *te) })
+		for k := range s.wctx {
+			s.wctx[k].trace = s.wctx[k].trace[:0]
+		}
+	}
+}
+
+// mergeWorkerLists k-way merges the workers' per-window buffers. Each list
+// is already sorted by `less` (workers emit in their shard's (t, seq)
+// processing order) and no key appears in two lists (one owner per event),
+// so a stable scan-for-minimum reproduces the global serial order.
+func mergeWorkerLists[T any](cur []int, n int, list func(k int) []T,
+	less func(a, b *T) bool, emit func(*T)) {
+	for k := 0; k < n; k++ {
+		cur[k] = 0
+	}
+	for {
+		best := -1
+		for k := 0; k < n; k++ {
+			l := list(k)
+			if cur[k] == len(l) {
+				continue
+			}
+			if best < 0 || less(&l[cur[k]], &list(best)[cur[best]]) {
+				best = k
+			}
+		}
+		if best < 0 {
+			return
+		}
+		emit(&list(best)[cur[best]])
+		cur[best]++
+	}
+}
+
+func stagedLess(a, b *stagedEv) bool {
+	if a.trigT != b.trigT {
+		return a.trigT < b.trigT
+	}
+	return a.trigSeq < b.trigSeq
+}
+
+func traceLess(a, b *TraceEntry) bool {
+	if a.T != b.T {
+		return a.T < b.T
+	}
+	return a.Seq < b.Seq
+}
+
+// result materializes the run's Result at the engine boundary.
+func (s *Sim) result() Result {
+	res := Result{
 		Time:        s.lastOutputTime,
 		QuiesceTime: s.now,
 		Msgs:        s.msgs,
 		Acks:        s.acks,
-		PerProto:    s.perProto,
-		Outputs:     outputs,
+		PerProto:    s.perProtoMap(),
+	}
+	if s.keepTrace {
+		res.Trace = append([]TraceEntry(nil), s.trace...)
+	}
+	if s.denseOut {
+		res.OutBodies = append([]wire.Body(nil), s.outBody...)
+		res.OutSet = append([]bool(nil), s.hasOut...)
+		for i, has := range s.hasOut {
+			if has && s.outBody[i].Kind == 0 {
+				if res.Outputs == nil {
+					res.Outputs = make(map[graph.NodeID]any)
+				}
+				res.Outputs[graph.NodeID(i)] = s.outAny[i]
+			}
+		}
+		return res
+	}
+	outputs := make(map[graph.NodeID]any, s.outCount)
+	for i, has := range s.hasOut {
+		if has {
+			outputs[graph.NodeID(i)] = outval.DecodeSlot(s.outBody[i], s.outAny[i])
+		}
+	}
+	res.Outputs = outputs
+	return res
+}
+
+// DecodedOutputs materializes the user-facing output map of a dense-mode
+// Result (for the default mode it is already in Outputs). Hot loops that
+// discard intermediate outputs skip this; boundaries that keep the final
+// iteration's outputs call it once.
+func (r *Result) DecodedOutputs() map[graph.NodeID]any {
+	if r.OutSet == nil {
+		return r.Outputs
+	}
+	outputs := make(map[graph.NodeID]any)
+	for i, has := range r.OutSet {
+		if has {
+			outputs[graph.NodeID(i)] = outval.DecodeSlot(r.OutBodies[i], r.Outputs[graph.NodeID(i)])
+		}
+	}
+	return outputs
+}
+
+// execCtx is one execution context: the direct (apply-immediately) context
+// of the serial engine and Init phase, or one ModeMulti worker's private
+// staging state. A single code path serves both — the hot-path branch on
+// `direct` keeps the two modes impossible to drift apart.
+type execCtx struct {
+	s      *Sim
+	direct bool
+
+	// now/curSeq identify the event being processed (the parallel schedule
+	// staging keys on them; the direct context mirrors Sim.now).
+	now    float64
+	curSeq uint64
+
+	// Worker-private effect staging, merged at the window barrier.
+	msgs, acks uint64
+	steps      uint64
+	outCount   int
+	lastOut    float64
+	maxT       float64
+	perProto   []uint64
+	staged     []stagedEv
+	trace      []TraceEntry
+}
+
+// stagedEv is one deferred schedule call, keyed by the event that issued it.
+type stagedEv struct {
+	ev      event
+	trigT   float64
+	trigSeq uint64
+}
+
+// processEvent executes one event against this context.
+func (c *execCtx) processEvent(ev *event) {
+	s := c.s
+	c.now = ev.t
+	c.curSeq = ev.seq
+	switch ev.kind {
+	case evDeliver:
+		if s.keepTrace {
+			te := TraceEntry{T: ev.t, Seq: ev.seq, From: ev.src, To: ev.dst, Msg: ev.msg}
+			if c.direct {
+				s.trace = append(s.trace, te)
+			} else {
+				c.trace = append(c.trace, te)
+			}
+		}
+		s.handlers[ev.dst].Recv(&s.nodes[ev.dst], ev.src, ev.msg)
+		// Ack travels back; its arrival frees the link.
+		if c.direct {
+			s.acks++
+		} else {
+			c.acks++
+		}
+		back := s.g.ReverseLink(ev.link)
+		d := s.adv.Delay(ev.dst, ev.src, s.txSeq[back], ev.msg.Proto)
+		s.txSeq[back]++
+		s.checkDelay(d)
+		c.schedule(event{t: c.now + d, kind: evAckArrive, link: ev.link, src: ev.src, dst: ev.dst, msg: ev.msg})
+	case evAckArrive:
+		// ev.src is the original sender whose link is now free.
+		ob := &s.out[ev.link]
+		ob.busy = false
+		c.dispatch(ev.src, ev.dst, ev.link, ob)
+		s.handlers[ev.src].Ack(&s.nodes[ev.src], ev.dst, ev.msg)
+		// The ack ends the message's lifecycle; recycle any segment
+		// (receivers copy data out if they keep it). No-op without one.
+		s.arena.Release(ev.msg.Body.Seg)
 	}
 }
 
-func (s *Sim) send(from, to graph.NodeID, m Msg) {
+func (c *execCtx) send(from, to graph.NodeID, m Msg) {
+	s := c.s
 	l := s.g.LinkBetween(from, to)
 	if l < 0 {
 		panic(fmt.Sprintf("async: node %d sending to non-neighbor %d", from, to))
 	}
-	s.msgs++
-	s.perProto[m.Proto]++
+	if c.direct {
+		s.msgs++
+		s.perProto = bumpProtoBy(s.perProto, m.Proto, 1)
+	} else {
+		c.msgs++
+		c.perProto = bumpProtoBy(c.perProto, m.Proto, 1)
+	}
 	ob := &s.out[l]
 	ob.push(m)
 	if !ob.busy {
-		s.dispatch(from, to, l, ob)
+		c.dispatch(from, to, l, ob)
 	}
 }
 
 // dispatch injects the next scheduled message of the (from,to) link, if any.
-func (s *Sim) dispatch(from, to graph.NodeID, l graph.LinkID, ob *outbox) {
+func (c *execCtx) dispatch(from, to graph.NodeID, l graph.LinkID, ob *outbox) {
 	m, ok := ob.pop()
 	if !ok {
 		return
 	}
 	ob.busy = true
+	s := c.s
 	d := s.adv.Delay(from, to, s.txSeq[l], m.Proto)
 	s.txSeq[l]++
+	s.checkDelay(d)
+	c.schedule(event{t: c.now + d, kind: evDeliver, link: l, src: from, dst: to, msg: m})
+}
+
+// checkDelay enforces both the model's (0,1] delay contract and the
+// adversary's own MinDelay declaration — the bounded-lag mode's safety
+// rests on the latter, so violating it fails loudly in every mode.
+func (s *Sim) checkDelay(d float64) {
 	if d <= 0 || d > 1 {
 		panic(fmt.Sprintf("async: adversary %q returned delay %g outside (0,1]", s.adv.Name(), d))
 	}
-	s.schedule(event{t: s.now + d, kind: evDeliver, link: l, src: from, dst: to, msg: m})
+	if d < s.lookahead {
+		panic(fmt.Sprintf("async: adversary %q returned delay %g below its declared MinDelay %g",
+			s.adv.Name(), d, s.lookahead))
+	}
 }
 
-func (s *Sim) setOutput(id graph.NodeID, v any) {
-	if !s.hasOut[id] {
-		s.hasOut[id] = true
-		s.outCount++
-		if s.now > s.lastOutputTime {
-			s.lastOutputTime = s.now
-		}
+func (c *execCtx) schedule(ev event) {
+	if c.direct {
+		c.s.schedule(ev)
+		return
 	}
-	s.outputs[id] = v
+	c.staged = append(c.staged, stagedEv{ev: ev, trigT: c.now, trigSeq: c.curSeq})
 }
 
 func (s *Sim) schedule(ev event) {
 	ev.seq = s.eventSq
 	s.eventSq++
-	s.events.push(ev)
+	if s.sharded {
+		s.shards[int(ownerOf(ev))%len(s.shards)].push(ev)
+	} else {
+		s.events.push(ev)
+	}
+}
+
+// ownerOf is the node whose handler the event invokes: deliveries run the
+// receiver, ack-returns run the original sender. Owner-sharding makes every
+// piece of state an event touches — the handler, the node's outgoing
+// outboxes and transmission counters, its output slot — private to one
+// worker within a window.
+func ownerOf(ev event) graph.NodeID {
+	if ev.kind == evDeliver {
+		return ev.dst
+	}
+	return ev.src
+}
+
+// noteFirstOutput updates the time-to-output clock for a node's first
+// Output call.
+func (c *execCtx) noteFirstOutput() {
+	s := c.s
+	if c.direct {
+		s.outCount++
+		if s.now > s.lastOutputTime {
+			s.lastOutputTime = s.now
+		}
+		return
+	}
+	c.outCount++
+	if c.now > c.lastOut {
+		c.lastOut = c.now
+	}
+}
+
+func (c *execCtx) setOutputBody(id graph.NodeID, b wire.Body) {
+	if b.Kind == 0 {
+		panic(fmt.Sprintf("async: node %d output a Body with zero Kind", id))
+	}
+	s := c.s
+	if !s.hasOut[id] {
+		s.hasOut[id] = true
+		c.noteFirstOutput()
+	}
+	s.outBody[id] = b
+	s.outAny[id] = nil
+}
+
+func (c *execCtx) setOutput(id graph.NodeID, v any) {
+	if b, ok := outval.Encode(v); ok {
+		c.setOutputBody(id, b)
+		return
+	}
+	s := c.s
+	if !s.hasOut[id] {
+		s.hasOut[id] = true
+		c.noteFirstOutput()
+	}
+	s.outBody[id] = wire.Body{}
+	s.outAny[id] = v
+}
+
+// bumpProtoBy adds n to the dense per-proto counter, growing the slice to
+// cover p on first sight (growth happens a handful of times per run; the
+// steady state indexes and adds, no hashing).
+func bumpProtoBy(pp []uint64, p Proto, n uint64) []uint64 {
+	if p < 0 {
+		panic(fmt.Sprintf("async: negative proto %d", p))
+	}
+	if int(p) >= len(pp) {
+		pp = append(pp, make([]uint64, int(p)+1-len(pp))...)
+	}
+	pp[p] += n
+	return pp
 }
 
 const (

@@ -1,5 +1,5 @@
 // Package bench implements the experiment harness: one function per
-// experiment in DESIGN.md's index (E1–E13), each regenerating its table of
+// experiment in DESIGN.md's index (E1–E14), each regenerating its table of
 // measured time/message complexities against the paper's predicted shape.
 // Root bench_test.go and cmd/syncbench both call into this package.
 //
@@ -21,6 +21,7 @@ import (
 	"text/tabwriter"
 
 	"repro/internal/async"
+	"repro/internal/core"
 	"repro/internal/graph"
 	"repro/internal/syncrun"
 )
@@ -57,6 +58,7 @@ var experiments = []experiment{
 	{"E11", "link multiplexing & stage priorities (Cor 2.3 / Lem 2.5)", e11StagePipelining},
 	{"E12", "gather-in-covers cost (Thm 3.1)", e12GatherCost},
 	{"E13", "lockstep engine throughput by execution mode", e13EngineThroughput},
+	{"E14", "async engine throughput by execution mode (bounded-lag windows)", e14AsyncEngineThroughput},
 }
 
 func byID(id string) *experiment {
@@ -110,6 +112,11 @@ type Options struct {
 	// results are byte-identical across modes, so this is a wall-clock
 	// knob. E13 compares the modes explicitly and ignores it.
 	Mode syncrun.ExecutionMode
+	// AsyncMode selects the asynchronous engine's execution mode for every
+	// experiment that runs a simulation (cmd/syncbench -mode sets both
+	// engines). Also byte-identical across modes; E14 compares the modes
+	// explicitly and ignores it.
+	AsyncMode async.ExecutionMode
 }
 
 // ExpRecords is the JSON shape of one experiment's output.
@@ -132,6 +139,7 @@ type Ctx struct {
 	workers int
 	seed    uint64
 	mode    syncrun.ExecutionMode
+	amode   async.ExecutionMode
 	cur     *ExpRecords
 	exps    []ExpRecords
 }
@@ -155,6 +163,12 @@ func (c *Ctx) adv(def uint64) async.Adversary {
 // (results are mode-independent; only wall-clock changes).
 func (c *Ctx) runSync(g *graph.Graph, mk func(graph.NodeID) syncrun.Handler) syncrun.Result {
 	return syncrun.New(g, mk).WithMode(c.mode).Run()
+}
+
+// coreCfg assembles a synchronizer config honoring the run-wide async
+// execution mode.
+func (c *Ctx) coreCfg(g *graph.Graph, bound int, adv async.Adversary) core.Config {
+	return core.Config{Graph: g, Bound: bound, Adversary: adv, Mode: c.amode}
 }
 
 // table accumulates aligned rows.
@@ -256,7 +270,7 @@ func Run(w io.Writer, ids []string, opts Options) error {
 	if opts.JSON {
 		tw = io.Discard
 	}
-	c := &Ctx{w: tw, workers: opts.Workers, seed: opts.Seed, mode: opts.Mode}
+	c := &Ctx{w: tw, workers: opts.Workers, seed: opts.Seed, mode: opts.Mode, amode: opts.AsyncMode}
 	for _, id := range ids {
 		e := byID(id)
 		c.exps = append(c.exps, ExpRecords{ID: e.id, Title: e.title})
@@ -305,3 +319,4 @@ func E10CoverQuality(w io.Writer)          { ByName(w, "E10") }
 func E11StagePipelining(w io.Writer)       { ByName(w, "E11") }
 func E12GatherCost(w io.Writer)            { ByName(w, "E12") }
 func E13EngineThroughput(w io.Writer)      { ByName(w, "E13") }
+func E14AsyncEngineThroughput(w io.Writer) { ByName(w, "E14") }

@@ -3,6 +3,7 @@ package bench
 import (
 	"bytes"
 	"encoding/json"
+	"fmt"
 	"io"
 	"math/bits"
 	"strings"
@@ -26,15 +27,11 @@ func TestByName(t *testing.T) {
 
 func TestRegistryOrdered(t *testing.T) {
 	ids := IDs()
-	if len(ids) != 13 {
-		t.Fatalf("registry has %d experiments, want 13", len(ids))
+	if len(ids) != 14 {
+		t.Fatalf("registry has %d experiments, want 14", len(ids))
 	}
 	for i, id := range ids {
-		want := "E" + string(rune('1'+i))
-		if i >= 9 {
-			want = "E1" + string(rune('0'+i-9))
-		}
-		if id != want {
+		if want := fmt.Sprintf("E%d", i+1); id != want {
 			t.Fatalf("registry[%d] = %s, want %s", i, id, want)
 		}
 	}

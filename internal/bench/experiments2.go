@@ -54,9 +54,12 @@ func e7RegistrationCongestion(c *Ctx) {
 		cl := cover.BFSTreeCluster(g, 0)
 		cov := cover.NewExplicit(g.N(), g.N(), []*cover.Cluster{cl})
 		rows := make([]row, 0, 2)
+		// One engine serves both schemes: the second run rearms it with
+		// Reset, reusing the event wheel, outboxes, and arena.
+		var sim *async.Sim
 		for _, scheme := range []string{"wave", "naive"} {
 			scheme := scheme
-			sim := async.New(g, async.Fixed{D: 1}, func(id graph.NodeID) async.Handler {
+			mk := func(id graph.NodeID) async.Handler {
 				client := &regClient{clusters: []cover.ClusterID{0}}
 				if scheme == "wave" {
 					client.mod = reg.New(1, cov, client, nil)
@@ -67,7 +70,12 @@ func e7RegistrationCongestion(c *Ctx) {
 				mux.Register(1, client.mod)
 				mux.Register(2, client)
 				return mux
-			})
+			}
+			if sim == nil {
+				sim = async.New(g, async.Fixed{D: 1}, mk).WithMode(c.amode)
+			} else {
+				sim.Reset(async.Fixed{D: 1}, mk)
+			}
 			res := sim.Run()
 			rows = append(rows, row{
 				cols: []any{tc.deg, tc.plen, g.N(), scheme, res.QuiesceTime, res.Msgs},
@@ -91,8 +99,7 @@ func e8AlphaBlowup(c *Ctx) {
 		rounds := n
 		mk := func(graph.NodeID) syncrun.Handler { return &pingAlgo{rounds: rounds} }
 		alpha := core.SynchronizeAlpha(g, rounds+1, async.Fixed{D: 1}, mk)
-		main := core.Synchronize(core.Config{Graph: g, Bound: rounds + 1,
-			Adversary: async.Fixed{D: 1}}, mk)
+		main := core.Synchronize(c.coreCfg(g, rounds+1, async.Fixed{D: 1}), mk)
 		ratio := float64(alpha.Msgs) / float64(main.Msgs)
 		return []row{{
 			cols: []any{n, g.M(), rounds, alpha.Msgs, main.Msgs, ratio, alpha.Time, main.Time},
@@ -141,7 +148,7 @@ func e9AdversaryRobustness(c *Ctx) {
 	advs := async.StandardAdversaries(g.N(), c.seedOr(77))
 	t.emit(c.jobs(len(advs), func(i int) []row {
 		adv := advs[i]
-		res := core.Synchronize(core.Config{Graph: g, Bound: sres.Rounds + 2, Adversary: adv}, mk)
+		res := core.Synchronize(c.coreCfg(g, sres.Rounds+2, adv), mk)
 		match := len(res.Outputs) == len(sres.Outputs)
 		for v, want := range sres.Outputs {
 			if res.Outputs[v] != want {
@@ -286,7 +293,7 @@ func e11StagePipelining(c *Ctx) {
 		d := g.Diameter()
 		sim := async.New(g, async.Fixed{D: 1}, func(graph.NodeID) async.Handler {
 			return &floodK{k: k, staged: staged}
-		})
+		}).WithMode(c.amode)
 		res := sim.Run()
 		norm := res.Time / float64(d+k)
 		return []row{{
@@ -336,7 +343,7 @@ func e12GatherCost(c *Ctx) {
 			mux.Register(1, gb.mod)
 			mux.Register(2, gb)
 			return mux
-		})
+		}).WithMode(c.amode)
 		res := sim.Run()
 		perBudget := float64(res.Msgs) / float64(budget)
 		return []row{{

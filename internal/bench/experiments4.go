@@ -1,0 +1,63 @@
+package bench
+
+import (
+	"reflect"
+	"time"
+
+	"repro/internal/async"
+	"repro/internal/graph"
+)
+
+// e14AsyncEngineThroughput measures the asynchronous engine itself: one
+// flood broadcast per row under the Fixed{1} adversary — full-unit
+// lookahead, the bounded-lag executor's best case — wall-clock per
+// execution mode, events per second in Single mode, and a determinism
+// check that Single and the parallel windows agree bit-for-bit on the
+// entire Result (time, messages, per-proto counts, outputs). It is the
+// experiment-table view of the parallel-engine microbenchmarks in
+// internal/async, and the asynchronous sibling of E13.
+//
+// Like E13 it runs as one serial job (wall-clock columns would distort
+// under concurrent trials) and its timing columns are inherently
+// non-reproducible; the det column must always read true. On a single-core
+// host the multi column measures pure staging overhead — the honest
+// baseline for the speedup the same binary gets on real hardware.
+func e14AsyncEngineThroughput(c *Ctx) {
+	t := c.table("flood from node 0, Fixed{1} delays; events = 4m; modes must agree exactly (det column).")
+	t.head("graph", "n", "links", "single(ms)", "multi(ms)", "Kev/s", "det")
+	cases := []namedGraph{
+		{"grid 50x50", func() *graph.Graph { return graph.Grid(50, 50) }},
+		{"er n=10k m=40k", func() *graph.Graph { return graph.RandomConnected(10_000, 40_000, 11) }},
+		{"er n=20k m=80k", func() *graph.Graph { return graph.RandomConnected(20_000, 80_000, 12) }},
+	}
+	t.emit(c.jobs(1, func(int) []row {
+		rows := make([]row, 0, len(cases))
+		for _, r := range cases {
+			g := r.mk()
+			mk := func(graph.NodeID) async.Handler { return &floodK{k: 1} }
+			// Both modes run on equally cold engines — timing a Reset-warmed
+			// engine against a fresh one would credit engine reuse (its own
+			// ~-40% effect, measured by BenchmarkSimFloodReset) to the mode.
+			simSingle := async.New(g, async.Fixed{D: 1}, mk).WithMode(async.ModeSingle)
+			t0 := time.Now()
+			single := simSingle.Run()
+			dSingle := time.Since(t0)
+			simMulti := async.New(g, async.Fixed{D: 1}, mk).WithMode(async.ModeMulti)
+			t1 := time.Now()
+			multi := simMulti.Run()
+			dMulti := time.Since(t1)
+			det := reflect.DeepEqual(single, multi)
+			events := single.Msgs + single.Acks
+			singleMs := float64(dSingle.Microseconds()) / 1000
+			multiMs := float64(dMulti.Microseconds()) / 1000
+			kevs := float64(events) / dSingle.Seconds() / 1000
+			rows = append(rows, row{
+				cols: []any{r.name, g.N(), g.Links(), singleMs, multiMs, kevs, det},
+				rec: Rec{"graph": r.name, "n": g.N(), "links": g.Links(),
+					"singleMs": singleMs, "multiMs": multiMs, "kEvPerSec": kevs,
+					"deterministic": det},
+			})
+		}
+		return rows
+	}))
+}

@@ -133,6 +133,7 @@ func (x *alphaAPI) ID() graph.NodeID            { return x.n.ID() }
 func (x *alphaAPI) Neighbors() []graph.Neighbor { return x.n.Neighbors() }
 func (x *alphaAPI) Degree() int                 { return x.n.Degree() }
 func (x *alphaAPI) Output(v any)                { x.n.Output(v) }
+func (x *alphaAPI) OutputBody(b wire.Body)      { x.n.OutputBody(b) }
 func (x *alphaAPI) HasOutput() bool             { return x.n.HasOutput() }
 func (x *alphaAPI) Arena() *wire.Arena          { return x.n.Arena() }
 

@@ -66,6 +66,7 @@ func (a *captureAPI) ID() graph.NodeID            { return a.n.ID() }
 func (a *captureAPI) Neighbors() []graph.Neighbor { return a.n.Neighbors() }
 func (a *captureAPI) Degree() int                 { return a.n.Degree() }
 func (a *captureAPI) Output(v any)                { a.n.Output(v) }
+func (a *captureAPI) OutputBody(b wire.Body)      { a.n.OutputBody(b) }
 func (a *captureAPI) HasOutput() bool             { return a.n.HasOutput() }
 func (a *captureAPI) Arena() *wire.Arena          { return a.n.Arena() }
 

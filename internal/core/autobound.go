@@ -50,9 +50,13 @@ func SynchronizeUnknownBound(g *graph.Graph, adv async.Adversary,
 // tryBound attempts one synchronized run; ok=false when the algorithm hit
 // the pulse bound (the only recoverable panic; everything else re-panics).
 // A failed attempt still reports the costs it accrued up to the abort.
+// Attempts run in ModeSingle: an abort unwinds mid-window in the parallel
+// mode, whose partially-merged counters would make the billed totals
+// depend on worker scheduling — serial event order is the definition of
+// what an aborted attempt cost.
 func tryBound(g *graph.Graph, bound int, adv async.Adversary,
 	mk func(id graph.NodeID) syncrun.Handler) (res async.Result, ok bool) {
-	sim := newSynchronizedSim(Config{Graph: g, Bound: bound, Adversary: adv}, mk)
+	sim := newSynchronizedSim(Config{Graph: g, Bound: bound, Adversary: adv, Mode: async.ModeSingle}, mk)
 	defer func() {
 		r := recover()
 		if r == nil {

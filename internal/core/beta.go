@@ -143,6 +143,7 @@ func (x *betaAPI) ID() graph.NodeID            { return x.n.ID() }
 func (x *betaAPI) Neighbors() []graph.Neighbor { return x.n.Neighbors() }
 func (x *betaAPI) Degree() int                 { return x.n.Degree() }
 func (x *betaAPI) Output(v any)                { x.n.Output(v) }
+func (x *betaAPI) OutputBody(b wire.Body)      { x.n.OutputBody(b) }
 func (x *betaAPI) HasOutput() bool             { return x.n.HasOutput() }
 func (x *betaAPI) Arena() *wire.Arena          { return x.n.Arena() }
 

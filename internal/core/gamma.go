@@ -297,6 +297,7 @@ func (x *gammaAPI) ID() graph.NodeID            { return x.n.ID() }
 func (x *gammaAPI) Neighbors() []graph.Neighbor { return x.n.Neighbors() }
 func (x *gammaAPI) Degree() int                 { return x.n.Degree() }
 func (x *gammaAPI) Output(v any)                { x.n.Output(v) }
+func (x *gammaAPI) OutputBody(b wire.Body)      { x.n.OutputBody(b) }
 func (x *gammaAPI) HasOutput() bool             { return x.n.HasOutput() }
 func (x *gammaAPI) Arena() *wire.Arena          { return x.n.Arena() }
 

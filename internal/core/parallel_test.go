@@ -1,0 +1,51 @@
+package core
+
+import (
+	"reflect"
+	"testing"
+
+	"repro/internal/apps"
+	"repro/internal/async"
+	"repro/internal/graph"
+	"repro/internal/syncrun"
+)
+
+// TestSynchronizedBoundedLagMatchesSerial runs the full synchronizer stack
+// — pulse core, per-level registration and barrier modules, the algorithm
+// payload — under the bounded-lag parallel engine with a forced 4-worker
+// pool and requires the complete async.Result (costs, per-proto breakdown,
+// outputs) to deep-equal the serial run's. This is the integration face of
+// the engine-level determinism matrix: tens of protocols, stage
+// priorities, and heavy per-link contention instead of a bare flood. Run
+// with -race for the stack's data-race regression.
+func TestSynchronizedBoundedLagMatchesSerial(t *testing.T) {
+	graphs := []struct {
+		name string
+		g    *graph.Graph
+	}{
+		{"grid6x6", graph.Grid(6, 6)},
+		{"cycle32", graph.Cycle(32)},
+		{"er40", graph.RandomConnected(40, 100, 13)},
+	}
+	for _, tg := range graphs {
+		mk := func(graph.NodeID) syncrun.Handler {
+			return &apps.BFS{Sources: []graph.NodeID{0}}
+		}
+		bound := syncrun.New(tg.g, mk).Run().Rounds + 2
+		for _, adv := range []async.Adversary{
+			async.Fixed{D: 1},
+			async.Skew{Cut: graph.NodeID(tg.g.N() / 2), FastD: 1.0 / 64},
+			async.SeededRandom{Seed: 11},
+		} {
+			serial := Synchronize(Config{Graph: tg.g, Bound: bound, Adversary: adv,
+				Mode: async.ModeSingle}, mk)
+			par := Synchronize(Config{Graph: tg.g, Bound: bound, Adversary: adv,
+				Mode: async.ModeMulti, Workers: 4}, mk)
+			if !reflect.DeepEqual(serial, par) {
+				t.Fatalf("%s/%s: parallel synchronized Result differs from serial\nserial:   Time=%v Msgs=%d PerProto=%v\nparallel: Time=%v Msgs=%d PerProto=%v",
+					tg.name, adv.Name(), serial.Time, serial.Msgs, serial.PerProto,
+					par.Time, par.Msgs, par.PerProto)
+			}
+		}
+	}
+}

@@ -25,6 +25,12 @@ type Config struct {
 	// Layered optionally supplies prebuilt covers (they must reach level
 	// ℓ(B)+5); nil builds them from the graph.
 	Layered *cover.Layered
+	// Mode selects the asynchronous engine's execution mode (default
+	// ModeAuto). Results are byte-identical across modes; the bounded-lag
+	// parallel mode only changes wall-clock.
+	Mode async.ExecutionMode
+	// Workers caps the engine's ModeMulti worker pool (0 = engine default).
+	Workers int
 }
 
 // coverCache memoizes BuildLayeredFor results. Covers are deterministic in
@@ -128,9 +134,13 @@ func newSynchronizedSim(cfg Config, mk func(id graph.NodeID) syncrun.Handler) *a
 		panic(fmt.Sprintf("core: layered covers reach level %d, need %d",
 			layered.MaxLevel(), sched.MaxCoverLevel))
 	}
-	return async.New(cfg.Graph, adv, func(id graph.NodeID) async.Handler {
+	sim := async.New(cfg.Graph, adv, func(id graph.NodeID) async.Handler {
 		return NewNodeHandler(sched, layered, mk(id))
-	})
+	}).WithMode(cfg.Mode)
+	if cfg.Workers > 0 {
+		sim.WithWorkers(cfg.Workers)
+	}
+	return sim
 }
 
 // NewNodeHandler wires one node's synchronizer stack: the core engine plus

@@ -1,0 +1,108 @@
+// Package outval encodes node outputs as typed wire.Body values so the
+// engines can store them in dense, pointer-free arrays instead of boxing
+// every output into an interface. Primitive Go values the engines see all
+// the time (int, int64, bool, graph.NodeID) encode into reserved kinds
+// handled here; algorithm packages register decoders for their own
+// fixed-size result structs (apps.BFSResult, abfs.Unreachable, …) under
+// kinds of their choosing, and Decode dispatches on the Kind tag when a
+// Result boundary materializes user-facing values.
+//
+// Registration happens in package init functions only; after init the
+// registry is read-only, so concurrent decodes (the parallel experiment
+// harness) need no locking.
+package outval
+
+import (
+	"fmt"
+
+	"repro/internal/graph"
+	"repro/internal/wire"
+)
+
+// Reserved kinds for engine-encoded primitives. They live at the top of
+// the Kind space so no algorithm's message or output kinds collide.
+const (
+	// KindInt carries a Go int in A.
+	KindInt wire.Kind = 0x7F01
+	// KindInt64 carries an int64 in A.
+	KindInt64 wire.Kind = 0x7F02
+	// KindBool carries a bool in A (wire.FromBool encoding).
+	KindBool wire.Kind = 0x7F03
+	// KindNode carries a graph.NodeID in A.
+	KindNode wire.Kind = 0x7F04
+)
+
+// decoders maps registered output kinds to their decode funcs. Written
+// only during init (Register documents the contract); read concurrently.
+var decoders = map[wire.Kind]func(wire.Body) any{}
+
+// Register installs the decoder for one output kind. It must be called
+// from a package init function (the registry is lock-free by virtue of
+// init's happens-before edge); registering a reserved kind or the same
+// kind twice panics.
+func Register(k wire.Kind, dec func(wire.Body) any) {
+	if _, ok := primDecode(wire.Body{Kind: k}); ok {
+		panic(fmt.Sprintf("outval: kind %d is reserved for primitives", k))
+	}
+	if _, dup := decoders[k]; dup {
+		panic(fmt.Sprintf("outval: output kind %d registered twice", k))
+	}
+	decoders[k] = dec
+}
+
+// Encode converts the primitive output values the engines accept through
+// the legacy Output(any) path into a Body. The second return reports
+// whether v was encodable; callers fall back to boxed storage otherwise.
+func Encode(v any) (wire.Body, bool) {
+	switch x := v.(type) {
+	case int:
+		return wire.Body{Kind: KindInt, A: int64(x)}, true
+	case int64:
+		return wire.Body{Kind: KindInt64, A: x}, true
+	case bool:
+		return wire.Body{Kind: KindBool, A: wire.FromBool(x)}, true
+	case graph.NodeID:
+		return wire.Body{Kind: KindNode, A: int64(x)}, true
+	}
+	return wire.Body{}, false
+}
+
+// primDecode decodes the reserved primitive kinds.
+func primDecode(b wire.Body) (any, bool) {
+	switch b.Kind {
+	case KindInt:
+		return int(b.A), true
+	case KindInt64:
+		return b.A, true
+	case KindBool:
+		return wire.ToBool(b.A), true
+	case KindNode:
+		return graph.NodeID(b.A), true
+	}
+	return nil, false
+}
+
+// Decode materializes the user-facing value of an output Body: reserved
+// primitive kinds decode here, registered kinds dispatch to their decoder,
+// and an unknown kind panics — an output Body reaching a Result boundary
+// without a decoder is a wiring bug, not data.
+func Decode(b wire.Body) any {
+	if v, ok := primDecode(b); ok {
+		return v
+	}
+	if dec, ok := decoders[b.Kind]; ok {
+		return dec(b)
+	}
+	panic(fmt.Sprintf("outval: no decoder registered for output kind %d", b.Kind))
+}
+
+// DecodeSlot materializes one engine output slot: a typed body (non-zero
+// Kind) decodes, the zero body means the value lives in the boxed escape
+// slot. Both engines' Result boundaries and every dense-output consumer
+// share this rule through here.
+func DecodeSlot(b wire.Body, escape any) any {
+	if b.Kind != 0 {
+		return Decode(b)
+	}
+	return escape
+}

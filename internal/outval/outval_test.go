@@ -1,0 +1,65 @@
+package outval
+
+import (
+	"testing"
+
+	"repro/internal/graph"
+	"repro/internal/wire"
+)
+
+func TestPrimitiveRoundTrip(t *testing.T) {
+	cases := []any{int(0), int(42), int(-7), int64(1 << 40), true, false, graph.NodeID(13)}
+	for _, v := range cases {
+		b, ok := Encode(v)
+		if !ok {
+			t.Fatalf("Encode(%v) not encodable", v)
+		}
+		if b.Kind == 0 {
+			t.Fatalf("Encode(%v) produced zero Kind", v)
+		}
+		if got := Decode(b); got != v {
+			t.Fatalf("round trip %v (%T) -> %v (%T)", v, v, got, got)
+		}
+	}
+}
+
+func TestNonEncodable(t *testing.T) {
+	for _, v := range []any{"string", 3.5, struct{ X int }{1}, nil} {
+		if _, ok := Encode(v); ok {
+			t.Fatalf("Encode(%v) unexpectedly encodable", v)
+		}
+	}
+}
+
+type testOut struct{ A, B int64 }
+
+const kindTestOut wire.Kind = 0x7711
+
+func init() {
+	Register(kindTestOut, func(b wire.Body) any { return testOut{A: b.A, B: b.B} })
+}
+
+func TestRegisteredDecode(t *testing.T) {
+	got := Decode(wire.Body{Kind: kindTestOut, A: 3, B: -9})
+	if got != (testOut{A: 3, B: -9}) {
+		t.Fatalf("registered decode = %v", got)
+	}
+}
+
+func TestDecodeUnknownKindPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Decode of unregistered kind should panic")
+		}
+	}()
+	Decode(wire.Body{Kind: 0x7999})
+}
+
+func TestRegisterReservedPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("registering a reserved kind should panic")
+		}
+	}()
+	Register(KindInt, func(wire.Body) any { return nil })
+}

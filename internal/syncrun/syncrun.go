@@ -35,6 +35,7 @@ import (
 	"sync"
 
 	"repro/internal/graph"
+	"repro/internal/outval"
 	"repro/internal/wire"
 )
 
@@ -63,8 +64,14 @@ type API interface {
 	Send(to graph.NodeID, body wire.Body)
 	// Arena returns the run's segment arena for variable-length payloads.
 	Arena() *wire.Arena
-	// Output records this node's final output.
+	// Output records this node's final output. Primitive values (int,
+	// int64, bool, graph.NodeID) are stored as typed wire.Body entries
+	// without boxing; anything else falls back to a boxed escape slot.
 	Output(v any)
+	// OutputBody records this node's final output as a typed wire.Body
+	// (non-zero Kind; outval decodes it at the Result boundary) — the
+	// allocation-free path for struct results.
+	OutputBody(b wire.Body)
 	// HasOutput reports whether output was already produced.
 	HasOutput() bool
 }
@@ -153,10 +160,33 @@ func (n *Node) Send(to graph.NodeID, body wire.Body) {
 
 // Output records this node's final output.
 func (n *Node) Output(v any) {
+	if b, ok := outval.Encode(v); ok {
+		n.OutputBody(b)
+		return
+	}
+	r := n.run
+	r.outBody[n.id] = wire.Body{}
+	r.outAny[n.id] = v
+	n.noteOutput()
+}
+
+// OutputBody records this node's final output as a typed wire.Body.
+func (n *Node) OutputBody(b wire.Body) {
+	if b.Kind == 0 {
+		panic(fmt.Sprintf("syncrun: node %d output a Body with zero Kind", n.id))
+	}
+	r := n.run
+	r.outBody[n.id] = b
+	r.outAny[n.id] = nil
+	n.noteOutput()
+}
+
+// noteOutput updates the first-output bookkeeping (T clock, activation of
+// the worker sink's new-output flag).
+func (n *Node) noteOutput() {
 	r := n.run
 	had := r.hasOut[n.id]
 	r.hasOut[n.id] = true
-	r.outputs[n.id] = v
 	if had {
 		return
 	}
@@ -193,8 +223,15 @@ type Result struct {
 	Rounds int
 	// M is the paper's M(A): total messages sent.
 	M uint64
-	// Outputs maps node -> output.
+	// Outputs maps node -> decoded output. With WithDenseOutputs it
+	// carries only the rare non-encodable values; everything else is in
+	// OutBodies.
 	Outputs map[graph.NodeID]any
+	// OutBodies/OutSet are the dense typed outputs, populated only with
+	// WithDenseOutputs: OutSet[v] reports whether node v output,
+	// OutBodies[v] is its outval-encoded value.
+	OutBodies []wire.Body
+	OutSet    []bool
 	// Trace lists every message with its pulse (in deterministic order).
 	Trace []TraceEntry
 }
@@ -250,8 +287,12 @@ type Runner struct {
 	// (pulse+1) of the last pulse a message was sent on it.
 	sentAt []int32
 
-	outputs   []any
+	// Outputs: typed bodies (Kind != 0) with a boxed escape hatch for
+	// values outval cannot encode (outBody zero, value in outAny).
+	outBody   []wire.Body
+	outAny    []any
 	hasOut    []bool
+	denseOut  bool
 	lastOut   int
 	msgs      uint64
 	trace     []TraceEntry
@@ -282,7 +323,8 @@ func New(g *graph.Graph, mk func(id graph.NodeID) Handler) *Runner {
 		cur:         pulseBuf{inbox: make([][]Incoming, g.N()), bits: make([]uint64, words)},
 		nxt:         pulseBuf{inbox: make([][]Incoming, g.N()), bits: make([]uint64, words)},
 		sentAt:      make([]int32, g.Links()),
-		outputs:     make([]any, g.N()),
+		outBody:     make([]wire.Body, g.N()),
+		outAny:      make([]any, g.N()),
 		hasOut:      make([]bool, g.N()),
 		maxRounds:   1 << 22,
 		workers:     defaultWorkers(),
@@ -316,6 +358,12 @@ const defaultMinParallel = 128
 
 // KeepTrace enables message-trace recording (used by equivalence tests).
 func (r *Runner) KeepTrace() *Runner { r.keepTrace = true; return r }
+
+// WithDenseOutputs makes Run return outputs as the dense OutBodies/OutSet
+// pair instead of materializing the Outputs map — O(1) allocations at the
+// finish line instead of one interface box per node. Callers decode with
+// outval.Decode; non-encodable legacy outputs still surface in the map.
+func (r *Runner) WithDenseOutputs() *Runner { r.denseOut = true; return r }
 
 // WithMode selects the execution mode (default ModeAuto).
 func (r *Runner) WithMode(m ExecutionMode) *Runner { r.mode = m; return r }
@@ -375,19 +423,33 @@ func (r *Runner) Run() Result {
 			r.stepSerial()
 		}
 	}
+	res := Result{
+		T:      r.lastOut,
+		Rounds: r.pulse - 1,
+		M:      r.msgs,
+		Trace:  r.trace,
+	}
+	if r.denseOut {
+		res.OutBodies = r.outBody
+		res.OutSet = r.hasOut
+		for i, has := range r.hasOut {
+			if has && r.outBody[i].Kind == 0 {
+				if res.Outputs == nil {
+					res.Outputs = make(map[graph.NodeID]any)
+				}
+				res.Outputs[graph.NodeID(i)] = r.outAny[i]
+			}
+		}
+		return res
+	}
 	outputs := make(map[graph.NodeID]any)
 	for i, has := range r.hasOut {
 		if has {
-			outputs[graph.NodeID(i)] = r.outputs[i]
+			outputs[graph.NodeID(i)] = outval.DecodeSlot(r.outBody[i], r.outAny[i])
 		}
 	}
-	return Result{
-		T:       r.lastOut,
-		Rounds:  r.pulse - 1,
-		M:       r.msgs,
-		Outputs: outputs,
-		Trace:   r.trace,
-	}
+	res.Outputs = outputs
+	return res
 }
 
 // stepSerial runs one pulse on the calling goroutine, iterating active

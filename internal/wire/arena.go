@@ -39,6 +39,7 @@ func (s Seg) IsZero() bool { return s.n == 0 }
 type Arena struct {
 	mu     sync.Mutex
 	chunks [][]int32
+	std    []bool             // std[i]: chunks[i] is a standard bump chunk (not a dedicated oversize chunk)
 	free   [maxClass][]uint32 // released segment offsets, by size class
 	cursor int                // bump offset into the current standard chunk
 	last   int                // 1 + index of the current standard chunk; 0 = none
@@ -89,14 +90,15 @@ func (a *Arena) Alloc(n int) (Seg, []int32) {
 	size := 1 << c
 	var off uint32
 	if c >= chunkBits {
-		// Oversize class: dedicated chunk.
-		a.chunks = a.appendChunkLocked(size)
+		// Oversize class: dedicated chunk. It is tracked as non-standard
+		// even when its size happens to equal a standard chunk's
+		// (c == chunkBits), so the bump cursor can never re-carve it while
+		// its segment is live.
+		a.appendChunkLocked(size, false)
 		off = uint32(len(a.chunks)-1) << chunkBits
 	} else {
 		if a.last == 0 || a.cursor+size > 1<<chunkBits {
-			a.chunks = a.appendChunkLocked(1 << chunkBits)
-			a.last = len(a.chunks)
-			a.cursor = 0
+			a.advanceChunkLocked()
 		}
 		off = uint32(a.last-1)<<chunkBits | uint32(a.cursor)
 		a.cursor += size
@@ -106,16 +108,85 @@ func (a *Arena) Alloc(n int) (Seg, []int32) {
 	return Seg{off: off, n: int32(n)}, view
 }
 
+// advanceChunkLocked moves the bump cursor to the next standard-size chunk:
+// after a Reset the existing chunks are re-carved in order (oversize chunks
+// interleaved in the table are skipped); only when none remain does the
+// table grow.
+func (a *Arena) advanceChunkLocked() {
+	for i := a.last; i < len(a.chunks); i++ {
+		if a.std[i] {
+			a.last = i + 1
+			a.cursor = 0
+			return
+		}
+	}
+	a.appendChunkLocked(1<<chunkBits, true)
+	a.last = len(a.chunks)
+	a.cursor = 0
+}
+
+// Reset invalidates every outstanding handle and rearms the arena for a
+// fresh run while keeping its standard chunks for reuse — the engine-reuse
+// analogue of the per-segment free lists. Oversize chunks (dedicated to a
+// single large segment) are dropped so repeated runs with occasional big
+// payloads do not accumulate them. All views and Segs obtained before
+// Reset are dead afterwards.
+func (a *Arena) Reset() {
+	a.mu.Lock()
+	// Scrub only the carved prefix — the chunks the bump cursor walked
+	// through this cycle, the current one up to its cursor. Everything
+	// beyond the frontier is still zero (fresh from make, or scrubbed by
+	// an earlier Reset and never re-carved), and Alloc's bump path hands
+	// out views without zeroing, so this restores its zeroed-storage
+	// contract at cost proportional to use, not to retained capacity.
+	for i := 0; i < a.last && i < len(a.chunks); i++ {
+		ch := a.chunks[i]
+		if !a.std[i] {
+			continue // oversize: dropped below
+		}
+		if i == a.last-1 {
+			ch = ch[:a.cursor]
+		}
+		for j := range ch {
+			ch[j] = 0
+		}
+	}
+	kept := a.chunks[:0]
+	for i, ch := range a.chunks {
+		if a.std[i] {
+			kept = append(kept, ch)
+		}
+	}
+	for i := len(kept); i < len(a.chunks); i++ {
+		a.chunks[i] = nil
+	}
+	a.chunks = kept
+	a.std = a.std[:len(kept)]
+	for i := range a.std {
+		a.std[i] = true
+	}
+	for c := range a.free {
+		a.free[c] = a.free[c][:0]
+	}
+	a.cursor = 0
+	a.last = 0
+	if len(kept) > 0 {
+		a.last = 1
+	}
+	a.mu.Unlock()
+}
+
 // appendChunkLocked grows the chunk table, guarding the handle encoding:
 // the chunk index must fit the high bits of a Seg offset, or handles would
 // silently wrap onto chunk 0's storage. Hitting the bound means ~16 GiB of
 // live segments — a leak, not a workload — so fail loudly like the
 // size-class guard does.
-func (a *Arena) appendChunkLocked(size int) [][]int32 {
+func (a *Arena) appendChunkLocked(size int, standard bool) {
 	if len(a.chunks) >= 1<<(32-chunkBits) {
 		panic(fmt.Sprintf("wire: arena exceeded %d chunks (segments are being leaked, not released)", 1<<(32-chunkBits)))
 	}
-	return append(a.chunks, make([]int32, size))
+	a.chunks = append(a.chunks, make([]int32, size))
+	a.std = append(a.std, standard)
 }
 
 func (a *Arena) viewLocked(off uint32, n int) []int32 {

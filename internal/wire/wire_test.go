@@ -149,3 +149,89 @@ func TestArenaSteadyStateStopsAllocating(t *testing.T) {
 		t.Fatalf("recycled %d times, want 99", rec)
 	}
 }
+
+// TestArenaReset verifies the engine-reuse contract: Reset invalidates
+// handles, retains standard chunks (no fresh carving for a repeat of the
+// same workload), drops oversize chunks, and hands out zeroed segments
+// again.
+func TestArenaReset(t *testing.T) {
+	var a Arena
+	// A workload with a few size classes plus one oversize segment.
+	fill := func() []Seg {
+		var segs []Seg
+		for i := 0; i < 50; i++ {
+			s, view := a.Alloc(1 << (i % 6))
+			for j := range view {
+				view[j] = int32(i + 1)
+			}
+			segs = append(segs, s)
+		}
+		s, _ := a.Alloc(1 << 17) // oversize: dedicated chunk
+		return append(segs, s)
+	}
+	fill()
+	carves1, _ := a.Stats()
+	a.Reset()
+	segs := fill()
+	carves2, _ := a.Stats()
+	// The second fill re-carves the SAME standard chunk storage: only the
+	// oversize chunk (dropped at Reset) forces a fresh allocation.
+	if carves2-carves1 != uint64(len(segs)) {
+		t.Fatalf("post-reset fill carved %d times, want %d (bump-carving reused chunks)",
+			carves2-carves1, len(segs))
+	}
+	for _, s := range segs[:len(segs)-1] {
+		view := a.Data(s)
+		// fill wrote i+1 everywhere; a dirty reused chunk would have shown
+		// stale values at Alloc time (Alloc must return zeroed storage —
+		// checked below with a third cycle).
+		if len(view) == 0 {
+			t.Fatal("empty view after reset")
+		}
+	}
+	a.Reset()
+	s, view := a.Alloc(32)
+	for j, w := range view {
+		if w != 0 {
+			t.Fatalf("reused segment word %d = %d, want 0", j, w)
+		}
+	}
+	a.Release(s)
+}
+
+// TestArenaOversizeBoundaryClass pins the c == chunkBits boundary: a
+// dedicated oversize chunk whose size equals a standard chunk's must never
+// be re-carved by the bump cursor while its segment is live, nor survive
+// Reset as a "standard" chunk.
+func TestArenaOversizeBoundaryClass(t *testing.T) {
+	var a Arena
+	// Dedicated chunk of exactly 1<<chunkBits words (class == chunkBits).
+	big, bigView := a.Alloc(1 << chunkBits)
+	for i := range bigView {
+		bigView[i] = 7
+	}
+	// Exhaust standard chunks so the bump cursor must advance repeatedly —
+	// it must skip the oversize chunk, not re-carve it.
+	for i := 0; i < 3*(1<<(chunkBits-10)); i++ {
+		_, view := a.Alloc(1 << 10)
+		for j := range view {
+			view[j] = -1
+		}
+	}
+	for i, w := range a.Data(big) {
+		if w != 7 {
+			t.Fatalf("oversize segment word %d = %d: bump cursor re-carved a live dedicated chunk", i, w)
+		}
+	}
+	a.Reset()
+	// The dedicated chunk is dropped at Reset; fresh allocations must be
+	// zeroed regardless of which retained chunk serves them.
+	for i := 0; i < 3*(1<<(chunkBits-10)); i++ {
+		_, view := a.Alloc(1 << 10)
+		for j, w := range view {
+			if w != 0 {
+				t.Fatalf("post-reset alloc %d word %d = %d, want 0", i, j, w)
+			}
+		}
+	}
+}
