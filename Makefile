@@ -1,14 +1,20 @@
 # Build/test/bench entry points. CI runs the same targets.
 
-# The engine microbenchmark suite committed as the bench trajectory:
-# the four PR-3 engine benchmarks (async flood under random + fixed
-# delays, lockstep pulse serial + worker-pool) plus the bounded-lag
-# parallel-async and engine-reuse benchmarks added with the async
-# ExecutionMode work.
-ASYNC_BENCH  = BenchmarkSimFlood$$|BenchmarkSimFloodFixed|BenchmarkSimFloodParallel|BenchmarkSimFloodReset
-SYNC_BENCH   = BenchmarkLockstepPulse$$|BenchmarkLockstepPulseMulti
-BENCH_OUT    = BENCH_4.json
-BENCH_NOTE  ?= engine microbenchmark suite; multi-mode columns measure staging overhead when GOMAXPROCS=1 (single-core CI) and parallel speedup otherwise
+# The engine microbenchmark suite committed as the bench trajectory.
+# Serial benchmarks run at the host's default GOMAXPROCS; the
+# mode-comparison benchmarks (bounded-lag windows and the speculative
+# executor, flood + doubling BFS) additionally sweep -cpu so the committed
+# document carries the worker-scaling curves. On a single-core host the
+# sweep rows beyond -cpu 1 measure oversubscribed coordination overhead —
+# still useful as the floor of the multicore trajectory, which the CI
+# multicore job tracks on real parallel hardware.
+ASYNC_BENCH       = BenchmarkSimFlood$$|BenchmarkSimFloodFixed|BenchmarkSimFloodReset
+ASYNC_MODE_BENCH  = BenchmarkSimFloodParallel|BenchmarkSimFloodRandomModes
+ABFS_MODE_BENCH   = BenchmarkFullBFSModes
+SYNC_BENCH        = BenchmarkLockstepPulse$$|BenchmarkLockstepPulseMulti
+BENCH_CPUS       ?= 1,2,4,8
+BENCH_OUT         = BENCH_5.json
+BENCH_NOTE       ?= engine microbenchmark suite; mode benchmarks sweep -cpu 1,2,4,8 — parallel rows at cpu counts beyond the host's cores measure oversubscribed coordination overhead, not speedup
 
 .PHONY: build test race bench fmt vet
 
@@ -32,7 +38,9 @@ vet:
 # truncated document from whatever lines did arrive).
 bench:
 	go test -run '^$$' -bench '$(ASYNC_BENCH)' -benchmem ./internal/async/ > .bench-async.out
+	go test -run '^$$' -bench '$(ASYNC_MODE_BENCH)' -benchmem -cpu $(BENCH_CPUS) ./internal/async/ > .bench-async-modes.out
+	go test -run '^$$' -bench '$(ABFS_MODE_BENCH)' -benchmem -cpu $(BENCH_CPUS) ./internal/abfs/ > .bench-abfs-modes.out
 	go test -run '^$$' -bench '$(SYNC_BENCH)' -benchmem ./internal/syncrun/ > .bench-sync.out
-	cat .bench-async.out .bench-sync.out | go run ./cmd/benchjson -note "$(BENCH_NOTE)" > $(BENCH_OUT)
-	rm -f .bench-async.out .bench-sync.out
+	cat .bench-async.out .bench-async-modes.out .bench-abfs-modes.out .bench-sync.out | go run ./cmd/benchjson -note "$(BENCH_NOTE)" > $(BENCH_OUT)
+	rm -f .bench-async.out .bench-async-modes.out .bench-abfs-modes.out .bench-sync.out
 	@cat $(BENCH_OUT)

@@ -57,3 +57,7 @@ func BenchmarkE13EngineThroughput(b *testing.B) {
 func BenchmarkE14AsyncEngineThroughput(b *testing.B) {
 	runExperiment(b, bench.E14AsyncEngineThroughput)
 }
+
+func BenchmarkE15SpeculativeExecution(b *testing.B) {
+	runExperiment(b, bench.E15SpeculativeExecution)
+}

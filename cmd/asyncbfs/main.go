@@ -33,7 +33,7 @@ func run() int {
 		cols    = flag.Int("cols", 6, "grid cols")
 		seed    = flag.Uint64("seed", 1, "delay adversary seed")
 		sources = flag.String("sources", "0", "comma-separated source IDs")
-		mode    = flag.String("mode", "auto", "async engine execution mode: auto|single|multi")
+		mode    = flag.String("mode", "auto", "async engine execution mode: auto|single|multi|spec")
 		quiet   = flag.Bool("quiet", false, "suppress per-node output")
 	)
 	flag.Parse()
@@ -45,8 +45,13 @@ func run() int {
 		execMode = dsync.AsyncModeSingle
 	case "multi":
 		execMode = dsync.AsyncModeMulti
+	case "spec":
+		// The BFS synchronizer stack does not implement StateCloner yet, so
+		// this currently falls back to the bounded-lag executor; the flag
+		// exists so the fallback path is reachable from the CLI.
+		execMode = dsync.AsyncModeSpec
 	default:
-		fmt.Fprintf(os.Stderr, "unknown mode %q (want auto|single|multi)\n", *mode)
+		fmt.Fprintf(os.Stderr, "unknown mode %q (want auto|single|multi|spec)\n", *mode)
 		return 2
 	}
 	g, err := buildGraph(*kind, *n, *m, *rows, *cols, *seed)

@@ -24,8 +24,9 @@ import (
 type Benchmark struct {
 	// Name is the benchmark name without the -GOMAXPROCS suffix.
 	Name string `json:"name"`
-	// Mode is the engine execution mode inferred from the name
-	// ("single", "multi", or "default" when the name carries none).
+	// Mode is the engine execution mode inferred from the name ("single",
+	// "multi", "spec", or "default" when the name carries none); the last
+	// sub-benchmark path segment takes precedence over substring matches.
 	Mode string `json:"mode"`
 	// Gomaxprocs is the -N suffix go test appends to the name.
 	Gomaxprocs int     `json:"gomaxprocs"`
@@ -103,13 +104,7 @@ func parseLine(line string) (Benchmark, bool) {
 			b.Name = b.Name[:i]
 		}
 	}
-	lower := strings.ToLower(b.Name)
-	switch {
-	case strings.Contains(lower, "multi"):
-		b.Mode = "multi"
-	case strings.Contains(lower, "single"):
-		b.Mode = "single"
-	}
+	b.Mode = inferMode(b.Name)
 	iters, err := strconv.ParseInt(fields[1], 10, 64)
 	if err != nil {
 		return Benchmark{}, false
@@ -135,4 +130,28 @@ func parseLine(line string) (Benchmark, bool) {
 		b.Metrics = nil
 	}
 	return b, true
+}
+
+// inferMode maps a benchmark name to the engine execution mode it ran. The
+// final sub-benchmark path segment wins when it names a mode exactly —
+// BenchmarkSimFloodRandomModes/single must not be misread as "spec" just
+// because the parent name mentions a mode — and only then does the older
+// whole-name substring match apply.
+func inferMode(name string) string {
+	if i := strings.LastIndex(name, "/"); i >= 0 {
+		switch seg := strings.ToLower(name[i+1:]); seg {
+		case "single", "multi", "spec":
+			return seg
+		}
+	}
+	lower := strings.ToLower(name)
+	switch {
+	case strings.Contains(lower, "spec"):
+		return "spec"
+	case strings.Contains(lower, "multi"):
+		return "multi"
+	case strings.Contains(lower, "single"):
+		return "single"
+	}
+	return "default"
 }

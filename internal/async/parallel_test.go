@@ -45,6 +45,18 @@ func (h *multiFlood) Recv(n *Node, _ graph.NodeID, m Msg) {
 	n.Output(len(h.seen))
 }
 
+func (h *multiFlood) CloneStateInto(dst Handler) {
+	d := dst.(*multiFlood)
+	d.k = h.k
+	if d.seen == nil && h.seen != nil {
+		d.seen = make(map[Proto]bool, len(h.seen))
+	}
+	clear(d.seen)
+	for p := range h.seen {
+		d.seen[p] = true
+	}
+}
+
 // matrixGraphs are the determinism-matrix topologies: a contention-free
 // path, a cycle, a grid, a hub-heavy star, and an irregular random graph.
 func matrixGraphs(seed uint64) []struct {
@@ -263,7 +275,7 @@ func (lyingAdversary) MinDelay() float64 { return 0.5 }
 func (lyingAdversary) Name() string      { return "lying" }
 
 func TestMinDelayViolationPanics(t *testing.T) {
-	for _, mode := range []ExecutionMode{ModeSingle, ModeMulti} {
+	for _, mode := range []ExecutionMode{ModeSingle, ModeMulti, ModeSpec} {
 		func() {
 			defer func() {
 				if recover() == nil {
@@ -289,6 +301,14 @@ func (h *panicAt) Recv(n *Node, from graph.NodeID, m Msg) {
 		panic("boom")
 	}
 	h.floodHandler.Recv(n, from, m)
+}
+
+// CloneStateInto must be overridden: the promoted floodHandler method would
+// type-assert dst to *floodHandler and miss the trigger field.
+func (h *panicAt) CloneStateInto(dst Handler) {
+	d := dst.(*panicAt)
+	d.trigger = h.trigger
+	d.seen = h.seen
 }
 
 // TestResetAfterMidWindowPanic pins the recoverable-panic contract the

@@ -2,9 +2,10 @@ package async
 
 import (
 	"fmt"
-	"runtime"
+	"math"
 	"sync"
 
+	"repro/internal/execpolicy"
 	"repro/internal/graph"
 	"repro/internal/outval"
 	"repro/internal/wire"
@@ -16,9 +17,12 @@ import (
 type ExecutionMode int
 
 const (
-	// ModeAuto picks ModeMulti when the adversary's lookahead and the
-	// graph's link count are both large enough to amortize the per-window
-	// coordination and more than one CPU is available, else ModeSingle.
+	// ModeAuto picks a parallel executor when the graph is large enough to
+	// amortize per-round coordination and more than one CPU is available:
+	// ModeMulti when the adversary's lookahead makes safe windows worth a
+	// barrier, ModeSpec when lookahead is tiny but every handler implements
+	// StateCloner, else ModeSingle. The decision lives in
+	// execpolicy.AsyncAuto, shared with the lockstep runner's heuristic.
 	ModeAuto ExecutionMode = iota
 	// ModeSingle pops one event at a time on the calling goroutine.
 	ModeSingle
@@ -26,6 +30,15 @@ const (
 	// window, each worker drains its own node shard's event wheel, staging
 	// effects that merge deterministically at the window barrier.
 	ModeMulti
+	// ModeSpec executes speculative rounds on a worker pool: each worker
+	// optimistically drains its shard past the safe window up to an
+	// adaptive horizon, running cloned handlers and logging their effects;
+	// a serial commit walk at the round barrier replays the effects in
+	// global (t, seq) order through the serial engine's own code path,
+	// detects stragglers, and rolls back only the poisoned suffix. Requires
+	// every handler to implement StateCloner; otherwise the run falls back
+	// to ModeMulti (see SpecStats.FellBack).
+	ModeSpec
 )
 
 func (m ExecutionMode) String() string {
@@ -36,6 +49,8 @@ func (m ExecutionMode) String() string {
 		return "single"
 	case ModeMulti:
 		return "multi"
+	case ModeSpec:
+		return "spec"
 	}
 	return fmt.Sprintf("ExecutionMode(%d)", int(m))
 }
@@ -110,6 +125,11 @@ type Sim struct {
 	steps     uint64
 	running   bool
 
+	// inWindow is true while a parallel window or speculative round is in
+	// flight — between fan-out and barrier merge, the engine's counters are
+	// a committed prefix and Stats refuses to serve them as a snapshot.
+	inWindow bool
+
 	// direct is the apply-immediately execution context (ModeSingle and
 	// the Init phase); wctx are the ModeMulti worker contexts.
 	direct       execCtx
@@ -117,9 +137,44 @@ type Sim struct {
 	workerPanics []any
 	mergeCur     []int
 
+	// Speculative-executor state (ModeSpec); see spec.go. mk is retained so
+	// rounds can build clone targets lazily.
+	specMk        func(id graph.NodeID) Handler
+	specClones    []Handler // per-node clone slot, ping-ponged with handlers
+	specCloneEp   []uint64  // round epoch when specClones[v] was refreshed
+	specSwapEp    []uint64  // round epoch when handlers[v]/specClones[v] swapped
+	specRejEp     []uint64  // round epoch when node v owned a rejected event
+	specOutEp     []uint64  // round epoch when v's speculative output view became valid
+	specOutView   []bool    // speculative-phase view of hasOut[v]
+	specOutSaved  []bool    // hasOut[v] at the round start (repair's evolving local view)
+	specRoundEp   uint64    // current round epoch; never reused, survives Reset
+	specNewMin    float64   // min t scheduled during the in-flight commit walk
+	specWalking   bool      // commit walk in progress (schedule feeds specNewMin)
+	specFixedSpan float64   // WithSpecHorizon; 0 = adaptive
+	specRelease   []wire.Seg
+	swallowCtx    execCtx
+	specStats     SpecStats
+
 	// arena backs Body.Seg segments; sent segments return to it after the
 	// ack completes the message's lifecycle.
 	arena wire.Arena
+}
+
+// SpecStats is the speculative executor's round accounting: how many
+// barrier rounds ran, how many events were executed optimistically, how
+// many of those committed, how many were rolled back and re-executed in a
+// later round, and how many committed events needed their handler's state
+// transition replayed because the node also owned a rolled-back event.
+// Rejected/Executed is the rollback rate E15 charts per adversary. FellBack
+// reports that a ModeSpec run used the bounded-lag executor instead because
+// at least one handler does not implement StateCloner.
+type SpecStats struct {
+	Rounds    uint64
+	Executed  uint64
+	Committed uint64
+	Rejected  uint64
+	Replayed  uint64
+	FellBack  bool
 }
 
 // TraceEntry records one delivered message (KeepTrace). Entries appear in
@@ -182,8 +237,9 @@ func New(g *graph.Graph, adv Adversary, mk func(id graph.NodeID) Handler) *Sim {
 		outAny:      make([]any, g.N()),
 		hasOut:      make([]bool, g.N()),
 		maxEvents:   1 << 34,
-		workers:     defaultWorkers(),
+		workers:     execpolicy.DefaultWorkers(),
 		minParallel: defaultMinParallel,
+		specMk:      mk,
 	}
 	s.direct = execCtx{s: s, direct: true}
 	for i := 0; i < g.N(); i++ {
@@ -203,23 +259,6 @@ func checkedLookahead(adv Adversary) float64 {
 	return la
 }
 
-func defaultWorkers() int {
-	w := runtime.GOMAXPROCS(0)
-	if w > 16 {
-		w = 16
-	}
-	return w
-}
-
-// autoMinLookahead is the smallest adversary lookahead for which ModeAuto
-// engages the window executor: below one wheel tick, windows rarely hold
-// more than one event and the barrier is pure overhead.
-const autoMinLookahead = 1.0 / cqBuckets
-
-// autoMultiLinks is the graph size (directed links) at which ModeAuto
-// considers the worker pool.
-const autoMultiLinks = 4096
-
 // defaultMinParallel is the smallest queue population for which a ModeMulti
 // window fans out to goroutines; smaller windows run their shards inline
 // (through the same staging, so results are identical either way).
@@ -228,14 +267,35 @@ const defaultMinParallel = 128
 // WithMode selects the execution mode (default ModeAuto).
 func (s *Sim) WithMode(m ExecutionMode) *Sim { s.mode = m; return s }
 
-// WithWorkers caps the ModeMulti worker pool (default GOMAXPROCS, max 16).
+// WithWorkers caps the parallel worker pool (default GOMAXPROCS, capped by
+// execpolicy.MaxWorkers). ModeAuto additionally clamps the pool to
+// GOMAXPROCS; a forced parallel mode keeps an oversubscribed count (tests
+// force 4 workers on 1 CPU to exercise the concurrent paths).
 func (s *Sim) WithWorkers(k int) *Sim {
-	if k < 1 {
-		panic(fmt.Sprintf("async: worker count %d < 1", k))
-	}
+	execpolicy.ValidateWorkers("async", k)
 	s.workers = k
 	return s
 }
+
+// WithSpecHorizon pins the speculative round horizon to a fixed span of
+// simulated time (0, the default, is adaptive: the engine doubles the
+// horizon after fully-committed rounds and shrinks it to twice the
+// observed commit span after a rollback). Spans below the adversary's
+// MinDelay are clamped up to it at Run — the safe window always commits.
+// Results are byte-identical for every horizon; the knob only trades
+// speculation depth against rollback waste, and exists mainly so tests and
+// experiments can force heavy-rollback regimes.
+func (s *Sim) WithSpecHorizon(h float64) *Sim {
+	if h < 0 || math.IsNaN(h) {
+		panic(fmt.Sprintf("async: speculation horizon %g invalid", h))
+	}
+	s.specFixedSpan = h
+	return s
+}
+
+// SpecStats reports the speculative executor's accounting for the current
+// or last run (Reset zeroes it). All-zero outside ModeSpec.
+func (s *Sim) SpecStats() SpecStats { return s.specStats }
 
 // WithMinParallel sets the smallest queue population for which a ModeMulti
 // window fans out to goroutines (default 128); tests lower it to force the
@@ -271,15 +331,22 @@ func (s *Sim) Graph() *graph.Graph { return s.g }
 
 // Stats snapshots the costs accrued so far: the current simulation time
 // and the message/ack counters, with the per-protocol breakdown
-// materialized as a map. Mid-run snapshots are well-defined only in
-// ModeSingle — under ModeMulti, workers stage their counter increments
-// until the window barrier, so a mid-window snapshot is stale by whatever
-// the in-flight window has processed. core.SynchronizeUnknownBound pins
-// ModeSingle for exactly this reason: it bills doubling attempts that
-// abort before Run returns (Theorem 5.4's Σ 2^t accounting) from this
-// snapshot, and serial event order is what defines an aborted attempt's
-// cost.
+// materialized as a map. In ModeSingle the snapshot is exact at any point.
+// In the parallel modes the counters are the committed prefix — everything
+// up to the last window barrier (ModeMulti) or the last committed event
+// (ModeSpec, whose commit walk replays the serial engine exactly, making
+// a post-panic snapshot identical to the serial one). Calling Stats while
+// a parallel window or speculative round is actually in flight — possible
+// only from another goroutine or from inside a handler — panics instead of
+// returning numbers that are stale by an unknowable in-flight amount.
+// core.SynchronizeUnknownBound bills doubling attempts that abort before
+// Run returns (Theorem 5.4's Σ 2^t accounting) from this snapshot; serial
+// event order defines an aborted attempt's cost, which both the serial
+// engine and the speculative commit walk provide.
 func (s *Sim) Stats() (now float64, msgs, acks uint64, perProto map[Proto]uint64) {
+	if s.inWindow {
+		panic("async: Stats called while a parallel window is in flight; mid-run snapshots are defined only between barriers (or any time in ModeSingle)")
+	}
 	return s.now, s.msgs, s.acks, s.perProtoMap()
 }
 
@@ -348,6 +415,25 @@ func (s *Sim) Reset(adv Adversary, mk func(id graph.NodeID) Handler) {
 	for k := range s.workerPanics {
 		s.workerPanics[k] = nil
 	}
+	// Clear speculative state. The round epoch is deliberately NOT reset —
+	// it must never repeat, so the per-node epoch arrays (specCloneEp and
+	// friends) invalidate themselves without a scrub. Clone targets are
+	// dropped because mk may build different handler types this cycle.
+	s.inWindow = false
+	s.specWalking = false
+	for i := range s.specClones {
+		s.specClones[i] = nil
+	}
+	for k := range s.wctx {
+		c := &s.wctx[k]
+		clearSpecOps(c.specOps)
+		c.specOps = c.specOps[:0]
+		c.specLog = c.specLog[:0]
+		c.specPanicked, c.specPanic = false, nil
+	}
+	s.specRelease = s.specRelease[:0]
+	s.specStats = SpecStats{}
+	s.specMk = mk
 	s.arena.Reset()
 	for i := range s.handlers {
 		s.nodes[i].ctx = &s.direct
@@ -363,18 +449,43 @@ func (s *Sim) Run() Result {
 	s.running = true
 	mode := s.mode
 	if mode == ModeAuto {
-		if s.workers > 1 && s.lookahead >= autoMinLookahead && s.g.Links() >= autoMultiLinks {
+		switch execpolicy.AsyncAuto(s.workers, s.g.Links(), s.lookahead, s.handlersCloneable()) {
+		case execpolicy.AsyncWindows:
 			mode = ModeMulti
-		} else {
+		case execpolicy.AsyncSpec:
+			mode = ModeSpec
+		default:
 			mode = ModeSingle
 		}
 	}
-	if mode == ModeMulti {
+	if mode == ModeSpec && !s.handlersCloneable() {
+		// Opting in is per-handler (StateCloner); a stack that cannot be
+		// cloned gets the conservative executor, not an error — callers can
+		// force -mode=spec fleet-wide and let each workload take what it
+		// supports. SpecStats records the downgrade.
+		s.specStats.FellBack = true
+		mode = ModeMulti
+	}
+	switch mode {
+	case ModeMulti:
 		s.runWindows()
-	} else {
+	case ModeSpec:
+		s.runSpec()
+	default:
 		s.runSerial()
 	}
 	return s.result()
+}
+
+// handlersCloneable reports whether every handler opted into speculative
+// execution. O(n) type assertions; called at most twice per Run.
+func (s *Sim) handlersCloneable() bool {
+	for _, h := range s.handlers {
+		if _, ok := h.(StateCloner); !ok {
+			return false
+		}
+	}
+	return true
 }
 
 func (s *Sim) runSerial() {
@@ -410,6 +521,7 @@ func (s *Sim) runWindows() {
 	s.sharded = true
 	defer func() {
 		s.sharded = false
+		s.inWindow = false
 		for i := range s.nodes {
 			s.nodes[i].ctx = &s.direct
 		}
@@ -439,6 +551,7 @@ func (s *Sim) runWindows() {
 			panic(fmt.Sprintf("async: time went backwards: %g < %g", wStart, s.now))
 		}
 		wEnd := wStart + s.lookahead
+		s.inWindow = true
 		if w == 1 || prevWindow < s.minParallel {
 			for k := range s.shards {
 				s.runShard(k, wEnd)
@@ -466,6 +579,7 @@ func (s *Sim) runWindows() {
 		}
 		stepsBefore := s.steps
 		s.mergeWindow()
+		s.inWindow = false
 		prevWindow = int(s.steps - stepsBefore)
 	}
 }
@@ -667,6 +781,15 @@ type execCtx struct {
 	s      *Sim
 	direct bool
 
+	// spec marks a worker context inside a speculative round: handler
+	// effects are logged as specOps instead of applied, and nothing else in
+	// the engine is touched. swallow marks the straddle-repair context: a
+	// handler state transition is re-executed for its state change alone,
+	// its Send/Output effects discarded (they were already committed or
+	// rolled back at the event level). See spec.go.
+	spec    bool
+	swallow bool
+
 	// now/curSeq identify the event being processed (the parallel schedule
 	// staging keys on them; the direct context mirrors Sim.now).
 	now    float64
@@ -681,6 +804,21 @@ type execCtx struct {
 	perProto   []uint64
 	staged     []stagedEv
 	trace      []TraceEntry
+
+	// Speculative round log (spec contexts): flat op log plus one entry per
+	// executed event closing its op range. specCur is the event currently
+	// inside its handler callback, so a panic can be attributed.
+	specOps      []specOp
+	specLog      []specExec
+	specCur      event
+	specPanic    any
+	specPanicked bool
+
+	// replay (direct context, commit walk only): when replayOn is set,
+	// invokeRecv/invokeAck apply this logged op sequence instead of calling
+	// the handler — everything else in processEvent runs as in ModeSingle.
+	replay   []specOp
+	replayOn bool
 }
 
 // stagedEv is one deferred schedule call, keyed by the event that issued it.
@@ -705,7 +843,7 @@ func (c *execCtx) processEvent(ev *event) {
 				c.trace = append(c.trace, te)
 			}
 		}
-		s.handlers[ev.dst].Recv(&s.nodes[ev.dst], ev.src, ev.msg)
+		c.invokeRecv(ev)
 		// Ack travels back; its arrival frees the link.
 		if c.direct {
 			s.acks++
@@ -722,10 +860,53 @@ func (c *execCtx) processEvent(ev *event) {
 		ob := &s.out[ev.link]
 		ob.busy = false
 		c.dispatch(ev.src, ev.dst, ev.link, ob)
-		s.handlers[ev.src].Ack(&s.nodes[ev.src], ev.dst, ev.msg)
+		c.invokeAck(ev)
 		// The ack ends the message's lifecycle; recycle any segment
 		// (receivers copy data out if they keep it). No-op without one.
 		s.arena.Release(ev.msg.Body.Seg)
+	}
+}
+
+// invokeRecv runs the delivery's handler callback — or, during a
+// speculative commit walk, replays the effects the callback logged when it
+// already ran on the clone. Either way the surrounding processEvent
+// mechanics (trace, counters, ack scheduling, seq assignment) execute the
+// serial engine's code on the serial engine's state.
+func (c *execCtx) invokeRecv(ev *event) {
+	if c.replayOn {
+		c.applyOps(ev)
+		return
+	}
+	s := c.s
+	s.handlers[ev.dst].Recv(&s.nodes[ev.dst], ev.src, ev.msg)
+}
+
+// invokeAck is invokeRecv's counterpart for ack-return events.
+func (c *execCtx) invokeAck(ev *event) {
+	if c.replayOn {
+		c.applyOps(ev)
+		return
+	}
+	s := c.s
+	s.handlers[ev.src].Ack(&s.nodes[ev.src], ev.dst, ev.msg)
+}
+
+// applyOps replays a logged handler-effect sequence through this context.
+// The ops re-enter send/setOutput exactly where the handler's own calls
+// would have, so counters, outbox scheduling, and adversary consultation
+// happen in the identical order.
+func (c *execCtx) applyOps(ev *event) {
+	owner := ownerOf(*ev)
+	for i := range c.replay {
+		op := &c.replay[i]
+		switch op.kind {
+		case opSend:
+			c.send(owner, op.to, op.msg)
+		case opOutBody:
+			c.setOutputBody(op.to, op.msg.Body)
+		case opOutAny:
+			c.setOutput(op.to, op.val)
+		}
 	}
 }
 
@@ -734,6 +915,19 @@ func (c *execCtx) send(from, to graph.NodeID, m Msg) {
 	l := s.g.LinkBetween(from, to)
 	if l < 0 {
 		panic(fmt.Sprintf("async: node %d sending to non-neighbor %d", from, to))
+	}
+	if c.spec {
+		// Speculative phase: log the intent, touch nothing. The commit walk
+		// applies it (or rollback releases its segment).
+		c.specOps = append(c.specOps, specOp{kind: opSend, to: to, msg: m})
+		return
+	}
+	if c.swallow {
+		// Straddle repair re-runs a handler transition whose sends were
+		// already committed by the walk; this duplicate message dies here,
+		// and its freshly carved segment goes straight back.
+		s.arena.Release(m.Body.Seg)
+		return
 	}
 	if c.direct {
 		s.msgs++
@@ -787,6 +981,11 @@ func (c *execCtx) schedule(ev event) {
 func (s *Sim) schedule(ev event) {
 	ev.seq = s.eventSq
 	s.eventSq++
+	if s.specWalking && ev.t < s.specNewMin {
+		// Straggler frontier: the commit walk may not commit any already-
+		// speculated event past the earliest timestamp it has scheduled.
+		s.specNewMin = ev.t
+	}
 	if s.sharded {
 		s.shards[int(ownerOf(ev))%len(s.shards)].push(ev)
 	} else {
@@ -828,6 +1027,15 @@ func (c *execCtx) setOutputBody(id graph.NodeID, b wire.Body) {
 		panic(fmt.Sprintf("async: node %d output a Body with zero Kind", id))
 	}
 	s := c.s
+	if c.spec {
+		c.specOps = append(c.specOps, specOp{kind: opOutBody, to: id, msg: Msg{Body: b}})
+		s.specTouchOut(id)
+		return
+	}
+	if c.swallow {
+		s.specOutSaved[id] = true
+		return
+	}
 	if !s.hasOut[id] {
 		s.hasOut[id] = true
 		c.noteFirstOutput()
@@ -842,12 +1050,45 @@ func (c *execCtx) setOutput(id graph.NodeID, v any) {
 		return
 	}
 	s := c.s
+	if c.spec {
+		c.specOps = append(c.specOps, specOp{kind: opOutAny, to: id, val: v})
+		s.specTouchOut(id)
+		return
+	}
+	if c.swallow {
+		s.specOutSaved[id] = true
+		return
+	}
 	if !s.hasOut[id] {
 		s.hasOut[id] = true
 		c.noteFirstOutput()
 	}
 	s.outBody[id] = wire.Body{}
 	s.outAny[id] = v
+}
+
+// hasOutput answers Node.HasOutput through the node's execution context:
+// the committed array in serial/window execution, the per-round overlay
+// during a speculative phase, and repair's evolving local view during a
+// swallow replay. Each view reproduces what the serial engine's hasOut
+// would say at the same point in the event order.
+func (c *execCtx) hasOutput(id graph.NodeID) bool {
+	s := c.s
+	if c.spec {
+		if s.specOutEp[id] != s.specRoundEp {
+			s.specOutEp[id] = s.specRoundEp
+			s.specOutView[id] = s.hasOut[id]
+			s.specOutSaved[id] = s.hasOut[id]
+		}
+		return s.specOutView[id]
+	}
+	if c.swallow {
+		if s.specOutEp[id] == s.specRoundEp {
+			return s.specOutSaved[id]
+		}
+		return s.hasOut[id]
+	}
+	return s.hasOut[id]
 }
 
 // bumpProtoBy adds n to the dense per-proto counter, growing the slice to

@@ -1,5 +1,5 @@
 // Package bench implements the experiment harness: one function per
-// experiment in DESIGN.md's index (E1–E14), each regenerating its table of
+// experiment in DESIGN.md's index (E1–E15), each regenerating its table of
 // measured time/message complexities against the paper's predicted shape.
 // Root bench_test.go and cmd/syncbench both call into this package.
 //
@@ -59,6 +59,7 @@ var experiments = []experiment{
 	{"E12", "gather-in-covers cost (Thm 3.1)", e12GatherCost},
 	{"E13", "lockstep engine throughput by execution mode", e13EngineThroughput},
 	{"E14", "async engine throughput by execution mode (bounded-lag windows)", e14AsyncEngineThroughput},
+	{"E15", "speculative execution past the safe window (rollback accounting)", e15SpeculativeExecution},
 }
 
 func byID(id string) *experiment {
@@ -114,8 +115,8 @@ type Options struct {
 	Mode syncrun.ExecutionMode
 	// AsyncMode selects the asynchronous engine's execution mode for every
 	// experiment that runs a simulation (cmd/syncbench -mode sets both
-	// engines). Also byte-identical across modes; E14 compares the modes
-	// explicitly and ignores it.
+	// engines). Also byte-identical across modes; E14 and E15 compare the
+	// modes explicitly and ignore it.
 	AsyncMode async.ExecutionMode
 }
 
@@ -320,3 +321,4 @@ func E11StagePipelining(w io.Writer)       { ByName(w, "E11") }
 func E12GatherCost(w io.Writer)            { ByName(w, "E12") }
 func E13EngineThroughput(w io.Writer)      { ByName(w, "E13") }
 func E14AsyncEngineThroughput(w io.Writer) { ByName(w, "E14") }
+func E15SpeculativeExecution(w io.Writer)  { ByName(w, "E15") }

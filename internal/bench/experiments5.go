@@ -1,0 +1,74 @@
+package bench
+
+import (
+	"reflect"
+	"time"
+
+	"repro/internal/async"
+	"repro/internal/graph"
+)
+
+// e15SpeculativeExecution measures the speculative executor against the
+// serial loop and the bounded-lag windows on the adversary spectrum that
+// motivates it. Under Fixed{1} the safe window is a full time unit and the
+// conservative windows are near-optimal; under SeededRandom the MinDelay
+// lookahead is 2^-20, safe windows degenerate to single events, and only
+// speculation past the window exposes parallelism. Each row reports
+// wall-clock per mode plus the speculation accounting: rounds, the
+// fraction of speculatively executed events that committed, the rollback
+// rate, swallow-replays (straddler repair), and the determinism check
+// against the serial Result.
+//
+// Like E13/E14 this runs as one serial job and its timing columns are not
+// reproducible; the det column must always read true. On a single-core
+// host every parallel column measures pure coordination overhead — the
+// honest baseline for multicore speedup, which the CI multicore job and
+// the committed BENCH_5.json -cpu sweep track.
+func e15SpeculativeExecution(c *Ctx) {
+	t := c.table("flood from node 0, grid 40x40; commit% = committed/executed; rb/kev = rejected per 1000 committed events.")
+	t.head("adversary", "single(ms)", "multi(ms)", "spec(ms)", "rounds", "commit%", "rb/kev", "replays", "det")
+	g := graph.Grid(40, 40)
+	advs := []async.Adversary{
+		async.Fixed{D: 1},
+		async.SeededRandom{Seed: c.seedOr(7)},
+		async.Skew{Cut: graph.NodeID(g.N() / 2), FastD: 1.0 / 64},
+	}
+	t.emit(c.jobs(1, func(int) []row {
+		rows := make([]row, 0, len(advs))
+		for _, adv := range advs {
+			mk := func(graph.NodeID) async.Handler { return &floodK{k: 1} }
+			timed := func(mode async.ExecutionMode) (async.Result, time.Duration, async.SpecStats) {
+				sim := async.New(g, adv, mk).WithMode(mode)
+				t0 := time.Now()
+				res := sim.Run()
+				return res, time.Since(t0), sim.SpecStats()
+			}
+			single, dSingle, _ := timed(async.ModeSingle)
+			multi, dMulti, _ := timed(async.ModeMulti)
+			spec, dSpec, st := timed(async.ModeSpec)
+			det := reflect.DeepEqual(single, multi) && reflect.DeepEqual(single, spec)
+			commitPct := 0.0
+			if st.Executed > 0 {
+				commitPct = 100 * float64(st.Committed) / float64(st.Executed)
+			}
+			rbPerKev := 0.0
+			if st.Committed > 0 {
+				rbPerKev = 1000 * float64(st.Rejected) / float64(st.Committed)
+			}
+			singleMs := float64(dSingle.Microseconds()) / 1000
+			multiMs := float64(dMulti.Microseconds()) / 1000
+			specMs := float64(dSpec.Microseconds()) / 1000
+			rows = append(rows, row{
+				cols: []any{adv.Name(), singleMs, multiMs, specMs,
+					st.Rounds, commitPct, rbPerKev, st.Replayed, det},
+				rec: Rec{"adversary": adv.Name(), "singleMs": singleMs,
+					"multiMs": multiMs, "specMs": specMs,
+					"rounds": st.Rounds, "executed": st.Executed,
+					"committed": st.Committed, "rejected": st.Rejected,
+					"replays": st.Replayed, "commitPct": commitPct,
+					"fellBack": st.FellBack, "deterministic": det},
+			})
+		}
+		return rows
+	}))
+}

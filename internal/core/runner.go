@@ -26,10 +26,13 @@ type Config struct {
 	// ℓ(B)+5); nil builds them from the graph.
 	Layered *cover.Layered
 	// Mode selects the asynchronous engine's execution mode (default
-	// ModeAuto). Results are byte-identical across modes; the bounded-lag
-	// parallel mode only changes wall-clock.
+	// ModeAuto). Results are byte-identical across modes; the parallel
+	// modes only change wall-clock. ModeSpec falls back to ModeMulti for
+	// the synchronizer stack (its handlers do not implement StateCloner
+	// yet — see ROADMAP).
 	Mode async.ExecutionMode
-	// Workers caps the engine's ModeMulti worker pool (0 = engine default).
+	// Workers caps the engine's parallel worker pool (0 = engine default;
+	// negative panics).
 	Workers int
 }
 
@@ -120,6 +123,9 @@ func newSynchronizedSim(cfg Config, mk func(id graph.NodeID) syncrun.Handler) *a
 	}
 	if cfg.Bound < 1 {
 		panic(fmt.Sprintf("core: Config.Bound must be >= 1, got %d", cfg.Bound))
+	}
+	if cfg.Workers < 0 {
+		panic(fmt.Sprintf("core: Config.Workers must be >= 0, got %d", cfg.Workers))
 	}
 	adv := cfg.Adversary
 	if adv == nil {

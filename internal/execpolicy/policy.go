@@ -1,0 +1,103 @@
+// Package execpolicy centralizes the execution-policy decisions the two
+// engines share: worker-count defaults and validation, and the Auto-mode
+// heuristics that pick between serial and parallel execution. Keeping them
+// in one place stops the async engine and the lockstep runner from
+// drifting apart — both engines' WithWorkers validation, their GOMAXPROCS
+// clamps, and their "is parallelism worth the coordination?" thresholds
+// are the same code.
+//
+// The policy layer is deliberately free of engine types: it answers with
+// plain choices, and each engine maps them onto its own mode enum.
+package execpolicy
+
+import (
+	"fmt"
+	"runtime"
+)
+
+// MaxWorkers caps every worker pool: beyond ~16 workers the merge and
+// barrier costs outgrow the marginal core, and the deterministic k-way
+// merges scan one cursor per worker.
+const MaxWorkers = 16
+
+// AutoMinLookahead is the smallest adversary lookahead for which Auto mode
+// engages the conservative bounded-lag executor: one tick of the async
+// engine's 256-slot calendar wheel. Below it, safe windows rarely hold
+// more than one event and the barrier is pure overhead — that regime
+// belongs to the speculative executor instead.
+const AutoMinLookahead = 1.0 / 256
+
+// AutoMultiLinks is the graph size (directed links) at which the async
+// engine's Auto mode considers a worker pool at all.
+const AutoMultiLinks = 4096
+
+// AutoMultiNodes is the graph size at which the lockstep runner's Auto
+// mode switches to its worker pool: below it, per-pulse pool coordination
+// dominates the tiny handler steps.
+const AutoMultiNodes = 2048
+
+// DefaultWorkers is the worker-pool size when the caller does not choose:
+// every available CPU, capped at MaxWorkers.
+func DefaultWorkers() int {
+	w := runtime.GOMAXPROCS(0)
+	if w > MaxWorkers {
+		w = MaxWorkers
+	}
+	return w
+}
+
+// ValidateWorkers rejects non-positive explicit worker counts. The engine
+// name prefixes the panic so the failure reads like the engine's own.
+func ValidateWorkers(engine string, k int) {
+	if k < 1 {
+		panic(fmt.Sprintf("%s: worker count %d < 1", engine, k))
+	}
+}
+
+// AutoWorkers is the worker count Auto-mode decisions reason with: the
+// configured pool clamped to GOMAXPROCS. An explicitly forced parallel
+// mode keeps its configured (possibly oversubscribed) pool — tests rely on
+// forcing 4 workers on 1 CPU — but Auto never volunteers more workers than
+// there are CPUs to run them.
+func AutoWorkers(configured int) int {
+	if p := runtime.GOMAXPROCS(0); configured > p {
+		return p
+	}
+	return configured
+}
+
+// AsyncChoice is the async engine's Auto-mode decision.
+type AsyncChoice int
+
+const (
+	// AsyncSerial: pop one event at a time on the calling goroutine.
+	AsyncSerial AsyncChoice = iota
+	// AsyncWindows: conservative bounded-lag windows on a worker pool.
+	AsyncWindows
+	// AsyncSpec: speculative rounds past the safe window (requires every
+	// handler to implement async.StateCloner).
+	AsyncSpec
+)
+
+// AsyncAuto picks the async engine's execution path: the bounded-lag
+// window executor when the adversary's lookahead makes safe windows worth
+// a barrier, the speculative executor when lookahead is tiny but the
+// graph is big and the handlers are cloneable, and serial otherwise.
+func AsyncAuto(workers, links int, lookahead float64, cloneable bool) AsyncChoice {
+	if AutoWorkers(workers) <= 1 || links < AutoMultiLinks {
+		return AsyncSerial
+	}
+	if lookahead >= AutoMinLookahead {
+		return AsyncWindows
+	}
+	if cloneable {
+		return AsyncSpec
+	}
+	return AsyncSerial
+}
+
+// LockstepMulti reports whether the lockstep runner's Auto mode should use
+// its worker pool for a graph of n nodes.
+func LockstepMulti(workers, nodes int) bool {
+	return AutoWorkers(workers) > 1 && nodes >= AutoMultiNodes
+}

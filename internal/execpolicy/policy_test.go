@@ -1,0 +1,102 @@
+package execpolicy
+
+import (
+	"runtime"
+	"testing"
+)
+
+// withProcs runs f under a pinned GOMAXPROCS, restoring the old value —
+// the policy functions read GOMAXPROCS, so every test must control it.
+func withProcs(p int, f func()) {
+	old := runtime.GOMAXPROCS(p)
+	defer runtime.GOMAXPROCS(old)
+	f()
+}
+
+func TestDefaultWorkers(t *testing.T) {
+	withProcs(3, func() {
+		if w := DefaultWorkers(); w != 3 {
+			t.Fatalf("DefaultWorkers at 3 CPUs = %d", w)
+		}
+	})
+	withProcs(MaxWorkers+8, func() {
+		if w := DefaultWorkers(); w != MaxWorkers {
+			t.Fatalf("DefaultWorkers must cap at MaxWorkers, got %d", w)
+		}
+	})
+}
+
+func TestValidateWorkers(t *testing.T) {
+	ValidateWorkers("engine", 1) // must not panic
+	for _, k := range []int{0, -2} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatalf("ValidateWorkers(%d) should panic", k)
+				}
+			}()
+			ValidateWorkers("engine", k)
+		}()
+	}
+}
+
+func TestAutoWorkers(t *testing.T) {
+	withProcs(2, func() {
+		if w := AutoWorkers(8); w != 2 {
+			t.Fatalf("AutoWorkers must clamp an oversubscribed pool to GOMAXPROCS, got %d", w)
+		}
+		if w := AutoWorkers(1); w != 1 {
+			t.Fatalf("AutoWorkers(1) = %d", w)
+		}
+	})
+}
+
+func TestAsyncAuto(t *testing.T) {
+	withProcs(4, func() {
+		cases := []struct {
+			name      string
+			workers   int
+			links     int
+			lookahead float64
+			cloneable bool
+			want      AsyncChoice
+		}{
+			{"one worker", 1, AutoMultiLinks, 1, true, AsyncSerial},
+			{"small graph", 4, AutoMultiLinks - 1, 1, true, AsyncSerial},
+			{"wide lookahead", 4, AutoMultiLinks, AutoMinLookahead, true, AsyncWindows},
+			{"tiny lookahead, cloneable", 4, AutoMultiLinks, AutoMinLookahead / 2, true, AsyncSpec},
+			{"tiny lookahead, opaque state", 4, AutoMultiLinks, AutoMinLookahead / 2, false, AsyncSerial},
+		}
+		for _, c := range cases {
+			if got := AsyncAuto(c.workers, c.links, c.lookahead, c.cloneable); got != c.want {
+				t.Errorf("%s: AsyncAuto = %v, want %v", c.name, got, c.want)
+			}
+		}
+	})
+	// The clamp applies inside Auto too: a big configured pool on one CPU
+	// must not volunteer parallelism.
+	withProcs(1, func() {
+		if got := AsyncAuto(8, AutoMultiLinks, 1, true); got != AsyncSerial {
+			t.Fatalf("AsyncAuto on 1 CPU = %v, want AsyncSerial", got)
+		}
+	})
+}
+
+func TestLockstepMulti(t *testing.T) {
+	withProcs(4, func() {
+		if !LockstepMulti(4, AutoMultiNodes) {
+			t.Fatal("big graph with a real pool should go parallel")
+		}
+		if LockstepMulti(4, AutoMultiNodes-1) {
+			t.Fatal("small graph should stay serial")
+		}
+		if LockstepMulti(1, AutoMultiNodes) {
+			t.Fatal("one worker should stay serial")
+		}
+	})
+	withProcs(1, func() {
+		if LockstepMulti(8, AutoMultiNodes) {
+			t.Fatal("oversubscribed pool on 1 CPU should stay serial in Auto")
+		}
+	})
+}

@@ -31,9 +31,9 @@ package syncrun
 import (
 	"fmt"
 	"math/bits"
-	"runtime"
 	"sync"
 
+	"repro/internal/execpolicy"
 	"repro/internal/graph"
 	"repro/internal/outval"
 	"repro/internal/wire"
@@ -327,7 +327,7 @@ func New(g *graph.Graph, mk func(id graph.NodeID) Handler) *Runner {
 		outAny:      make([]any, g.N()),
 		hasOut:      make([]bool, g.N()),
 		maxRounds:   1 << 22,
-		workers:     defaultWorkers(),
+		workers:     execpolicy.DefaultWorkers(),
 		minParallel: defaultMinParallel,
 	}
 	r.direct.r = r
@@ -338,19 +338,6 @@ func New(g *graph.Graph, mk func(id graph.NodeID) Handler) *Runner {
 	}
 	return r
 }
-
-func defaultWorkers() int {
-	w := runtime.GOMAXPROCS(0)
-	if w > 16 {
-		w = 16
-	}
-	return w
-}
-
-// autoMultiNodes is the graph size at which ModeAuto switches to the
-// worker pool: below it, per-pulse pool coordination dominates the tiny
-// handler steps.
-const autoMultiNodes = 2048
 
 // defaultMinParallel is the smallest activation set Multi mode fans out;
 // smaller sets step inline (results are identical either way).
@@ -368,11 +355,12 @@ func (r *Runner) WithDenseOutputs() *Runner { r.denseOut = true; return r }
 // WithMode selects the execution mode (default ModeAuto).
 func (r *Runner) WithMode(m ExecutionMode) *Runner { r.mode = m; return r }
 
-// WithWorkers caps the Multi-mode worker pool (default GOMAXPROCS, max 16).
+// WithWorkers caps the Multi-mode worker pool (default GOMAXPROCS, capped
+// by execpolicy.MaxWorkers). ModeAuto additionally clamps the pool to
+// GOMAXPROCS; a forced ModeMulti keeps an oversubscribed count (tests
+// force several workers on 1 CPU to exercise the concurrent path).
 func (r *Runner) WithWorkers(k int) *Runner {
-	if k < 1 {
-		panic(fmt.Sprintf("syncrun: worker count %d < 1", k))
-	}
+	execpolicy.ValidateWorkers("syncrun", k)
 	r.workers = k
 	return r
 }
@@ -399,7 +387,7 @@ func (r *Runner) Handler(v graph.NodeID) Handler { return r.handlers[v] }
 func (r *Runner) Run() Result {
 	mode := r.mode
 	if mode == ModeAuto {
-		if r.workers > 1 && r.g.N() >= autoMultiNodes {
+		if execpolicy.LockstepMulti(r.workers, r.g.N()) {
 			mode = ModeMulti
 		} else {
 			mode = ModeSingle

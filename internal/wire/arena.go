@@ -45,6 +45,7 @@ type Arena struct {
 	last   int                // 1 + index of the current standard chunk; 0 = none
 
 	carves, recycles uint64
+	live             int // outstanding segments: allocations minus releases
 }
 
 // chunkBits sizes a standard chunk: 2^chunkBits words (256 KiB). Segments
@@ -75,6 +76,7 @@ func (a *Arena) Alloc(n int) (Seg, []int32) {
 		panic(fmt.Sprintf("wire: segment of %d words exceeds the arena's maximum", n))
 	}
 	a.mu.Lock()
+	a.live++
 	if l := a.free[c]; len(l) > 0 {
 		off := l[len(l)-1]
 		a.free[c] = l[:len(l)-1]
@@ -173,6 +175,7 @@ func (a *Arena) Reset() {
 	if len(kept) > 0 {
 		a.last = 1
 	}
+	a.live = 0
 	a.mu.Unlock()
 }
 
@@ -217,6 +220,26 @@ func (a *Arena) Release(s Seg) {
 	c := class(int(s.n))
 	a.mu.Lock()
 	a.free[c] = append(a.free[c], s.off)
+	a.live--
+	a.mu.Unlock()
+}
+
+// ReleaseAll releases a batch of segments under one lock acquisition —
+// the async engine's speculative rollback path returns every rejected
+// event's sent segments wholesale. Zero Segs are skipped; the same
+// single-release ownership rules apply to each element.
+func (a *Arena) ReleaseAll(segs []Seg) {
+	if len(segs) == 0 {
+		return
+	}
+	a.mu.Lock()
+	for _, s := range segs {
+		if s.n == 0 {
+			continue
+		}
+		a.free[class(int(s.n))] = append(a.free[class(int(s.n))], s.off)
+		a.live--
+	}
 	a.mu.Unlock()
 }
 
@@ -226,4 +249,14 @@ func (a *Arena) Stats() (carves, recycles uint64) {
 	a.mu.Lock()
 	defer a.mu.Unlock()
 	return a.carves, a.recycles
+}
+
+// Live reports the number of outstanding segments — allocated and neither
+// released nor invalidated by Reset. Leak tests pin it: after a run whose
+// every message lifecycle completed, it should be exactly the number of
+// segments intentionally retained (usually zero).
+func (a *Arena) Live() int {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.live
 }
