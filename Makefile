@@ -12,9 +12,12 @@ ASYNC_BENCH       = BenchmarkSimFlood$$|BenchmarkSimFloodFixed|BenchmarkSimFlood
 ASYNC_MODE_BENCH  = BenchmarkSimFloodParallel|BenchmarkSimFloodRandomModes
 ABFS_MODE_BENCH   = BenchmarkFullBFSModes
 SYNC_BENCH        = BenchmarkLockstepPulse$$|BenchmarkLockstepPulseMulti
+# The footprint probe is deterministic (see footprint_test.go's exact
+# pins), so one iteration suffices; its last case is the million-node row.
+FOOTPRINT_BENCH   = BenchmarkFootprint
 BENCH_CPUS       ?= 1,2,4,8
-BENCH_OUT         = BENCH_5.json
-BENCH_NOTE       ?= engine microbenchmark suite; mode benchmarks sweep -cpu 1,2,4,8 — parallel rows at cpu counts beyond the host's cores measure oversubscribed coordination overhead, not speedup
+BENCH_OUT         = BENCH_6.json
+BENCH_NOTE       ?= engine microbenchmark suite plus retained-footprint probe (graphB/link, asyncB/link, syncB/node; includes the grid3d 1M-node row); mode benchmarks sweep -cpu 1,2,4,8 — parallel rows at cpu counts beyond the host's cores measure oversubscribed coordination overhead, not speedup
 
 .PHONY: build test race bench fmt vet
 
@@ -41,6 +44,7 @@ bench:
 	go test -run '^$$' -bench '$(ASYNC_MODE_BENCH)' -benchmem -cpu $(BENCH_CPUS) ./internal/async/ > .bench-async-modes.out
 	go test -run '^$$' -bench '$(ABFS_MODE_BENCH)' -benchmem -cpu $(BENCH_CPUS) ./internal/abfs/ > .bench-abfs-modes.out
 	go test -run '^$$' -bench '$(SYNC_BENCH)' -benchmem ./internal/syncrun/ > .bench-sync.out
-	cat .bench-async.out .bench-async-modes.out .bench-abfs-modes.out .bench-sync.out | go run ./cmd/benchjson -note "$(BENCH_NOTE)" > $(BENCH_OUT)
-	rm -f .bench-async.out .bench-async-modes.out .bench-abfs-modes.out .bench-sync.out
+	go test -run '^$$' -bench '$(FOOTPRINT_BENCH)' -benchtime 1x -timeout 30m ./internal/bench/ > .bench-footprint.out
+	cat .bench-async.out .bench-async-modes.out .bench-abfs-modes.out .bench-sync.out .bench-footprint.out | go run ./cmd/benchjson -note "$(BENCH_NOTE)" > $(BENCH_OUT)
+	rm -f .bench-async.out .bench-async-modes.out .bench-abfs-modes.out .bench-sync.out .bench-footprint.out
 	@cat $(BENCH_OUT)

@@ -61,3 +61,5 @@ func BenchmarkE14AsyncEngineThroughput(b *testing.B) {
 func BenchmarkE15SpeculativeExecution(b *testing.B) {
 	runExperiment(b, bench.E15SpeculativeExecution)
 }
+
+func BenchmarkE16Footprint(b *testing.B) { runExperiment(b, bench.E16Footprint) }

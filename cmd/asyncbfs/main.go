@@ -7,6 +7,14 @@
 //	asyncbfs -graph grid -rows 6 -cols 8 -sources 0,47 -seed 3
 //	asyncbfs -graph cycle -n 64
 //	asyncbfs -graph er -n 80 -m 240
+//	asyncbfs -graph grid3d:215x215x215 -quiet   # spec form; ~10M nodes
+//
+// A -graph value containing ':' is parsed as a graph.FromSpec string
+// (grid3d:XxYxZ, pa:n=…,m=…,seed=…, ring:k=…,c=…, and the classic
+// families), which reaches the implicit CSR generators sized for
+// ten-million-node runs. The header's exact-diameter column is computed
+// only for graphs small enough for its O(n·m) sweep; huge graphs print
+// D=- instead of stalling before the run starts.
 package main
 
 import (
@@ -26,7 +34,7 @@ func main() {
 
 func run() int {
 	var (
-		kind    = flag.String("graph", "grid", "topology: path|cycle|grid|er|tree")
+		kind    = flag.String("graph", "grid", "topology: path|cycle|grid|er|tree, or a spec like grid3d:100x100x100")
 		n       = flag.Int("n", 36, "node count (path/cycle/er/tree)")
 		m       = flag.Int("m", 0, "edge count (er; default 3n)")
 		rows    = flag.Int("rows", 6, "grid rows")
@@ -65,7 +73,13 @@ func run() int {
 		return 2
 	}
 	res := dsync.AsyncBFSMode(g, srcs, dsync.RandomDelays(*seed), execMode)
-	fmt.Printf("graph=%s n=%d m=%d D=%d sources=%v\n", *kind, g.N(), g.M(), g.Diameter(), srcs)
+	// The exact diameter is an O(n·m) all-pairs sweep — a header nicety on
+	// small graphs, hours of preamble on ten million nodes. Skip it there.
+	diam := "-"
+	if g.N() <= maxDiameterNodes {
+		diam = strconv.Itoa(g.Diameter())
+	}
+	fmt.Printf("graph=%s n=%d m=%d D=%s sources=%v\n", *kind, g.N(), g.M(), diam, srcs)
 	fmt.Printf("iterations=%d final-threshold=%d time=%.1f msgs=%d\n",
 		res.Iterations, res.FinalThreshold, res.Time, res.Msgs)
 	if *quiet {
@@ -84,7 +98,14 @@ func run() int {
 	return 0
 }
 
+// maxDiameterNodes bounds the graphs whose exact diameter the header
+// reports; above it the O(n·m) sweep would dwarf the BFS being measured.
+const maxDiameterNodes = 1 << 14
+
 func buildGraph(kind string, n, m, rows, cols int, seed uint64) (*dsync.Graph, error) {
+	if strings.Contains(kind, ":") {
+		return dsync.GraphFromSpec(kind)
+	}
 	switch kind {
 	case "path":
 		return dsync.Path(n), nil

@@ -34,6 +34,13 @@ type Benchmark struct {
 	NsPerOp    float64 `json:"nsPerOp"`
 	AllocsOp   float64 `json:"allocsPerOp,omitempty"`
 	BytesOp    float64 `json:"bytesPerOp,omitempty"`
+	// Footprint columns: the retained-memory probe (BenchmarkFootprint)
+	// reports these units, and they are promoted out of Metrics so the
+	// committed trajectory tracks resident bytes per link/node by name —
+	// the numbers that decide whether ten million nodes fit in RAM.
+	GraphBPerLink float64 `json:"graphBytesPerLink,omitempty"`
+	AsyncBPerLink float64 `json:"asyncBytesPerLink,omitempty"`
+	SyncBPerNode  float64 `json:"syncBytesPerNode,omitempty"`
 	// Metrics carries every other reported unit (events/op, msgs/op, …).
 	Metrics map[string]float64 `json:"metrics,omitempty"`
 }
@@ -122,6 +129,12 @@ func parseLine(line string) (Benchmark, bool) {
 			b.AllocsOp = v
 		case "B/op":
 			b.BytesOp = v
+		case "graphB/link":
+			b.GraphBPerLink = v
+		case "asyncB/link":
+			b.AsyncBPerLink = v
+		case "syncB/node":
+			b.SyncBPerNode = v
 		default:
 			b.Metrics[unit] = v
 		}

@@ -11,6 +11,7 @@
 //	syncbench -exp E13 -json       # the CI bench-trajectory smoke run
 //	syncbench -seed 42             # override every adversary seed
 //	syncbench -mode multi          # force an execution mode, both engines
+//	syncbench -exp E16 -graph grid3d:100x100x100   # add a million-node row
 //
 // Tables are byte-identical for any -parallel or -mode value; -json
 // replaces the tables with one syncbench/v1 JSON document of per-row
@@ -23,6 +24,12 @@
 // forces the async engine's speculative executor (the lockstep runner,
 // which has no safe window to speculate past, keeps its Auto pool); spec
 // runs fall back to multi wherever handlers are not cloneable.
+//
+// -graph takes a graph.FromSpec string (grid3d:XxYxZ, pa:n=…,m=…,
+// ring:k=…,c=…, and the classic families) and appends it as an extra row
+// to the engine-facing experiments E13, E14, and E16; other experiments
+// ignore it. The implicit generators build sorted CSR directly, so a
+// ten-million-node spec is a few hundred megabytes, not a hash-map blowup.
 package main
 
 import (
@@ -47,6 +54,7 @@ func run() int {
 	list := flag.Bool("list", false, "list experiment ids and titles, then exit")
 	seed := flag.Uint64("seed", 0, "delay adversary seed; 0 keeps each experiment's default")
 	mode := flag.String("mode", "auto", "execution mode for both engines: auto|single|multi|spec")
+	graphSpec := flag.String("graph", "", "extra topology for E13/E14/E16, as a graph spec (e.g. grid3d:100x100x100)")
 	flag.Parse()
 	if *list {
 		for _, info := range bench.List() {
@@ -78,7 +86,7 @@ func run() int {
 			ids = append(ids, strings.TrimSpace(id))
 		}
 	}
-	opts := bench.Options{Workers: *parallel, JSON: *jsonOut, Seed: *seed, Mode: execMode, AsyncMode: asyncMode}
+	opts := bench.Options{Workers: *parallel, JSON: *jsonOut, Seed: *seed, Mode: execMode, AsyncMode: asyncMode, Graph: *graphSpec}
 	if err := bench.Run(os.Stdout, ids, opts); err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		return 2

@@ -40,6 +40,10 @@ type (
 	Graph = graph.Graph
 	// NodeID identifies a node.
 	NodeID = graph.NodeID
+	// EdgeID indexes the edge table of a Graph.
+	EdgeID = graph.EdgeID
+	// LinkID is a dense directed-link identifier (see graph.LinkID).
+	LinkID = graph.LinkID
 	// Adversary chooses asynchronous message delays.
 	Adversary = async.Adversary
 	// AsyncResult summarizes an asynchronous run.
@@ -72,7 +76,11 @@ type (
 	Unreachable = abfs.Unreachable
 )
 
-// Graph generators (deterministic; random families take a seed).
+// Graph generators (deterministic; random families take a seed). The
+// implicit generators — Grid3D, PowerLaw, RingOfCliques, and the textual
+// GraphFromSpec front end — emit sorted CSR directly with exact
+// preallocation, validate against the 32-bit id space, and return an error
+// instead of allocating when a spec would overflow it.
 var (
 	NewGraph           = graph.New
 	Path               = graph.Path
@@ -86,6 +94,10 @@ var (
 	Lollipop           = graph.Lollipop
 	StarOfPaths        = graph.StarOfPaths
 	WithRandomWeights  = graph.WithRandomWeights
+	Grid3D             = graph.Grid3D
+	PowerLaw           = graph.PowerLaw
+	RingOfCliques      = graph.RingOfCliques
+	GraphFromSpec      = graph.FromSpec
 )
 
 // Tag returns a words-free Body of the given kind (pure signal messages).
@@ -224,8 +236,8 @@ func NewLeaderElection(g *Graph) (func(NodeID) Algorithm, int) {
 func NewMST(g *Graph) (func(NodeID) Algorithm, int) {
 	tree := cover.BFSTreeCluster(g, 0)
 	weights := make([]int64, g.M())
-	for i, e := range g.Edges {
-		weights[i] = e.Weight
+	for i := range weights {
+		weights[i] = g.Weight(graph.EdgeID(i))
 	}
 	mk := func(NodeID) Algorithm { return &apps.MST{Barrier: tree, Weights: weights} }
 	res := syncrun.New(g, mk).Run()

@@ -35,7 +35,8 @@ func main() {
 
 	// Verify against Kruskal.
 	var gotWeight, wantWeight int64
-	for _, e := range g.Edges {
+	for i := 0; i < g.M(); i++ {
+		e := g.Edge(dsync.EdgeID(i))
 		if gotEdges[[2]dsync.NodeID{e.U, e.V}] {
 			gotWeight += e.Weight
 		}

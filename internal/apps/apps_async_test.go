@@ -77,8 +77,8 @@ func TestCorollary14AsyncMST(t *testing.T) {
 	g := graph.WithRandomWeights(graph.RandomConnected(24, 60, 3), 9)
 	tree := cover.BFSTreeCluster(g, 0)
 	weights := make([]int64, g.M())
-	for i, e := range g.Edges {
-		weights[i] = e.Weight
+	for i := range weights {
+		weights[i] = g.Weight(graph.EdgeID(i))
 	}
 	mk := func(graph.NodeID) syncrun.Handler {
 		return &apps.MST{Barrier: tree, Weights: weights}
@@ -86,7 +86,7 @@ func TestCorollary14AsyncMST(t *testing.T) {
 	bound, _ := boundFor(g, mk)
 	wantEdges := make(map[[2]graph.NodeID]bool)
 	for _, id := range g.KruskalMST() {
-		e := g.Edges[id]
+		e := g.Edge(id)
 		wantEdges[[2]graph.NodeID{e.U, e.V}] = true
 	}
 	for _, adv := range async.StandardAdversaries(g.N(), 51) {

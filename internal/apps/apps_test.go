@@ -115,8 +115,8 @@ func TestLeaderComplexityShape(t *testing.T) {
 func mkMST(g *graph.Graph) func(graph.NodeID) syncrun.Handler {
 	tree := cover.BFSTreeCluster(g, 0)
 	weights := make([]int64, g.M())
-	for i, e := range g.Edges {
-		weights[i] = e.Weight
+	for i := range weights {
+		weights[i] = g.Weight(graph.EdgeID(i))
 	}
 	return func(graph.NodeID) syncrun.Handler {
 		return &MST{Barrier: tree, Weights: weights}
@@ -128,8 +128,7 @@ func checkMST(t *testing.T, g *graph.Graph, outputs map[graph.NodeID]any) {
 	t.Helper()
 	want := make(map[[2]graph.NodeID]bool)
 	for _, id := range g.KruskalMST() {
-		e := g.Edges[id]
-		want[[2]graph.NodeID{e.U, e.V}] = true
+		want[[2]graph.NodeID{g.EdgeU(id), g.EdgeV(id)}] = true
 	}
 	var leader graph.NodeID = -1
 	got := make(map[[2]graph.NodeID]bool)

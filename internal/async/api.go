@@ -101,13 +101,32 @@ func (NopAck) Ack(*Node, graph.NodeID, Msg) {}
 // the topology (neighbor list only — nodes do not know the global graph),
 // sending, and producing output.
 type Node struct {
-	id  graph.NodeID
-	sim *Sim
-	// ctx routes the node's effects: the engine's direct context in
-	// ModeSingle, the owning worker's staging context inside a ModeMulti
-	// window. Exactly one worker owns a node, so the pointer is stable for
-	// the duration of a window.
-	ctx *execCtx
+	id graph.NodeID
+	// ctxIdx routes the node's effects: ctxDirect is the engine's direct
+	// context (ModeSingle and merges), k > 0 is worker context wctx[k-1]
+	// (exactly one worker owns a node inside a window, so the index is
+	// stable for the window's duration), ctxSwallow is the speculative
+	// straddle-repair context. An index instead of a pointer keeps Node at
+	// 16 bytes — the engine holds one Node per simulated node.
+	ctxIdx int32
+	sim    *Sim
+}
+
+// Context-index values for Node.ctxIdx.
+const (
+	ctxDirect  int32 = 0
+	ctxSwallow int32 = -1
+)
+
+// ctx resolves the node's execution context.
+func (n *Node) ctx() *execCtx {
+	if n.ctxIdx == ctxDirect {
+		return &n.sim.direct
+	}
+	if n.ctxIdx > 0 {
+		return &n.sim.wctx[n.ctxIdx-1]
+	}
+	return &n.sim.swallowCtx
 }
 
 // ID returns this node's identifier.
@@ -122,7 +141,7 @@ func (n *Node) Degree() int { return n.sim.g.Degree(n.id) }
 
 // Send enqueues m on the directed link to neighbor `to`. Panics if `to` is
 // not a neighbor: algorithms in this model can only talk over graph edges.
-func (n *Node) Send(to graph.NodeID, m Msg) { n.ctx.send(n.id, to, m) }
+func (n *Node) Send(to graph.NodeID, m Msg) { n.ctx().send(n.id, to, m) }
 
 // Output records this node's final output for the problem being solved.
 // The simulator's time-to-output clock stops when the last node outputs.
@@ -131,19 +150,19 @@ func (n *Node) Send(to graph.NodeID, m Msg) { n.ctx.send(n.id, to, m) }
 // as typed wire.Body entries without boxing; anything else falls back to a
 // boxed escape slot. Algorithms with struct results should prefer
 // OutputBody with a registered outval decoder.
-func (n *Node) Output(v any) { n.ctx.setOutput(n.id, v) }
+func (n *Node) Output(v any) { n.ctx().setOutput(n.id, v) }
 
 // OutputBody records this node's final output as a typed wire.Body —
 // the allocation-free path. The Kind must be non-zero and either one of
 // outval's reserved primitive kinds or a kind with a registered outval
 // decoder, so Result materialization can produce the user-facing value.
-func (n *Node) OutputBody(b wire.Body) { n.ctx.setOutputBody(n.id, b) }
+func (n *Node) OutputBody(b wire.Body) { n.ctx().setOutputBody(n.id, b) }
 
 // HasOutput reports whether this node has already produced output. The
 // answer is routed through the node's execution context: a speculative
 // round sees its own not-yet-committed Output calls, exactly as the serial
 // engine would at the same point in the event order.
-func (n *Node) HasOutput() bool { return n.ctx.hasOutput(n.id) }
+func (n *Node) HasOutput() bool { return n.ctx().hasOutput(n.id) }
 
 // NeighborIndex returns the position of `to` in this node's neighbor list,
 // or -1 if `to` is not a neighbor. Dense per-neighbor state (CONGEST

@@ -11,9 +11,13 @@ package async
 //     messages, simulating "one copy of the edge per subroutine" with a
 //     k-factor slowdown for k contending subroutines.
 //
-// Outboxes live by value in the simulator's flat []outbox, one per
-// graph.LinkID. The internal queues are plain slices — protocols per stage
-// are few (the synchronizer stack registers tens at most), so linear scans
+// Outboxes are allocated lazily, one per CONTENDED directed link: the
+// simulator's []*outbox slot stays nil until a send finds the link busy
+// (see execCtx.send's uncontended fast path), so a ten-million-link flood
+// whose links never queue two messages costs one pointer per link, not a
+// queue structure. The in-flight flag itself lives in the engine's dense
+// []bool. The internal queues are plain slices — protocols per stage are
+// few (the synchronizer stack registers tens at most), so linear scans
 // beat hashing.
 //
 // Zeroing rules: popped message slots are cleared (so retained capacity
@@ -23,7 +27,6 @@ package async
 // reaches steady state therefore stops allocating entirely, even when its
 // outbox fully drains between messages (the common, uncontended case).
 type outbox struct {
-	busy   bool
 	queued int
 	stages []stageQueue // sorted ascending by stage
 }
@@ -119,7 +122,6 @@ func (o *outbox) pop() (Msg, bool) {
 // the stage rotation's and every protoFIFO's capacity. Msg slots are
 // pointer-free values, so the retained arrays pin nothing.
 func (o *outbox) reset() {
-	o.busy = false
 	o.queued = 0
 	for i := range o.stages {
 		sq := &o.stages[i]

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"math"
 	"sync"
+	"sync/atomic"
 
 	"repro/internal/execpolicy"
 	"repro/internal/graph"
@@ -100,15 +101,27 @@ type Sim struct {
 	eventSq uint64
 	now     float64
 
-	// One outbox and one transmission counter per directed link, indexed
-	// by graph.LinkID.
-	out   []outbox
-	txSeq []uint64
+	// Per-directed-link hot state, indexed by graph.LinkID and split by
+	// temperature: busy is the 1-byte in-flight flag every send and ack
+	// touches; txSeq is the 4-byte transmission sequence the adversary is
+	// consulted with (overflow-checked); boxes holds the lazily allocated
+	// contention queues — a slot stays nil until a send finds its link
+	// busy, so uncontended links cost 13 bytes, not an outbox struct.
+	// Box slots are only written by the link's owning worker, so lazy
+	// allocation is race-free in the parallel modes.
+	busy  []bool
+	txSeq []uint32
+	boxes []*outbox
 
 	// Outputs: typed bodies (Kind != 0) with a boxed escape hatch for
-	// values outval cannot encode (outBody zero, value in outAny).
-	outBody        []wire.Body
-	outAny         []any
+	// values outval cannot encode (zero body slot, value in the any slot).
+	// Both value slabs are lazy — allocated once, on the first output of
+	// the respective kind, published via atomic pointer so concurrent
+	// owner-sharded workers agree on the slab before writing their own
+	// (disjoint) slots. Only the 1-byte hasOut column is eager.
+	outBodyP       atomic.Pointer[[]wire.Body]
+	outAnyP        atomic.Pointer[[]any]
+	outMu          sync.Mutex
 	hasOut         []bool
 	outCount       int
 	lastOutputTime float64
@@ -231,10 +244,9 @@ func New(g *graph.Graph, adv Adversary, mk func(id graph.NodeID) Handler) *Sim {
 		lookahead:   checkedLookahead(adv),
 		handlers:    make([]Handler, g.N()),
 		nodes:       make([]Node, g.N()),
-		out:         make([]outbox, g.Links()),
-		txSeq:       make([]uint64, g.Links()),
-		outBody:     make([]wire.Body, g.N()),
-		outAny:      make([]any, g.N()),
+		busy:        make([]bool, g.Links()),
+		txSeq:       make([]uint32, g.Links()),
+		boxes:       make([]*outbox, g.Links()),
 		hasOut:      make([]bool, g.N()),
 		maxEvents:   1 << 34,
 		workers:     execpolicy.DefaultWorkers(),
@@ -244,7 +256,7 @@ func New(g *graph.Graph, adv Adversary, mk func(id graph.NodeID) Handler) *Sim {
 	s.direct = execCtx{s: s, direct: true}
 	for i := 0; i < g.N(); i++ {
 		id := graph.NodeID(i)
-		s.nodes[i] = Node{id: id, sim: s, ctx: &s.direct}
+		s.nodes[i] = Node{id: id, sim: s}
 		s.handlers[i] = mk(id)
 	}
 	return s
@@ -360,6 +372,55 @@ func (s *Sim) perProtoMap() map[Proto]uint64 {
 	return pp
 }
 
+// outBodies returns the typed-output slab, allocating and publishing it on
+// first use. Workers write only their owned nodes' slots; the atomic
+// pointer publication orders the allocation before any cross-worker read.
+func (s *Sim) outBodies() []wire.Body {
+	if p := s.outBodyP.Load(); p != nil {
+		return *p
+	}
+	s.outMu.Lock()
+	defer s.outMu.Unlock()
+	if p := s.outBodyP.Load(); p != nil {
+		return *p
+	}
+	sl := make([]wire.Body, s.g.N())
+	s.outBodyP.Store(&sl)
+	return sl
+}
+
+// outAnys is outBodies' counterpart for the boxed escape slab.
+func (s *Sim) outAnys() []any {
+	if p := s.outAnyP.Load(); p != nil {
+		return *p
+	}
+	s.outMu.Lock()
+	defer s.outMu.Unlock()
+	if p := s.outAnyP.Load(); p != nil {
+		return *p
+	}
+	sl := make([]any, s.g.N())
+	s.outAnyP.Store(&sl)
+	return sl
+}
+
+// loadedOutBodies returns the typed-output slab or nil if no typed output
+// has ever been recorded (readers treat nil as all-zero).
+func (s *Sim) loadedOutBodies() []wire.Body {
+	if p := s.outBodyP.Load(); p != nil {
+		return *p
+	}
+	return nil
+}
+
+// loadedOutAnys is loadedOutBodies' counterpart for the boxed slab.
+func (s *Sim) loadedOutAnys() []any {
+	if p := s.outAnyP.Load(); p != nil {
+		return *p
+	}
+	return nil
+}
+
 // Reset rearms the engine for another run on the same graph: counters,
 // queues, outboxes, outputs, and the segment arena all return to their
 // initial state while keeping every backing array they grew — the wheel
@@ -380,16 +441,26 @@ func (s *Sim) Reset(adv Adversary, mk func(id graph.NodeID) Handler) {
 	s.direct.now = 0
 	s.direct.curSeq = 0
 	s.steps = 0
-	for i := range s.out {
-		s.out[i].reset()
+	for i, ob := range s.boxes {
+		s.busy[i] = false
+		if ob != nil {
+			ob.reset()
+		}
 	}
 	for i := range s.txSeq {
 		s.txSeq[i] = 0
 	}
+	// The lazily built output slabs stay allocated (pooled growth); only
+	// their contents clear.
+	outB, outA := s.loadedOutBodies(), s.loadedOutAnys()
 	for i := range s.hasOut {
-		s.outBody[i] = wire.Body{}
-		s.outAny[i] = nil
 		s.hasOut[i] = false
+	}
+	for i := range outB {
+		outB[i] = wire.Body{}
+	}
+	for i := range outA {
+		outA[i] = nil
 	}
 	s.outCount = 0
 	s.lastOutputTime = 0
@@ -436,7 +507,7 @@ func (s *Sim) Reset(adv Adversary, mk func(id graph.NodeID) Handler) {
 	s.specMk = mk
 	s.arena.Reset()
 	for i := range s.handlers {
-		s.nodes[i].ctx = &s.direct
+		s.nodes[i].ctxIdx = ctxDirect
 		s.handlers[i] = mk(graph.NodeID(i))
 	}
 }
@@ -523,7 +594,7 @@ func (s *Sim) runWindows() {
 		s.sharded = false
 		s.inWindow = false
 		for i := range s.nodes {
-			s.nodes[i].ctx = &s.direct
+			s.nodes[i].ctxIdx = ctxDirect
 		}
 	}()
 	// Init runs serially through the direct context (its schedules route
@@ -532,7 +603,7 @@ func (s *Sim) runWindows() {
 		s.handlers[i].Init(&s.nodes[i])
 	}
 	for i := range s.nodes {
-		s.nodes[i].ctx = &s.wctx[i%w]
+		s.nodes[i].ctxIdx = int32(i%w) + 1
 	}
 	// Fan out to goroutines only when windows are actually populated: the
 	// previous window's event count is the predictor (window occupancy is
@@ -733,15 +804,32 @@ func (s *Sim) result() Result {
 	if s.keepTrace {
 		res.Trace = append([]TraceEntry(nil), s.trace...)
 	}
+	outB, outA := s.loadedOutBodies(), s.loadedOutAnys()
+	bodyAt := func(i int) wire.Body {
+		if outB == nil {
+			return wire.Body{}
+		}
+		return outB[i]
+	}
+	anyAt := func(i int) any {
+		if outA == nil {
+			return nil
+		}
+		return outA[i]
+	}
 	if s.denseOut {
-		res.OutBodies = append([]wire.Body(nil), s.outBody...)
+		if outB != nil {
+			res.OutBodies = append([]wire.Body(nil), outB...)
+		} else {
+			res.OutBodies = make([]wire.Body, s.g.N())
+		}
 		res.OutSet = append([]bool(nil), s.hasOut...)
 		for i, has := range s.hasOut {
-			if has && s.outBody[i].Kind == 0 {
+			if has && bodyAt(i).Kind == 0 {
 				if res.Outputs == nil {
 					res.Outputs = make(map[graph.NodeID]any)
 				}
-				res.Outputs[graph.NodeID(i)] = s.outAny[i]
+				res.Outputs[graph.NodeID(i)] = anyAt(i)
 			}
 		}
 		return res
@@ -749,7 +837,7 @@ func (s *Sim) result() Result {
 	outputs := make(map[graph.NodeID]any, s.outCount)
 	for i, has := range s.hasOut {
 		if has {
-			outputs[graph.NodeID(i)] = outval.DecodeSlot(s.outBody[i], s.outAny[i])
+			outputs[graph.NodeID(i)] = outval.DecodeSlot(bodyAt(i), anyAt(i))
 		}
 	}
 	res.Outputs = outputs
@@ -851,15 +939,14 @@ func (c *execCtx) processEvent(ev *event) {
 			c.acks++
 		}
 		back := s.g.ReverseLink(ev.link)
-		d := s.adv.Delay(ev.dst, ev.src, s.txSeq[back], ev.msg.Proto)
-		s.txSeq[back]++
+		d := s.adv.Delay(ev.dst, ev.src, uint64(s.txSeq[back]), ev.msg.Proto)
+		s.bumpTx(back)
 		s.checkDelay(d)
 		c.schedule(event{t: c.now + d, kind: evAckArrive, link: ev.link, src: ev.src, dst: ev.dst, msg: ev.msg})
 	case evAckArrive:
 		// ev.src is the original sender whose link is now free.
-		ob := &s.out[ev.link]
-		ob.busy = false
-		c.dispatch(ev.src, ev.dst, ev.link, ob)
+		s.busy[ev.link] = false
+		c.dispatch(ev.src, ev.dst, ev.link)
 		c.invokeAck(ev)
 		// The ack ends the message's lifecycle; recycle any segment
 		// (receivers copy data out if they keep it). No-op without one.
@@ -936,25 +1023,54 @@ func (c *execCtx) send(from, to graph.NodeID, m Msg) {
 		c.msgs++
 		c.perProto = bumpProtoBy(c.perProto, m.Proto, 1)
 	}
-	ob := &s.out[l]
+	if !s.busy[l] {
+		// Uncontended fast path: an idle link's queue is necessarily empty
+		// (a queued message implies an in-flight one), so push+pop of this
+		// single message collapses to direct injection — no outbox is ever
+		// allocated for a link that never queues behind an in-flight send.
+		s.inject(c, from, to, l, m)
+		return
+	}
+	ob := s.boxes[l]
+	if ob == nil {
+		ob = &outbox{}
+		s.boxes[l] = ob
+	}
 	ob.push(m)
-	if !ob.busy {
-		c.dispatch(from, to, l, ob)
+}
+
+// inject marks the link in flight and schedules the delivery.
+func (s *Sim) inject(c *execCtx, from, to graph.NodeID, l graph.LinkID, m Msg) {
+	s.busy[l] = true
+	d := s.adv.Delay(from, to, uint64(s.txSeq[l]), m.Proto)
+	s.bumpTx(l)
+	s.checkDelay(d)
+	c.schedule(event{t: c.now + d, kind: evDeliver, link: l, src: from, dst: to, msg: m})
+}
+
+// bumpTx advances a link's transmission sequence, failing loudly before
+// the 32-bit counter could wrap (4 billion messages on ONE link exceeds
+// any configured event cap).
+func (s *Sim) bumpTx(l graph.LinkID) {
+	s.txSeq[l]++
+	if s.txSeq[l] == math.MaxUint32 {
+		panic(fmt.Sprintf("async: transmission sequence overflow on link %d", l))
 	}
 }
 
-// dispatch injects the next scheduled message of the (from,to) link, if any.
-func (c *execCtx) dispatch(from, to graph.NodeID, l graph.LinkID, ob *outbox) {
+// dispatch injects the next queued message of the (from,to) link, if any.
+// Links that never contended have no outbox and return immediately.
+func (c *execCtx) dispatch(from, to graph.NodeID, l graph.LinkID) {
+	s := c.s
+	ob := s.boxes[l]
+	if ob == nil {
+		return
+	}
 	m, ok := ob.pop()
 	if !ok {
 		return
 	}
-	ob.busy = true
-	s := c.s
-	d := s.adv.Delay(from, to, s.txSeq[l], m.Proto)
-	s.txSeq[l]++
-	s.checkDelay(d)
-	c.schedule(event{t: c.now + d, kind: evDeliver, link: l, src: from, dst: to, msg: m})
+	s.inject(c, from, to, l, m)
 }
 
 // checkDelay enforces both the model's (0,1] delay contract and the
@@ -1040,8 +1156,10 @@ func (c *execCtx) setOutputBody(id graph.NodeID, b wire.Body) {
 		s.hasOut[id] = true
 		c.noteFirstOutput()
 	}
-	s.outBody[id] = b
-	s.outAny[id] = nil
+	s.outBodies()[id] = b
+	if outA := s.loadedOutAnys(); outA != nil {
+		outA[id] = nil
+	}
 }
 
 func (c *execCtx) setOutput(id graph.NodeID, v any) {
@@ -1063,8 +1181,10 @@ func (c *execCtx) setOutput(id graph.NodeID, v any) {
 		s.hasOut[id] = true
 		c.noteFirstOutput()
 	}
-	s.outBody[id] = wire.Body{}
-	s.outAny[id] = v
+	if outB := s.loadedOutBodies(); outB != nil {
+		outB[id] = wire.Body{}
+	}
+	s.outAnys()[id] = v
 }
 
 // hasOutput answers Node.HasOutput through the node's execution context:
@@ -1106,16 +1226,19 @@ func bumpProtoBy(pp []uint64, p Proto, n uint64) []uint64 {
 }
 
 const (
-	evDeliver = iota + 1
+	evDeliver uint8 = iota + 1
 	evAckArrive
 )
 
+// event is one scheduled occurrence. Field order packs the 32-bit ids and
+// the 1-byte kind into one word, keeping the struct at 96 bytes — the
+// wheel slots hold these by value.
 type event struct {
 	t    float64
 	seq  uint64
-	kind int
 	link graph.LinkID // the forward link src→dst
 	src  graph.NodeID // sender of the original message
 	dst  graph.NodeID // receiver of the original message
+	kind uint8
 	msg  Msg
 }

@@ -126,7 +126,7 @@ func (s *Sim) runSpec() {
 			s.wctx[k].spec = false
 		}
 		for i := range s.nodes {
-			s.nodes[i].ctx = &s.direct
+			s.nodes[i].ctxIdx = ctxDirect
 		}
 	}()
 	// Init runs serially through the direct context (its schedules route
@@ -135,7 +135,7 @@ func (s *Sim) runSpec() {
 		s.handlers[i].Init(&s.nodes[i])
 	}
 	for i := range s.nodes {
-		s.nodes[i].ctx = &s.wctx[i%w]
+		s.nodes[i].ctxIdx = int32(i%w) + 1
 	}
 	span := s.specFixedSpan
 	if span == 0 {
@@ -368,9 +368,8 @@ func (s *Sim) specReplayPanic(ev *event, p any) {
 			s.trace = append(s.trace, TraceEntry{T: ev.t, Seq: ev.seq, From: ev.src, To: ev.dst, Msg: ev.msg})
 		}
 	case evAckArrive:
-		ob := &s.out[ev.link]
-		ob.busy = false
-		c.dispatch(ev.src, ev.dst, ev.link, ob)
+		s.busy[ev.link] = false
+		c.dispatch(ev.src, ev.dst, ev.link)
 	}
 	c.applyOps(ev)
 	panic(p)
@@ -448,8 +447,8 @@ func (s *Sim) specFinishRound() {
 // only repair's local HasOutput view).
 func (s *Sim) specSwallowReplay(v graph.NodeID, e *specExec) {
 	n := &s.nodes[v]
-	old := n.ctx
-	n.ctx = &s.swallowCtx
+	old := n.ctxIdx
+	n.ctxIdx = ctxSwallow
 	h := s.handlers[v]
 	switch e.ev.kind {
 	case evDeliver:
@@ -457,7 +456,7 @@ func (s *Sim) specSwallowReplay(v graph.NodeID, e *specExec) {
 	case evAckArrive:
 		h.Ack(n, e.ev.dst, e.ev.msg)
 	}
-	n.ctx = old
+	n.ctxIdx = old
 }
 
 // clearSpecOps drops boxed output values so a truncated log's retained

@@ -1,5 +1,5 @@
 // Package bench implements the experiment harness: one function per
-// experiment in DESIGN.md's index (E1–E15), each regenerating its table of
+// experiment in DESIGN.md's index (E1–E16), each regenerating its table of
 // measured time/message complexities against the paper's predicted shape.
 // Root bench_test.go and cmd/syncbench both call into this package.
 //
@@ -60,6 +60,7 @@ var experiments = []experiment{
 	{"E13", "lockstep engine throughput by execution mode", e13EngineThroughput},
 	{"E14", "async engine throughput by execution mode (bounded-lag windows)", e14AsyncEngineThroughput},
 	{"E15", "speculative execution past the safe window (rollback accounting)", e15SpeculativeExecution},
+	{"E16", "retained footprint vs n (graph plane + engine state)", e16Footprint},
 }
 
 func byID(id string) *experiment {
@@ -118,6 +119,13 @@ type Options struct {
 	// engines). Also byte-identical across modes; E14 and E15 compare the
 	// modes explicitly and ignore it.
 	AsyncMode async.ExecutionMode
+	// Graph is an optional extra topology, as a graph.FromSpec string
+	// (cmd/syncbench -graph, e.g. "grid3d:100x100x100"). The engine-facing
+	// experiments E13, E14, and E16 append it as an extra row after their
+	// built-in cases — this is how the committed BENCH_6.json gets its
+	// million-node rows without every default run paying for them. Other
+	// experiments ignore it. Invalid specs fail Run before anything runs.
+	Graph string
 }
 
 // ExpRecords is the JSON shape of one experiment's output.
@@ -141,8 +149,13 @@ type Ctx struct {
 	seed    uint64
 	mode    syncrun.ExecutionMode
 	amode   async.ExecutionMode
-	cur     *ExpRecords
-	exps    []ExpRecords
+	// gspec/custom carry the Options.Graph extra topology: the spec string
+	// (used as the row label and re-built by E16's footprint probe) and the
+	// graph itself, built once up front so E13 and E14 share it.
+	gspec  string
+	custom *graph.Graph
+	cur    *ExpRecords
+	exps   []ExpRecords
 }
 
 // seedOr returns the run-wide adversary-seed override, or the
@@ -271,7 +284,14 @@ func Run(w io.Writer, ids []string, opts Options) error {
 	if opts.JSON {
 		tw = io.Discard
 	}
-	c := &Ctx{w: tw, workers: opts.Workers, seed: opts.Seed, mode: opts.Mode, amode: opts.AsyncMode}
+	c := &Ctx{w: tw, workers: opts.Workers, seed: opts.Seed, mode: opts.Mode, amode: opts.AsyncMode, gspec: opts.Graph}
+	if opts.Graph != "" {
+		g, err := graph.FromSpec(opts.Graph)
+		if err != nil {
+			return err
+		}
+		c.custom = g
+	}
 	for _, id := range ids {
 		e := byID(id)
 		c.exps = append(c.exps, ExpRecords{ID: e.id, Title: e.title})
@@ -293,7 +313,7 @@ func All(w io.Writer) {
 	}
 }
 
-// ByName runs one experiment by its id ("E1".."E13"); it reports whether
+// ByName runs one experiment by its id ("E1".."E16"); it reports whether
 // the id was known.
 func ByName(w io.Writer, id string) bool {
 	if byID(id) == nil {
@@ -322,3 +342,4 @@ func E12GatherCost(w io.Writer)            { ByName(w, "E12") }
 func E13EngineThroughput(w io.Writer)      { ByName(w, "E13") }
 func E14AsyncEngineThroughput(w io.Writer) { ByName(w, "E14") }
 func E15SpeculativeExecution(w io.Writer)  { ByName(w, "E15") }
+func E16Footprint(w io.Writer)             { ByName(w, "E16") }

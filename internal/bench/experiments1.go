@@ -186,8 +186,8 @@ func e6MST(c *Ctx) {
 		g := tc.mk()
 		tree := cover.BFSTreeCluster(g, 0)
 		weights := make([]int64, g.M())
-		for j, e := range g.Edges {
-			weights[j] = e.Weight
+		for j := range weights {
+			weights[j] = g.Weight(graph.EdgeID(j))
 		}
 		mk := func(graph.NodeID) syncrun.Handler {
 			return &apps.MST{Barrier: tree, Weights: weights}
@@ -207,8 +207,7 @@ func e6MST(c *Ctx) {
 func mstCorrect(g *graph.Graph, outputs map[graph.NodeID]any) bool {
 	want := make(map[[2]graph.NodeID]bool)
 	for _, id := range g.KruskalMST() {
-		e := g.Edges[id]
-		want[[2]graph.NodeID{e.U, e.V}] = true
+		want[[2]graph.NodeID{g.EdgeU(id), g.EdgeV(id)}] = true
 	}
 	got := make(map[[2]graph.NodeID]bool)
 	for v := 0; v < g.N(); v++ {

@@ -28,6 +28,9 @@ func e13EngineThroughput(c *Ctx) {
 		{"er n=10k m=40k", func() *graph.Graph { return graph.RandomConnected(10_000, 40_000, 11) }},
 		{"er n=40k m=160k", func() *graph.Graph { return graph.RandomConnected(40_000, 160_000, 12) }},
 	}
+	if c.custom != nil {
+		cases = append(cases, namedGraph{c.gspec, func() *graph.Graph { return c.custom }})
+	}
 	t.emit(c.jobs(1, func(int) []row {
 		rows := make([]row, 0, len(cases))
 		for _, r := range cases {

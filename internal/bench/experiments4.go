@@ -30,6 +30,9 @@ func e14AsyncEngineThroughput(c *Ctx) {
 		{"er n=10k m=40k", func() *graph.Graph { return graph.RandomConnected(10_000, 40_000, 11) }},
 		{"er n=20k m=80k", func() *graph.Graph { return graph.RandomConnected(20_000, 80_000, 12) }},
 	}
+	if c.custom != nil {
+		cases = append(cases, namedGraph{c.gspec, func() *graph.Graph { return c.custom }})
+	}
 	t.emit(c.jobs(1, func(int) []row {
 		rows := make([]row, 0, len(cases))
 		for _, r := range cases {

@@ -1,0 +1,39 @@
+package bench
+
+import "testing"
+
+// BenchmarkFootprint reports the resident-memory trajectory `make bench`
+// commits into BENCH_N.json: retained heap bytes of the graph plane and of
+// each engine after one completed flood, normalized per directed link and
+// per node. The probe is deterministic (the pinned values in
+// footprint_test.go are exact across runs), so the Makefile runs it with
+// -benchtime 1x; ns/op on these rows is probe time, not engine time — the
+// footprint metrics are the payload. The last case is the million-node
+// row the acceptance bar asks for.
+func BenchmarkFootprint(b *testing.B) {
+	specs := []string{
+		"grid3d:32x32x32",
+		"ring:k=4000,c=8",
+		"pa:n=50000,m=4,seed=7",
+		"grid3d:100x100x100",
+	}
+	for _, spec := range specs {
+		b.Run(spec, func(b *testing.B) {
+			g := mustSpec(spec)
+			var gb, ab, sb int64
+			for i := 0; i < b.N; i++ {
+				var err error
+				gb, err = GraphRetainedBytes(spec)
+				if err != nil {
+					b.Fatal(err)
+				}
+				ab = AsyncRetainedBytes(g)
+				sb = SyncRetainedBytes(g)
+			}
+			links, n := float64(g.Links()), float64(g.N())
+			b.ReportMetric(float64(gb)/links, "graphB/link")
+			b.ReportMetric(float64(ab)/links, "asyncB/link")
+			b.ReportMetric(float64(sb)/n, "syncB/node")
+		})
+	}
+}

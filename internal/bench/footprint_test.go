@@ -1,0 +1,83 @@
+package bench
+
+import "testing"
+
+// Pinned resident footprints on grid3d:32x32x32 (n=32768, 190464 directed
+// links), measured by the RetainedBytes probe after one completed flood.
+// The pins are the values of the compact 32-bit layout this package
+// shipped with BENCH_6; the tests fail at >10% growth so a regression in
+// any per-link or per-node table is caught before it multiplies by ten
+// million nodes. If a deliberate layout change moves a number, re-measure
+// with E16 and update the pin in the same commit.
+const (
+	pinGraphBytesPerLink = 20.8  // CSR: target+link+reverse+weights+offsets
+	pinAsyncBytesPerLink = 28.4  // outboxes, seq stamps, wheel, busy/boxes
+	pinSyncBytesPerNode  = 101.0 // pulse-buffer cursors, stamps, bitmaps
+
+	// benchFiveEraBytesPerLink is the BENCH_5-era resident cost of the
+	// graph plane plus the async engine per directed link (≈52 B/link of
+	// 64-bit Neighbor/EdgeID graph tables + ≈48 B/link of eagerly allocated
+	// per-link engine state). The compact layout must keep its ≥1.8×
+	// advantage over it.
+	benchFiveEraBytesPerLink = 100.0
+	footprintHeadroom        = 1.10
+)
+
+func TestFootprintPins(t *testing.T) {
+	if testing.Short() {
+		t.Skip("footprint probe")
+	}
+	if raceEnabled {
+		t.Skip("race shadow state inflates allocation sizes; pins hold on uninstrumented builds")
+	}
+	const spec = "grid3d:32x32x32"
+	g := mustSpec(spec)
+	links, n := float64(g.Links()), float64(g.N())
+
+	gBytes, err := GraphRetainedBytes(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := float64(gBytes) / links; got > pinGraphBytesPerLink*footprintHeadroom {
+		t.Errorf("graph plane retains %.2f B/link, pin %.1f (+10%% ceiling %.1f)",
+			got, pinGraphBytesPerLink, pinGraphBytesPerLink*footprintHeadroom)
+	}
+	aBytes := AsyncRetainedBytes(g)
+	if got := float64(aBytes) / links; got > pinAsyncBytesPerLink*footprintHeadroom {
+		t.Errorf("async engine retains %.2f B/link, pin %.1f (+10%% ceiling %.1f)",
+			got, pinAsyncBytesPerLink, pinAsyncBytesPerLink*footprintHeadroom)
+	}
+	sBytes := SyncRetainedBytes(g)
+	if got := float64(sBytes) / n; got > pinSyncBytesPerNode*footprintHeadroom {
+		t.Errorf("lockstep engine retains %.2f B/node, pin %.1f (+10%% ceiling %.1f)",
+			got, pinSyncBytesPerNode, pinSyncBytesPerNode*footprintHeadroom)
+	}
+
+	// The headline acceptance bar: graph + async engine resident bytes per
+	// directed link must stay at least 1.8x below the BENCH_5-era layout.
+	if got := float64(gBytes+aBytes) / links; got*1.8 > benchFiveEraBytesPerLink {
+		t.Errorf("graph+async retain %.2f B/link; 1.8x bar requires <= %.2f",
+			got, benchFiveEraBytesPerLink/1.8)
+	}
+}
+
+// TestGeneratorAllocPins pins the allocation count of each implicit
+// generator: CSR arrays are exactly preallocated from closed-form counts,
+// so construction is a fixed handful of allocations regardless of size —
+// no per-edge appends, no intermediate adjacency maps. A drifting count
+// means an intermediate structure crept back in.
+func TestGeneratorAllocPins(t *testing.T) {
+	cases := []struct {
+		spec string
+		max  float64
+	}{
+		{"grid3d:16x16x16", 12},
+		{"pa:n=2000,m=3,seed=7", 16},
+		{"ring:k=50,c=6", 13},
+	}
+	for _, c := range cases {
+		if got := testing.AllocsPerRun(5, func() { mustSpec(c.spec) }); got > c.max {
+			t.Errorf("%s: %v allocs per build, pin %v", c.spec, got, c.max)
+		}
+	}
+}

@@ -1,0 +1,8 @@
+//go:build !race
+
+package bench
+
+// raceEnabled reports whether the race detector instruments this build.
+// Race shadow state inflates allocation sizes, so byte-exact footprint
+// pins only hold on uninstrumented builds.
+const raceEnabled = false

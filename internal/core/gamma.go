@@ -83,7 +83,8 @@ func NewGammaPartition(g *graph.Graph) *GammaPartition {
 		}
 	}
 	seen := make(map[[2]int32]bool)
-	for _, e := range g.Edges {
+	for ei := 0; ei < g.M(); ei++ {
+		e := g.Edge(graph.EdgeID(ei))
 		a, b := p.clusterOf[e.U], p.clusterOf[e.V]
 		if a == b {
 			continue

@@ -15,8 +15,10 @@ import (
 	"repro/internal/graph"
 )
 
-// ClusterID identifies a cluster within one Cover.
-type ClusterID int
+// ClusterID identifies a cluster within one Cover. 32-bit, matching the
+// graph plane's compact ids: the per-node memberOf/treeOf/home tables are
+// the dominant cover footprint at scale.
+type ClusterID int32
 
 // Cluster is one cover cluster: member nodes plus a rooted cluster tree
 // (weak: the tree may pass through non-member Steiner nodes).

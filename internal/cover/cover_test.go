@@ -97,6 +97,14 @@ func contains(s []ClusterID, id ClusterID) bool {
 	return false
 }
 
+// mustGraph unwraps an implicit-generator result for test tables.
+func mustGraph(g *graph.Graph, err error) *graph.Graph {
+	if err != nil {
+		panic(err)
+	}
+	return g
+}
+
 func TestCoverFamilies(t *testing.T) {
 	cases := []struct {
 		name string
@@ -110,6 +118,11 @@ func TestCoverFamilies(t *testing.T) {
 		{"er70-d3", graph.RandomConnected(70, 170, 23), 3},
 		{"dumbbell-d4", graph.Dumbbell(6, 8), 4},
 		{"complete16-d1", graph.Complete(16), 1},
+		// Implicit-generator topologies: covers must build directly on CSR
+		// graphs that never went through AddEdge.
+		{"grid3d-3x4x5-d2", mustGraph(graph.Grid3D(3, 4, 5)), 2},
+		{"pa-n80-m2-d2", mustGraph(graph.PowerLaw(80, 2, 7)), 2},
+		{"ring-k5-c4-d2", mustGraph(graph.RingOfCliques(5, 4)), 2},
 	}
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {

@@ -12,11 +12,14 @@
 // internal/abfs and reuses this package's step structure); DESIGN.md
 // records this substitution.
 //
-// All state is dense and node-indexed: Tree stores parent/depth as flat
-// slices over the finalized graph with CSR-packed child lists, labels live
-// in [0, n) so per-label state is slice-indexed, and the per-grow-step BFS
-// uses epoch-stamped scratch buffers owned by the builder — no maps are
-// allocated anywhere on the build path.
+// Builder state is dense and node-indexed — labels live in [0, n) so
+// per-label state is slice-indexed, and the per-grow-step BFS uses
+// epoch-stamped scratch buffers owned by the builder — while each Tree is
+// sparse at every phase: build-phase membership is a flat open-addressed
+// index over the tree's own nodes, so a growing tree costs O(tree size),
+// not O(n), and many clusters can grow at once on a ten-million-node graph
+// without multiplying dense arrays. No Go maps are allocated anywhere on
+// the build path.
 package decomp
 
 import (
@@ -30,16 +33,17 @@ import (
 // Tree is a rooted Steiner tree in G. Terminals are the cluster's member
 // nodes; the tree may route through non-member (nonterminal) nodes.
 //
-// The representation has two phases. While building, parent and depth are
-// flat node-indexed slices over all of G's nodes (allocated lazily on the
-// first Attach, so singleton trees cost one struct) giving O(1) Has and
-// Attach. Finalize compacts everything to O(tree size): the sorted node
-// list plus parallel depth/parent arrays and CSR-packed child lists
-// indexed by position, with the O(n) build scratch released — so a
-// decomposition with many clusters retains memory proportional to the sum
-// of tree sizes, not clusters × n. Post-finalize accessors resolve a node
-// to its position by binary search (O(log size)). Mutation (Attach) is
-// only legal before Finalize; ChildrenOf, Nodes, and Edges only after.
+// The representation has two phases, both O(tree size). While building,
+// membership is a flat open-addressed index from node id to the node's
+// position in the insertion-ordered node list, with depth/parent stored
+// by position (allocated lazily on the first Attach, so singleton trees
+// cost one struct) — O(1) expected Has and Attach with no dense per-graph
+// arrays, so a partition growing many trees at once retains memory
+// proportional to the sum of tree sizes, not clusters × n. Finalize packs
+// the compact form: the sorted node list plus parallel depth/parent arrays
+// and CSR child lists indexed by position. Post-finalize accessors resolve
+// a node to its position by binary search (O(log size)). Mutation (Attach)
+// is only legal before Finalize; ChildrenOf, Nodes, and Edges only after.
 type Tree struct {
 	Root graph.NodeID
 
@@ -48,16 +52,18 @@ type Tree struct {
 	height int32
 	final  bool
 
-	// Build phase: depth[v] is v's hop distance from the root, -1 when v
-	// is not in the tree; parent[v] is v's parent, -1 at the root and
-	// outside the tree. Both are nil while the tree is the root singleton,
-	// and released by Finalize.
-	depth  []int32
-	parent []int32
-
 	// nodes lists the tree's nodes: insertion order until Finalize sorts
 	// it ascending. nil while the tree is the root singleton.
 	nodes []graph.NodeID
+
+	// Build phase, parallel to nodes by insertion position; released by
+	// Finalize. bdepth[i]/bparent[i] are the depth and parent node id of
+	// nodes[i] (-1 at the root). htab is the open-addressed membership
+	// index: linear probing over packed (node, position) words at ≤50%
+	// load — a flat slice, not a Go map.
+	bdepth  []int32
+	bparent []int32
+	htab    []int64 // (node << 32) | uint32(position); -1 = empty
 
 	// Finalized compact state, parallel to nodes (positions 0..size-1).
 	// The children of the node at position i are
@@ -76,16 +82,70 @@ func NewTree(n int, root graph.NodeID) *Tree {
 	return &Tree{Root: root, n: n, size: 1}
 }
 
-// grow allocates the dense per-node arrays on the first Attach.
-func (t *Tree) grow() {
-	t.depth = make([]int32, t.n)
-	t.parent = make([]int32, t.n)
-	for i := range t.depth {
-		t.depth[i] = -1
-		t.parent[i] = -1
+// hmix scrambles a node id into a table slot seed (variant of the 32-bit
+// finalizer from MurmurHash3).
+func hmix(key uint32) uint32 {
+	key ^= key >> 16
+	key *= 0x7feb352d
+	key ^= key >> 15
+	key *= 0x846ca68b
+	key ^= key >> 16
+	return key
+}
+
+// hfind returns v's position in the build-phase index, or -1. The table is
+// never full (load ≤ 50%), so probing terminates at an empty slot.
+func (t *Tree) hfind(v graph.NodeID) int32 {
+	mask := uint32(len(t.htab) - 1)
+	for i := hmix(uint32(v)) & mask; ; i = (i + 1) & mask {
+		e := t.htab[i]
+		if e < 0 {
+			return -1
+		}
+		if graph.NodeID(e>>32) == v {
+			return int32(uint32(e))
+		}
 	}
-	t.depth[t.Root] = 0
+}
+
+// hplace writes (v, pos) into the first free probe slot.
+func (t *Tree) hplace(v graph.NodeID, pos int32) {
+	mask := uint32(len(t.htab) - 1)
+	i := hmix(uint32(v)) & mask
+	for t.htab[i] >= 0 {
+		i = (i + 1) & mask
+	}
+	t.htab[i] = int64(v)<<32 | int64(uint32(pos))
+}
+
+// hinsert records v at position pos, doubling the table when load would
+// exceed 50%.
+func (t *Tree) hinsert(v graph.NodeID, pos int32) {
+	if 2*(len(t.nodes)+1) > len(t.htab) {
+		old := t.htab
+		t.htab = make([]int64, 2*len(old))
+		for i := range t.htab {
+			t.htab[i] = -1
+		}
+		for _, e := range old {
+			if e >= 0 {
+				t.hplace(graph.NodeID(e>>32), int32(uint32(e)))
+			}
+		}
+	}
+	t.hplace(v, pos)
+}
+
+// grow allocates the build-phase arrays on the first Attach.
+func (t *Tree) grow() {
 	t.nodes = append(make([]graph.NodeID, 0, 8), t.Root)
+	t.bdepth = append(make([]int32, 0, 8), 0)
+	t.bparent = append(make([]int32, 0, 8), -1)
+	t.htab = make([]int64, 16)
+	for i := range t.htab {
+		t.htab[i] = -1
+	}
+	t.hplace(t.Root, 0)
 }
 
 // Attach adds child to the tree under parent. The parent must already be a
@@ -95,19 +155,21 @@ func (t *Tree) Attach(child, parent graph.NodeID) {
 	if t.final {
 		panic("decomp: Attach after Finalize")
 	}
-	if t.depth == nil {
+	if t.htab == nil {
 		t.grow()
 	}
-	if t.depth[parent] < 0 {
+	pi := t.hfind(parent)
+	if pi < 0 {
 		panic(fmt.Sprintf("decomp: Attach parent %d not in tree", parent))
 	}
-	if t.depth[child] >= 0 {
+	if t.hfind(child) >= 0 {
 		panic(fmt.Sprintf("decomp: Attach child %d already in tree", child))
 	}
-	d := t.depth[parent] + 1
-	t.depth[child] = d
-	t.parent[child] = int32(parent)
+	d := t.bdepth[pi] + 1
+	t.hinsert(child, int32(len(t.nodes)))
 	t.nodes = append(t.nodes, child)
+	t.bdepth = append(t.bdepth, d)
+	t.bparent = append(t.bparent, int32(parent))
 	t.size++
 	if d > t.height {
 		t.height = d
@@ -125,27 +187,37 @@ func (t *Tree) Finalize() *Tree {
 	}
 	t.final = true
 	if t.size == 1 {
-		t.depth, t.parent = nil, nil
+		t.bdepth, t.bparent, t.htab = nil, nil, nil
 		return t
 	}
-	sort.Slice(t.nodes, func(i, j int) bool { return t.nodes[i] < t.nodes[j] })
+	// Sort positions by node id, then pack the compact arrays through the
+	// permutation.
+	perm := make([]int32, t.size)
+	for i := range perm {
+		perm[i] = int32(i)
+	}
+	sort.Slice(perm, func(a, b int) bool { return t.nodes[perm[a]] < t.nodes[perm[b]] })
+	sorted := make([]graph.NodeID, t.size)
 	t.cdepth = make([]int32, t.size)
 	t.cparent = make([]graph.NodeID, t.size)
 	t.childOff = make([]int32, t.size+1)
+	for i, p := range perm {
+		sorted[i] = t.nodes[p]
+		t.cdepth[i] = t.bdepth[p]
+		t.cparent[i] = graph.NodeID(t.bparent[p])
+	}
+	t.nodes = sorted
 	// ppos[i] is the position of node i's parent; counting children per
 	// parent position, then prefix sums, then a fill in ascending node
 	// order so every child list comes out ascending.
 	ppos := make([]int32, t.size)
-	for i, v := range t.nodes {
-		t.cdepth[i] = t.depth[v]
-		p := t.parent[v]
+	for i := 0; i < t.size; i++ {
+		p := t.cparent[i]
 		if p < 0 {
-			t.cparent[i] = -1
 			ppos[i] = -1
 			continue
 		}
-		t.cparent[i] = graph.NodeID(p)
-		pp := int32(t.pos(graph.NodeID(p)))
+		pp := int32(t.pos(p))
 		ppos[i] = pp
 		t.childOff[pp+1]++
 	}
@@ -161,7 +233,7 @@ func (t *Tree) Finalize() *Tree {
 			next[pp]++
 		}
 	}
-	t.depth, t.parent = nil, nil
+	t.bdepth, t.bparent, t.htab = nil, nil, nil
 	return t
 }
 
@@ -185,27 +257,34 @@ func (t *Tree) pos(v graph.NodeID) int {
 
 // Clone returns an unfinalized deep copy, ready for further Attach calls
 // (cover expansion grows decomposition trees this way). Cloning a
-// finalized tree re-expands the compact arrays into build form.
+// finalized tree re-expands the compact arrays into build form — still
+// O(tree size), never O(n).
 func (t *Tree) Clone() *Tree {
 	out := &Tree{Root: t.Root, n: t.n, size: t.size, height: t.height}
 	if t.size == 1 {
 		return out
 	}
 	out.nodes = append([]graph.NodeID(nil), t.nodes...)
-	out.depth = make([]int32, t.n)
-	out.parent = make([]int32, t.n)
-	for i := range out.depth {
-		out.depth[i] = -1
-		out.parent[i] = -1
-	}
 	if t.final {
-		for i, v := range t.nodes {
-			out.depth[v] = t.cdepth[i]
-			out.parent[v] = int32(t.cparent[i])
+		out.bdepth = append([]int32(nil), t.cdepth...)
+		out.bparent = make([]int32, t.size)
+		for i, p := range t.cparent {
+			out.bparent[i] = int32(p)
 		}
 	} else {
-		copy(out.depth, t.depth)
-		copy(out.parent, t.parent)
+		out.bdepth = append([]int32(nil), t.bdepth...)
+		out.bparent = append([]int32(nil), t.bparent...)
+	}
+	tcap := 16
+	for tcap < 2*t.size {
+		tcap *= 2
+	}
+	out.htab = make([]int64, tcap)
+	for i := range out.htab {
+		out.htab[i] = -1
+	}
+	for i, v := range out.nodes {
+		out.hplace(v, int32(i))
 	}
 	return out
 }
@@ -219,10 +298,10 @@ func (t *Tree) Has(v graph.NodeID) bool {
 		}
 		return t.pos(v) >= 0
 	}
-	if t.depth == nil {
+	if t.htab == nil {
 		return v == t.Root
 	}
-	return v >= 0 && int(v) < t.n && t.depth[v] >= 0
+	return t.hfind(v) >= 0
 }
 
 // Size returns the number of tree nodes.
@@ -248,16 +327,17 @@ func (t *Tree) DepthAt(v graph.NodeID) int {
 		}
 		return int(t.cdepth[i])
 	}
-	if t.depth == nil {
+	if t.htab == nil {
 		if v == t.Root {
 			return 0
 		}
 		return -1
 	}
-	if v < 0 || int(v) >= t.n {
+	i := t.hfind(v)
+	if i < 0 {
 		return -1
 	}
-	return int(t.depth[v])
+	return int(t.bdepth[i])
 }
 
 // ParentOf returns v's parent in the tree; ok=false at the root and for
@@ -273,10 +353,14 @@ func (t *Tree) ParentOf(v graph.NodeID) (graph.NodeID, bool) {
 		}
 		return t.cparent[i], true
 	}
-	if t.parent == nil || v < 0 || int(v) >= t.n || t.parent[v] < 0 {
+	if t.htab == nil {
 		return -1, false
 	}
-	return graph.NodeID(t.parent[v]), true
+	i := t.hfind(v)
+	if i < 0 || t.bparent[i] < 0 {
+		return -1, false
+	}
+	return graph.NodeID(t.bparent[i]), true
 }
 
 // ChildrenOf returns v's children in ascending order. Requires Finalize;

@@ -36,6 +36,18 @@ const AutoMultiLinks = 4096
 // dominates the tiny handler steps.
 const AutoMultiNodes = 2048
 
+// AutoHugeLinks is the graph size (directed links) past which Auto mode
+// treats the graph as huge: with millions of concurrent link timers even a
+// lookahead far below AutoMinLookahead packs thousands of events into each
+// safe window, so the windowed/speculative executors amortize their
+// barriers and the serial heap discipline becomes the bottleneck.
+const AutoHugeLinks = 1 << 21
+
+// AutoHugeEventsPerWindow is the expected-events-per-safe-window level
+// (lookahead × links, with per-link delays in (0, 1]) a huge graph must
+// reach for Auto to engage the windowed executor below AutoMinLookahead.
+const AutoHugeEventsPerWindow = 4096
+
 // DefaultWorkers is the worker-pool size when the caller does not choose:
 // every available CPU, capped at MaxWorkers.
 func DefaultWorkers() int {
@@ -83,11 +95,20 @@ const (
 // window executor when the adversary's lookahead makes safe windows worth
 // a barrier, the speculative executor when lookahead is tiny but the
 // graph is big and the handlers are cloneable, and serial otherwise.
+//
+// Huge graphs (AutoHugeLinks and up) get an extra windowed gate: a
+// lookahead below AutoMinLookahead still engages the window executor when
+// lookahead × links promises at least AutoHugeEventsPerWindow events per
+// window — at that scale the per-window population, not the per-link
+// lookahead, is what pays for the barrier.
 func AsyncAuto(workers, links int, lookahead float64, cloneable bool) AsyncChoice {
 	if AutoWorkers(workers) <= 1 || links < AutoMultiLinks {
 		return AsyncSerial
 	}
 	if lookahead >= AutoMinLookahead {
+		return AsyncWindows
+	}
+	if links >= AutoHugeLinks && lookahead*float64(links) >= AutoHugeEventsPerWindow {
 		return AsyncWindows
 	}
 	if cloneable {

@@ -82,6 +82,41 @@ func TestAsyncAuto(t *testing.T) {
 	})
 }
 
+// TestHugeGraphGate pins the huge-graph Auto thresholds and the gate's
+// shape: drifting either constant or the lookahead×links product test
+// changes which mode million-link benchmarks silently run under.
+func TestHugeGraphGate(t *testing.T) {
+	if AutoHugeLinks != 1<<21 {
+		t.Fatalf("AutoHugeLinks drifted to %d", AutoHugeLinks)
+	}
+	if AutoHugeEventsPerWindow != 4096 {
+		t.Fatalf("AutoHugeEventsPerWindow drifted to %d", AutoHugeEventsPerWindow)
+	}
+	withProcs(4, func() {
+		tiny := AutoMinLookahead / 2 // below the ordinary windowed gate
+		cases := []struct {
+			name      string
+			links     int
+			lookahead float64
+			cloneable bool
+			want      AsyncChoice
+		}{
+			// At the huge threshold, tiny lookahead × 2^21 links = 2^12
+			// expected events — exactly the gate.
+			{"huge graph, product at gate", AutoHugeLinks, tiny, false, AsyncWindows},
+			{"huge graph, product below gate", AutoHugeLinks, tiny / 2, false, AsyncSerial},
+			{"huge graph, product below gate, cloneable", AutoHugeLinks, tiny / 2, true, AsyncSpec},
+			{"just under huge", AutoHugeLinks - 1, tiny, false, AsyncSerial},
+			{"just under huge, cloneable", AutoHugeLinks - 1, tiny, true, AsyncSpec},
+		}
+		for _, c := range cases {
+			if got := AsyncAuto(4, c.links, c.lookahead, c.cloneable); got != c.want {
+				t.Errorf("%s: AsyncAuto = %v, want %v", c.name, got, c.want)
+			}
+		}
+	})
+}
+
 func TestLockstepMulti(t *testing.T) {
 	withProcs(4, func() {
 		if !LockstepMulti(4, AutoMultiNodes) {

@@ -11,7 +11,7 @@ func (g *Graph) BFS(src NodeID) []int {
 	for len(queue) > 0 {
 		v := queue[0]
 		queue = queue[1:]
-		for _, nb := range g.adj[v] {
+		for _, nb := range g.Neighbors(v) {
 			if dist[nb.Node] < 0 {
 				dist[nb.Node] = dist[v] + 1
 				queue = append(queue, nb.Node)
@@ -44,7 +44,7 @@ func (g *Graph) MultiBFS(sources []NodeID) (dist []int, closest []NodeID) {
 	for len(queue) > 0 {
 		v := queue[0]
 		queue = queue[1:]
-		for _, nb := range g.adj[v] {
+		for _, nb := range g.Neighbors(v) {
 			if dist[nb.Node] < 0 {
 				dist[nb.Node] = dist[v] + 1
 				queue = append(queue, nb.Node)
@@ -58,7 +58,7 @@ func (g *Graph) MultiBFS(sources []NodeID) (dist []int, closest []NodeID) {
 		if dist[u] == 0 {
 			continue
 		}
-		for _, nb := range g.adj[u] {
+		for _, nb := range g.Neighbors(u) {
 			v := nb.Node
 			if dist[v] == dist[u]-1 && (closest[u] < 0 || closest[v] < closest[u]) {
 				closest[u] = closest[v]
@@ -136,7 +136,7 @@ func (g *Graph) bfsBounded(src NodeID, bound int) []int {
 		if dist[v] == bound {
 			continue
 		}
-		for _, nb := range g.adj[v] {
+		for _, nb := range g.Neighbors(v) {
 			if dist[nb.Node] < 0 {
 				dist[nb.Node] = dist[v] + 1
 				queue = append(queue, nb.Node)
@@ -173,7 +173,7 @@ func (g *Graph) DistanceBetweenSets(a, b []NodeID) int {
 		if inB[v] {
 			return dist[v]
 		}
-		for _, nb := range g.adj[v] {
+		for _, nb := range g.Neighbors(v) {
 			if dist[nb.Node] < 0 {
 				dist[nb.Node] = dist[v] + 1
 				queue = append(queue, nb.Node)

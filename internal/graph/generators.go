@@ -212,8 +212,8 @@ func WithRandomWeights(g *Graph, seed uint64) *Graph {
 		j := r.Intn(i + 1)
 		perm[i], perm[j] = perm[j], perm[i]
 	}
-	for i, e := range g.Edges {
-		out.AddEdge(e.U, e.V, perm[i])
+	for i := 0; i < g.M(); i++ {
+		out.AddEdge(g.edgeU[i], g.edgeV[i], perm[i])
 	}
 	return out.Finalize()
 }

@@ -7,27 +7,39 @@
 // Finalize compiles the adjacency structure into CSR form: all adjacency
 // entries live in one contiguous slice, and every ordered pair of adjacent
 // nodes gets a dense LinkID — the entry's index in that slice. Simulation
-// engines index per-directed-link state ([]outbox, []uint64 sequence
-// counters, CONGEST stamps) by LinkID instead of hashing (u,v) pairs.
+// engines index per-directed-link state ([]outbox, sequence counters,
+// CONGEST stamps) by LinkID instead of hashing (u,v) pairs.
+//
+// All ids are 32-bit: a graph holds at most MaxNodes nodes and MaxEdges
+// edges, so per-link and per-node engine state stays compact at the
+// ten-million-node scale. Construction checks the limits explicitly.
 package graph
 
 import (
 	"fmt"
+	"math"
 	"sort"
 )
 
 // NodeID identifies a node. Nodes are numbered 0..n-1; the paper's unique
 // O(log n)-bit identifiers are the NodeIDs themselves.
-type NodeID int
+type NodeID int32
 
-// EdgeID indexes into Graph.Edges.
-type EdgeID int
+// EdgeID indexes the edge table (see Edge/Weight accessors).
+type EdgeID int32
 
 // LinkID is a dense identifier for one directed link (an ordered pair of
 // adjacent nodes). Links are numbered 0..2m-1 in CSR order: node 0's
 // out-links first (ascending destination), then node 1's, and so on. Valid
 // only after Finalize.
-type LinkID int
+type LinkID int32
+
+// MaxNodes is the largest supported node count (NodeIDs are int32).
+const MaxNodes = math.MaxInt32
+
+// MaxEdges is the largest supported edge count: 2m directed links must fit
+// in the int32 LinkID space.
+const MaxEdges = math.MaxInt32 / 2
 
 // Edge is an undirected edge {U, V} with an optional weight (used by MST
 // workloads; weight 0 elsewhere). U < V always holds after normalization.
@@ -46,17 +58,28 @@ type Neighbor struct {
 
 // Graph is an immutable undirected graph. Build one with New and AddEdge,
 // then call Finalize; generators return finalized graphs.
+//
+// Storage is struct-of-arrays: the edge table is two NodeID columns plus a
+// weight column that stays nil while every weight is zero, and adjacency
+// lives in one flat CSR slice (12 bytes per directed link) addressed by
+// int32 offsets. The temporary per-node adjacency lists used during
+// construction are released by Finalize.
 type Graph struct {
 	n     int
-	Edges []Edge
-	adj   [][]Neighbor
 	final bool
 
-	// CSR arrays, built by Finalize. adj[v] aliases flat[off[v]:off[v+1]],
-	// so the LinkID of adjacency entry i of node v is off[v]+i.
+	// Edge table. weights is nil until the first nonzero weight.
+	edgeU, edgeV []NodeID
+	weights      []int64
+
+	// Construction-only adjacency lists; nil after Finalize.
+	adj [][]Neighbor
+
+	// CSR arrays, built by Finalize. Node v's adjacency row is
+	// flat[off[v]:off[v+1]], so the LinkID of adjacency entry i of node v
+	// is off[v]+i.
 	flat []Neighbor
-	off  []int
-	src  []NodeID // LinkID -> source node
+	off  []int32
 	rev  []LinkID // LinkID -> the opposite-direction link
 }
 
@@ -65,6 +88,9 @@ func New(n int) *Graph {
 	if n < 0 {
 		panic(fmt.Sprintf("graph: negative node count %d", n))
 	}
+	if n > MaxNodes {
+		panic(fmt.Sprintf("graph: node count %d exceeds MaxNodes (%d)", n, MaxNodes))
+	}
 	return &Graph{n: n, adj: make([][]Neighbor, n)}
 }
 
@@ -72,13 +98,35 @@ func New(n int) *Graph {
 func (g *Graph) N() int { return g.n }
 
 // M returns the number of edges.
-func (g *Graph) M() int { return len(g.Edges) }
+func (g *Graph) M() int { return len(g.edgeU) }
 
 // Links returns the number of directed links (2·M). Valid after Finalize.
 func (g *Graph) Links() int { return len(g.flat) }
 
 // Final reports whether Finalize has run.
 func (g *Graph) Final() bool { return g.final }
+
+// Edge returns edge e.
+func (g *Graph) Edge(e EdgeID) Edge {
+	return Edge{U: g.edgeU[e], V: g.edgeV[e], Weight: g.Weight(e)}
+}
+
+// EdgeU returns the smaller endpoint of edge e.
+func (g *Graph) EdgeU(e EdgeID) NodeID { return g.edgeU[e] }
+
+// EdgeV returns the larger endpoint of edge e.
+func (g *Graph) EdgeV(e EdgeID) NodeID { return g.edgeV[e] }
+
+// Weight returns the weight of edge e (0 when the graph is unweighted).
+func (g *Graph) Weight(e EdgeID) int64 {
+	if g.weights == nil {
+		return 0
+	}
+	return g.weights[e]
+}
+
+// Weighted reports whether any edge carries a nonzero weight.
+func (g *Graph) Weighted() bool { return g.weights != nil }
 
 // AddEdge adds the undirected edge {u, v} with weight w. Self-loops and
 // out-of-range endpoints panic: topology construction bugs are programmer
@@ -93,27 +141,45 @@ func (g *Graph) AddEdge(u, v NodeID, w int64) EdgeID {
 	if u < 0 || v < 0 || int(u) >= g.n || int(v) >= g.n {
 		panic(fmt.Sprintf("graph: edge {%d,%d} out of range [0,%d)", u, v, g.n))
 	}
+	if len(g.edgeU) >= MaxEdges {
+		panic(fmt.Sprintf("graph: edge count exceeds MaxEdges (%d)", MaxEdges))
+	}
 	if u > v {
 		u, v = v, u
 	}
-	id := EdgeID(len(g.Edges))
-	g.Edges = append(g.Edges, Edge{U: u, V: v, Weight: w})
+	id := EdgeID(len(g.edgeU))
+	g.edgeU = append(g.edgeU, u)
+	g.edgeV = append(g.edgeV, v)
+	g.setWeight(id, w)
 	g.adj[u] = append(g.adj[u], Neighbor{Node: v, Edge: id})
 	g.adj[v] = append(g.adj[v], Neighbor{Node: u, Edge: id})
 	return id
 }
 
+// setWeight records w for the just-appended edge id, materializing the
+// weight column on the first nonzero weight.
+func (g *Graph) setWeight(id EdgeID, w int64) {
+	if g.weights == nil {
+		if w == 0 {
+			return
+		}
+		g.weights = make([]int64, int(id), cap(g.edgeU))
+	}
+	g.weights = append(g.weights, w)
+}
+
 // Finalize sorts adjacency lists (determinism), checks simplicity, and
-// compiles the CSR link index. It returns the graph to allow chaining.
+// compiles the CSR link index, releasing the construction-time adjacency
+// lists. It returns the graph to allow chaining.
 func (g *Graph) Finalize() *Graph {
 	if g.final {
 		return g
 	}
-	seen := make(map[[2]NodeID]struct{}, len(g.Edges))
-	for _, e := range g.Edges {
-		key := [2]NodeID{e.U, e.V}
+	seen := make(map[[2]NodeID]struct{}, len(g.edgeU))
+	for e := range g.edgeU {
+		key := [2]NodeID{g.edgeU[e], g.edgeV[e]}
 		if _, dup := seen[key]; dup {
-			panic(fmt.Sprintf("graph: parallel edge {%d,%d}", e.U, e.V))
+			panic(fmt.Sprintf("graph: parallel edge {%d,%d}", key[0], key[1]))
 		}
 		seen[key] = struct{}{}
 	}
@@ -121,29 +187,26 @@ func (g *Graph) Finalize() *Graph {
 		sort.Slice(nbrs, func(i, j int) bool { return nbrs[i].Node < nbrs[j].Node })
 	}
 	// Flatten into CSR form and assign dense LinkIDs.
-	links := 2 * len(g.Edges)
+	links := 2 * len(g.edgeU)
 	g.flat = make([]Neighbor, 0, links)
-	g.off = make([]int, g.n+1)
-	g.src = make([]NodeID, links)
+	g.off = make([]int32, g.n+1)
 	for v := range g.adj {
-		g.off[v] = len(g.flat)
+		g.off[v] = int32(len(g.flat))
 		for _, nb := range g.adj[v] {
 			nb.Link = LinkID(len(g.flat))
-			g.src[nb.Link] = NodeID(v)
 			g.flat = append(g.flat, nb)
 		}
 	}
-	g.off[g.n] = len(g.flat)
-	for v := range g.adj {
-		row := g.flat[g.off[v]:g.off[v+1]:g.off[v+1]]
-		g.adj[v] = row
-	}
+	g.off[g.n] = int32(len(g.flat))
+	g.adj = nil
 	g.final = true
 	// Reverse-link table: the opposite direction of each link, so engines
 	// resolve ack/return paths in O(1) with no hashing or search.
 	g.rev = make([]LinkID, links)
-	for l, nb := range g.flat {
-		g.rev[l] = g.LinkBetween(nb.Node, g.src[l])
+	for v := 0; v < g.n; v++ {
+		for _, nb := range g.flat[g.off[v]:g.off[v+1]] {
+			g.rev[nb.Link] = g.LinkBetween(nb.Node, NodeID(v))
+		}
 	}
 	return g
 }
@@ -151,19 +214,28 @@ func (g *Graph) Finalize() *Graph {
 // Neighbors returns the adjacency list of v in ascending node order. After
 // Finalize each entry carries the directed LinkID v→entry.Node. The
 // returned slice must not be mutated.
-func (g *Graph) Neighbors(v NodeID) []Neighbor { return g.adj[v] }
+func (g *Graph) Neighbors(v NodeID) []Neighbor {
+	if g.final {
+		return g.flat[g.off[v]:g.off[v+1]]
+	}
+	return g.adj[v]
+}
 
 // Degree returns the degree of v.
-func (g *Graph) Degree(v NodeID) int { return len(g.adj[v]) }
+func (g *Graph) Degree(v NodeID) int {
+	if g.final {
+		return int(g.off[v+1] - g.off[v])
+	}
+	return len(g.adj[v])
+}
 
 // Other returns the endpoint of edge e that is not v.
 func (g *Graph) Other(e EdgeID, v NodeID) NodeID {
-	ed := g.Edges[e]
-	if ed.U == v {
-		return ed.V
+	if g.edgeU[e] == v {
+		return g.edgeV[e]
 	}
-	if ed.V == v {
-		return ed.U
+	if g.edgeV[e] == v {
+		return g.edgeU[e]
 	}
 	panic(fmt.Sprintf("graph: node %d not on edge %d", v, e))
 }
@@ -171,7 +243,7 @@ func (g *Graph) Other(e EdgeID, v NodeID) NodeID {
 // NeighborIndex returns the position of v in u's adjacency list, or -1 if
 // {u,v} is not an edge. O(log degree) after Finalize.
 func (g *Graph) NeighborIndex(u, v NodeID) int {
-	nbrs := g.adj[u]
+	nbrs := g.Neighbors(u)
 	if !g.final {
 		for i, nb := range nbrs {
 			if nb.Node == v {
@@ -209,7 +281,7 @@ func (g *Graph) EdgeBetween(u, v NodeID) EdgeID {
 	if i < 0 {
 		return -1
 	}
-	return g.adj[u][i].Edge
+	return g.Neighbors(u)[i].Edge
 }
 
 // LinkBetween returns the dense id of the directed link u→v, or -1 if
@@ -223,7 +295,7 @@ func (g *Graph) LinkBetween(u, v NodeID) LinkID {
 	if i < 0 {
 		return -1
 	}
-	return LinkID(g.off[u] + i)
+	return LinkID(int(g.off[u]) + i)
 }
 
 // LinkOffset returns the first LinkID out of v; v's out-links are the
@@ -236,8 +308,25 @@ func (g *Graph) LinkOffset(v NodeID) LinkID {
 	return LinkID(g.off[v])
 }
 
-// LinkSrc returns the source node of directed link l.
-func (g *Graph) LinkSrc(l LinkID) NodeID { return g.src[l] }
+// LinkSrc returns the source node of directed link l: the unique v with
+// off[v] <= l < off[v+1], found by binary search (the graph does not
+// retain a 2m-entry source column; engines carry src/dst in their events
+// and only cold paths resolve a bare LinkID).
+func (g *Graph) LinkSrc(l LinkID) NodeID {
+	if !g.final {
+		panic("graph: LinkSrc before Finalize")
+	}
+	lo, hi := 0, g.n-1
+	for lo < hi {
+		mid := int(uint(lo+hi+1) >> 1)
+		if g.off[mid] <= int32(l) {
+			lo = mid
+		} else {
+			hi = mid - 1
+		}
+	}
+	return NodeID(lo)
+}
 
 // LinkDst returns the destination node of directed link l.
 func (g *Graph) LinkDst(l LinkID) NodeID { return g.flat[l].Node }

@@ -79,8 +79,8 @@ func TestRandomConnected(t *testing.T) {
 	}
 	// Determinism.
 	a, b := RandomConnected(40, 80, 7), RandomConnected(40, 80, 7)
-	for i := range a.Edges {
-		if a.Edges[i] != b.Edges[i] {
+	for i := 0; i < a.M(); i++ {
+		if a.Edge(EdgeID(i)) != b.Edge(EdgeID(i)) {
 			t.Fatal("RandomConnected not deterministic in seed")
 		}
 	}
@@ -238,12 +238,12 @@ func TestKruskalUniqueMST(t *testing.T) {
 		inTree[id] = true
 	}
 	base := g.MSTWeight()
-	for id := range g.Edges {
+	for id := 0; id < g.M(); id++ {
 		if inTree[EdgeID(id)] {
 			continue
 		}
 		// Lower bound check: any spanning tree weight >= MST weight.
-		if g.Edges[id].Weight < 0 {
+		if g.Weight(EdgeID(id)) < 0 {
 			t.Fatal("weights must be positive")
 		}
 		_ = base
@@ -253,7 +253,8 @@ func TestKruskalUniqueMST(t *testing.T) {
 func TestWithRandomWeightsDistinct(t *testing.T) {
 	g := WithRandomWeights(Complete(8), 3)
 	seen := make(map[int64]bool)
-	for _, e := range g.Edges {
+	for i := 0; i < g.M(); i++ {
+		e := g.Edge(EdgeID(i))
 		if e.Weight <= 0 || seen[e.Weight] {
 			t.Fatalf("weight %d not positive-distinct", e.Weight)
 		}
@@ -269,7 +270,8 @@ func TestBFSLipschitzProperty(t *testing.T) {
 		m := n - 1 + int(seedRaw)%(n)
 		g := RandomConnected(n, m, uint64(seedRaw)+1)
 		dist := g.BFS(NodeID(int(seedRaw) % n))
-		for _, e := range g.Edges {
+		for i := 0; i < g.M(); i++ {
+			e := g.Edge(EdgeID(i))
 			diff := dist[e.U] - dist[e.V]
 			if diff < -1 || diff > 1 {
 				return false

@@ -12,17 +12,16 @@ func (g *Graph) KruskalMST() []EdgeID {
 		ids[i] = EdgeID(i)
 	}
 	sort.Slice(ids, func(a, b int) bool {
-		ea, eb := g.Edges[ids[a]], g.Edges[ids[b]]
-		if ea.Weight != eb.Weight {
-			return ea.Weight < eb.Weight
+		wa, wb := g.Weight(ids[a]), g.Weight(ids[b])
+		if wa != wb {
+			return wa < wb
 		}
 		return ids[a] < ids[b]
 	})
 	uf := NewUnionFind(g.n)
 	out := make([]EdgeID, 0, g.n-1)
 	for _, id := range ids {
-		e := g.Edges[id]
-		if uf.Union(int(e.U), int(e.V)) {
+		if uf.Union(int(g.edgeU[id]), int(g.edgeV[id])) {
 			out = append(out, id)
 		}
 	}
@@ -37,7 +36,7 @@ func (g *Graph) KruskalMST() []EdgeID {
 func (g *Graph) MSTWeight() int64 {
 	var total int64
 	for _, id := range g.KruskalMST() {
-		total += g.Edges[id].Weight
+		total += g.Weight(id)
 	}
 	return total
 }
@@ -50,8 +49,7 @@ func (g *Graph) IsSpanningTree(edges []EdgeID) bool {
 	}
 	uf := NewUnionFind(g.n)
 	for _, id := range edges {
-		e := g.Edges[id]
-		if !uf.Union(int(e.U), int(e.V)) {
+		if !uf.Union(int(g.edgeU[id]), int(g.edgeV[id])) {
 			return false
 		}
 	}

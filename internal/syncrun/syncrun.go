@@ -12,13 +12,14 @@
 // while making algorithms like BFS natural to write.
 //
 // The engine is dense and allocation-free at steady state: message bodies
-// are wire.Body values (no interface boxing), per-node inboxes are
-// double-buffered slices whose capacity persists across pulses, the
-// activation set is a bitmap iterated in node-index order, and the CONGEST
-// one-message-per-link-per-pulse guard is a flat pulse-stamp array indexed
-// by the graph's dense LinkID. Because active nodes step in ascending
-// index order and each sends at most once per neighbor, inbox batches
-// arrive sorted by sender with no per-batch sort.
+// are wire.Body values (no interface boxing), each pulse's deliveries live
+// in one flat pool threaded into per-receiver chains by epoch-stamped
+// head/tail cursors (12 bytes of per-node state per buffer instead of a
+// per-node slice), the activation set is a bitmap iterated in node-index
+// order, and the CONGEST one-message-per-link-per-pulse guard is a flat
+// pulse-stamp array indexed by the graph's dense LinkID. Because active
+// nodes step in ascending index order and each sends at most once per
+// neighbor, every receiver's chain is sorted by sender by construction.
 //
 // Runner supports three execution modes. Single steps the activation set
 // on one goroutine. Multi shards it across a worker pool; each worker
@@ -30,8 +31,10 @@ package syncrun
 
 import (
 	"fmt"
+	"math"
 	"math/bits"
 	"sync"
+	"sync/atomic"
 
 	"repro/internal/execpolicy"
 	"repro/internal/graph"
@@ -40,8 +43,11 @@ import (
 )
 
 // Incoming is one received message: the sender and the payload, both plain
-// values — delivery never boxes. A Body segment is recycled when the
-// receiving Pulse returns; copy its data out inside Pulse to retain it.
+// values — delivery never boxes. The recvd batch handed to Pulse is
+// engine-owned scratch, valid only during the call (its backing array is
+// reused for the next node's batch, and a Body segment is recycled when
+// the receiving Pulse returns); copy entries out inside Pulse to retain
+// them.
 type Incoming struct {
 	From graph.NodeID
 	Body wire.Body
@@ -86,7 +92,8 @@ type Handler interface {
 	Init(n API)
 	// Pulse runs at pulse p > 0 if this node received messages sent at
 	// pulse p-1 (recvd, sorted by sender) or itself sent at pulse p-1.
-	// It may send messages (which then carry pulse p).
+	// It may send messages (which then carry pulse p). recvd is only
+	// valid during the call (see Incoming).
 	Pulse(n API, p int, recvd []Incoming)
 }
 
@@ -118,11 +125,13 @@ func (m ExecutionMode) String() string {
 	return fmt.Sprintf("ExecutionMode(%d)", int(m))
 }
 
-// Node is the Runner's API implementation.
+// Node is the Runner's API implementation. It is 16 bytes: effects route
+// through a sink index — 0 applies immediately to the Runner, k+1 buffers
+// in worker sink k — resolved per call instead of held as a pointer.
 type Node struct {
-	id   graph.NodeID
-	run  *Runner
-	sink *sendSink // where Send/Output effects route; set per step
+	id      graph.NodeID
+	sinkIdx int32 // set per step; 0 = direct, k+1 = workerSinks[k]
+	run     *Runner
 }
 
 var _ API = (*Node)(nil)
@@ -151,11 +160,12 @@ func (n *Node) Send(to graph.NodeID, body wire.Body) {
 		panic(fmt.Sprintf("syncrun: node %d sent twice to %d in one pulse", n.id, to))
 	}
 	r.sentAt[l] = stamp
-	if n.sink.r != nil {
+	if n.sinkIdx == 0 {
 		r.record(n.id, to, body)
 		return
 	}
-	n.sink.sends = append(n.sink.sends, pendingSend{from: n.id, to: to, body: body})
+	sink := &r.workerSinks[n.sinkIdx-1]
+	sink.sends = append(sink.sends, pendingSend{from: n.id, to: to, body: body})
 }
 
 // Output records this node's final output.
@@ -165,8 +175,10 @@ func (n *Node) Output(v any) {
 		return
 	}
 	r := n.run
-	r.outBody[n.id] = wire.Body{}
-	r.outAny[n.id] = v
+	if outB := r.loadedOutBodies(); outB != nil {
+		outB[n.id] = wire.Body{}
+	}
+	r.outAnys()[n.id] = v
 	n.noteOutput()
 }
 
@@ -176,8 +188,10 @@ func (n *Node) OutputBody(b wire.Body) {
 		panic(fmt.Sprintf("syncrun: node %d output a Body with zero Kind", n.id))
 	}
 	r := n.run
-	r.outBody[n.id] = b
-	r.outAny[n.id] = nil
+	r.outBodies()[n.id] = b
+	if outA := r.loadedOutAnys(); outA != nil {
+		outA[n.id] = nil
+	}
 	n.noteOutput()
 }
 
@@ -190,13 +204,13 @@ func (n *Node) noteOutput() {
 	if had {
 		return
 	}
-	if n.sink.r != nil {
+	if n.sinkIdx == 0 {
 		if r.pulse > r.lastOut {
 			r.lastOut = r.pulse
 		}
 		return
 	}
-	n.sink.newOut = true
+	r.workerSinks[n.sinkIdx-1].newOut = true
 }
 
 // HasOutput reports whether this node already produced output.
@@ -242,23 +256,49 @@ type pendingSend struct {
 	body     wire.Body
 }
 
-// sendSink routes a node's effects. With r set, effects apply to the
-// Runner immediately (Single mode and pulse 0). With r nil it is a worker
-// buffer: sends accumulate in call order and newOut records whether any
-// node produced its first output, both drained deterministically after the
-// pulse barrier.
+// sendSink is one worker's effect buffer: sends accumulate in call order
+// and newOut records whether any node produced its first output, both
+// drained deterministically after the pulse barrier. scratch is the
+// worker's reusable batch-materialization buffer (serial stepping uses the
+// Runner's own scratch instead).
 type sendSink struct {
-	r      *Runner
-	sends  []pendingSend
-	newOut bool
+	sends   []pendingSend
+	newOut  bool
+	scratch []Incoming
 }
 
-// pulseBuf is one side of the double-buffered pulse state: per-node inbox
-// slices (capacity reused across pulses) plus the activation bitmap.
+// pendMsg is one pending delivery in a pulse buffer's flat pool, threaded
+// into its receiver's chain by pool index (-1 terminates).
+type pendMsg struct {
+	in   Incoming
+	next int32
+}
+
+// pulseBuf is one side of the double-buffered pulse state. The pulse's
+// deliveries sit in one flat pool (pend, appended in serial application
+// order) threaded into per-receiver chains by head/tail cursors; ep stamps
+// which cursors belong to the buffer's current fill epoch, so rearming the
+// buffer is a counter bump plus a pool truncation instead of clearing n
+// per-node slices. Chains materialize already sorted by sender: senders
+// apply in ascending node order and each sends at most once per receiver.
 type pulseBuf struct {
-	inbox  [][]Incoming
+	pend   []pendMsg
+	head   []int32
+	tail   []int32
+	ep     []uint32
+	epoch  uint32
 	bits   []uint64
 	active int // number of set bits
+}
+
+func newPulseBuf(n int, epoch uint32) pulseBuf {
+	return pulseBuf{
+		head:  make([]int32, n),
+		tail:  make([]int32, n),
+		ep:    make([]uint32, n),
+		epoch: epoch,
+		bits:  make([]uint64, (n+63)/64),
+	}
 }
 
 func (b *pulseBuf) activate(v graph.NodeID) {
@@ -267,6 +307,46 @@ func (b *pulseBuf) activate(v graph.NodeID) {
 		b.bits[w] |= m
 		b.active++
 	}
+}
+
+// deliver appends one message to the pool and splices it onto the
+// receiver's chain.
+func (b *pulseBuf) deliver(to graph.NodeID, in Incoming) {
+	idx := int32(len(b.pend))
+	b.pend = append(b.pend, pendMsg{in: in, next: -1})
+	if b.ep[to] == b.epoch {
+		b.pend[b.tail[to]].next = idx
+	} else {
+		b.ep[to] = b.epoch
+		b.head[to] = idx
+	}
+	b.tail[to] = idx
+}
+
+// batch materializes node to's chain into scratch (reused across calls;
+// the returned slice aliases it). Nodes active only because they sent get
+// an empty batch: their cursor epoch never reached this fill epoch.
+func (b *pulseBuf) batch(to graph.NodeID, scratch []Incoming) []Incoming {
+	scratch = scratch[:0]
+	if b.ep[to] != b.epoch {
+		return scratch
+	}
+	for i := b.head[to]; i >= 0; i = b.pend[i].next {
+		scratch = append(scratch, b.pend[i].in)
+	}
+	return scratch
+}
+
+// refill rearms the buffer as the next pulse's fill target: the pool
+// empties (capacity kept) and the epoch bump invalidates every node's
+// cursors at once. pendMsg holds no pointers, so the retained capacity
+// pins nothing for the GC.
+func (b *pulseBuf) refill() {
+	b.pend = b.pend[:0]
+	if b.epoch == math.MaxUint32 {
+		panic("syncrun: pulse epoch counter overflow")
+	}
+	b.epoch++
 }
 
 // Runner executes one synchronous algorithm on one graph.
@@ -288,9 +368,14 @@ type Runner struct {
 	sentAt []int32
 
 	// Outputs: typed bodies (Kind != 0) with a boxed escape hatch for
-	// values outval cannot encode (outBody zero, value in outAny).
-	outBody   []wire.Body
-	outAny    []any
+	// values outval cannot encode (body zero, value in the any slab).
+	// Both value slabs are lazy — allocated on the first output of the
+	// respective kind, published via atomic pointer so concurrent worker
+	// Pulses agree on the slab before writing their own (disjoint) slots.
+	// Only the 1-byte hasOut column is eager.
+	outBodyP  atomic.Pointer[[]wire.Body]
+	outAnyP   atomic.Pointer[[]any]
+	outMu     sync.Mutex
 	hasOut    []bool
 	denseOut  bool
 	lastOut   int
@@ -299,7 +384,9 @@ type Runner struct {
 	maxRounds int
 	keepTrace bool
 
-	direct sendSink // the apply-immediately sink (Single mode, Init)
+	// scratch is the serial-mode batch-materialization buffer (each
+	// worker sink carries its own).
+	scratch []Incoming
 
 	// Multi-mode scratch, allocated on first parallel pulse.
 	activeIDs    []graph.NodeID
@@ -315,25 +402,23 @@ type Runner struct {
 // finalized if it was not already (the dense link index requires it).
 func New(g *graph.Graph, mk func(id graph.NodeID) Handler) *Runner {
 	g.Finalize()
-	words := (g.N() + 63) / 64
 	r := &Runner{
-		g:           g,
-		handlers:    make([]Handler, g.N()),
-		nodes:       make([]Node, g.N()),
-		cur:         pulseBuf{inbox: make([][]Incoming, g.N()), bits: make([]uint64, words)},
-		nxt:         pulseBuf{inbox: make([][]Incoming, g.N()), bits: make([]uint64, words)},
+		g:        g,
+		handlers: make([]Handler, g.N()),
+		nodes:    make([]Node, g.N()),
+		// cur's epoch trails nxt's by one; each refill bumps past every
+		// stamp the buffer has ever written, so stale cursors never match.
+		cur:         newPulseBuf(g.N(), 0),
+		nxt:         newPulseBuf(g.N(), 1),
 		sentAt:      make([]int32, g.Links()),
-		outBody:     make([]wire.Body, g.N()),
-		outAny:      make([]any, g.N()),
 		hasOut:      make([]bool, g.N()),
 		maxRounds:   1 << 22,
 		workers:     execpolicy.DefaultWorkers(),
 		minParallel: defaultMinParallel,
 	}
-	r.direct.r = r
 	for i := 0; i < g.N(); i++ {
 		id := graph.NodeID(i)
-		r.nodes[i] = Node{id: id, run: r, sink: &r.direct}
+		r.nodes[i] = Node{id: id, run: r}
 		r.handlers[i] = mk(id)
 	}
 	return r
@@ -383,6 +468,55 @@ func (r *Runner) SetMaxRounds(limit int) { r.maxRounds = limit }
 // Handler returns node v's handler for post-run inspection.
 func (r *Runner) Handler(v graph.NodeID) Handler { return r.handlers[v] }
 
+// outBodies returns the typed-output slab, allocating and publishing it on
+// first use. Workers write only their own nodes' slots; the atomic pointer
+// publication orders the allocation before any cross-worker read.
+func (r *Runner) outBodies() []wire.Body {
+	if p := r.outBodyP.Load(); p != nil {
+		return *p
+	}
+	r.outMu.Lock()
+	defer r.outMu.Unlock()
+	if p := r.outBodyP.Load(); p != nil {
+		return *p
+	}
+	sl := make([]wire.Body, r.g.N())
+	r.outBodyP.Store(&sl)
+	return sl
+}
+
+// outAnys is outBodies' counterpart for the boxed escape slab.
+func (r *Runner) outAnys() []any {
+	if p := r.outAnyP.Load(); p != nil {
+		return *p
+	}
+	r.outMu.Lock()
+	defer r.outMu.Unlock()
+	if p := r.outAnyP.Load(); p != nil {
+		return *p
+	}
+	sl := make([]any, r.g.N())
+	r.outAnyP.Store(&sl)
+	return sl
+}
+
+// loadedOutBodies returns the typed-output slab or nil if no typed output
+// has ever been recorded (readers treat nil as all-zero).
+func (r *Runner) loadedOutBodies() []wire.Body {
+	if p := r.outBodyP.Load(); p != nil {
+		return *p
+	}
+	return nil
+}
+
+// loadedOutAnys is loadedOutBodies' counterpart for the boxed slab.
+func (r *Runner) loadedOutAnys() []any {
+	if p := r.outAnyP.Load(); p != nil {
+		return *p
+	}
+	return nil
+}
+
 // Run executes to quiescence and returns measurements.
 func (r *Runner) Run() Result {
 	mode := r.mode
@@ -405,6 +539,7 @@ func (r *Runner) Run() Result {
 			break
 		}
 		r.cur, r.nxt = r.nxt, r.cur
+		r.nxt.refill()
 		if mode == ModeMulti && r.cur.active >= r.minParallel && r.workers > 1 {
 			r.stepParallel()
 		} else {
@@ -417,15 +552,23 @@ func (r *Runner) Run() Result {
 		M:      r.msgs,
 		Trace:  r.trace,
 	}
+	outB, outA := r.loadedOutBodies(), r.loadedOutAnys()
 	if r.denseOut {
-		res.OutBodies = r.outBody
+		if outB == nil {
+			outB = make([]wire.Body, r.g.N())
+		}
+		res.OutBodies = outB
 		res.OutSet = r.hasOut
 		for i, has := range r.hasOut {
-			if has && r.outBody[i].Kind == 0 {
+			if has && outB[i].Kind == 0 {
 				if res.Outputs == nil {
 					res.Outputs = make(map[graph.NodeID]any)
 				}
-				res.Outputs[graph.NodeID(i)] = r.outAny[i]
+				var v any
+				if outA != nil {
+					v = outA[i]
+				}
+				res.Outputs[graph.NodeID(i)] = v
 			}
 		}
 		return res
@@ -433,7 +576,15 @@ func (r *Runner) Run() Result {
 	outputs := make(map[graph.NodeID]any)
 	for i, has := range r.hasOut {
 		if has {
-			outputs[graph.NodeID(i)] = outval.DecodeSlot(r.outBody[i], r.outAny[i])
+			var b wire.Body
+			if outB != nil {
+				b = outB[i]
+			}
+			var v any
+			if outA != nil {
+				v = outA[i]
+			}
+			outputs[graph.NodeID(i)] = outval.DecodeSlot(b, v)
 		}
 	}
 	res.Outputs = outputs
@@ -452,23 +603,28 @@ func (r *Runner) stepSerial() {
 		for word != 0 {
 			v := graph.NodeID(base + bits.TrailingZeros64(word))
 			word &= word - 1
-			r.stepNode(v, &r.direct)
+			r.stepNode(v, 0)
 		}
 	}
 	r.cur.active = 0
 }
 
-// stepNode delivers node v's batch and recycles the inbox buffer.
-func (r *Runner) stepNode(v graph.NodeID, sink *sendSink) {
-	batch := r.cur.inbox[v]
+// stepNode materializes node v's batch into its sink's scratch buffer,
+// delivers it, and recycles the batch's segments.
+func (r *Runner) stepNode(v graph.NodeID, sinkIdx int32) {
+	scratchP := &r.scratch
+	if sinkIdx > 0 {
+		scratchP = &r.workerSinks[sinkIdx-1].scratch
+	}
+	batch := r.cur.batch(v, *scratchP)
+	*scratchP = batch
 	n := &r.nodes[v]
-	n.sink = sink
+	n.sinkIdx = sinkIdx
 	r.handlers[v].Pulse(n, r.pulse, batch)
-	n.sink = &r.direct
+	n.sinkIdx = 0
 	for i := range batch {
 		r.arena.Release(batch[i].Body.Seg) // the batch was the segment's last use
 	}
-	r.cur.inbox[v] = batch[:0]
 }
 
 // stepParallel runs one pulse on the worker pool: contiguous shards of the
@@ -509,9 +665,8 @@ func (r *Runner) stepParallel() {
 					r.workerPanics[k] = p
 				}
 			}()
-			sink := &r.workerSinks[k]
 			for _, v := range shard {
-				r.stepNode(v, sink)
+				r.stepNode(v, int32(k)+1)
 			}
 		}(k, ids[lo:hi])
 	}
@@ -539,13 +694,11 @@ func (r *Runner) stepParallel() {
 	}
 }
 
-// record applies one send: deliver into the next pulse's inbox and
-// activate both endpoints. Active nodes step in ascending index order and
-// each sends at most once per neighbor, so every inbox batch is sorted by
-// sender by construction — no per-batch sort.
+// record applies one send: deliver into the next pulse's chain pool and
+// activate both endpoints.
 func (r *Runner) record(from, to graph.NodeID, body wire.Body) {
 	r.msgs++
-	r.nxt.inbox[to] = append(r.nxt.inbox[to], Incoming{From: from, Body: body})
+	r.nxt.deliver(to, Incoming{From: from, Body: body})
 	r.nxt.activate(to)
 	r.nxt.activate(from)
 	if r.keepTrace {
