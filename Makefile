@@ -19,7 +19,17 @@ BENCH_CPUS       ?= 1,2,4,8
 BENCH_OUT         = BENCH_6.json
 BENCH_NOTE       ?= engine microbenchmark suite plus retained-footprint probe (graphB/link, asyncB/link, syncB/node; includes the grid3d 1M-node row); mode benchmarks sweep -cpu 1,2,4,8 — parallel rows at cpu counts beyond the host's cores measure oversubscribed coordination overhead, not speedup
 
-.PHONY: build test race bench fmt vet
+# The multi-process shard sweep committed as BENCH_7.json: one flood over
+# the million-node smoke graph per shard count, real worker processes,
+# with the coordinator's per-window ledger (workerNs/commNs/mergeNs per
+# window) as custom metrics. fixed:1 delays give full-unit lookahead
+# (~300 windows); see internal/shard/bench_test.go.
+SHARD_BENCH_SPEC   ?= grid3d:100x100x100
+SHARD_BENCH_SHARDS ?= 1,2,4,8
+SHARD_BENCH_OUT     = BENCH_7.json
+SHARD_BENCH_NOTE   ?= multi-process shard sweep: flood on $(SHARD_BENCH_SPEC), K=$(SHARD_BENCH_SHARDS) worker processes over unix sockets, fixed:1 delays; per-window workerNs (critical path), commNs (barrier wait), mergeNs (coordinator) metrics — on hosts with fewer cores than K the extra processes timeshare and the comm column absorbs the oversubscription
+
+.PHONY: build test race bench bench-shard fmt vet
 
 build:
 	go build ./...
@@ -28,7 +38,7 @@ test: build
 	go test ./...
 
 race:
-	go test -race ./internal/async/ ./internal/syncrun/ ./internal/apps/ ./internal/bench/ ./internal/core/
+	go test -race ./internal/async/ ./internal/syncrun/ ./internal/apps/ ./internal/bench/ ./internal/core/ ./internal/shard/
 
 fmt:
 	@fmt=$$(gofmt -l .); if [ -n "$$fmt" ]; then echo "gofmt needed on:"; echo "$$fmt"; exit 1; fi
@@ -48,3 +58,10 @@ bench:
 	cat .bench-async.out .bench-async-modes.out .bench-abfs-modes.out .bench-sync.out .bench-footprint.out | go run ./cmd/benchjson -note "$(BENCH_NOTE)" > $(BENCH_OUT)
 	rm -f .bench-async.out .bench-async-modes.out .bench-abfs-modes.out .bench-sync.out .bench-footprint.out
 	@cat $(BENCH_OUT)
+
+bench-shard:
+	SHARD_BENCH_SPEC=$(SHARD_BENCH_SPEC) SHARD_BENCH_SHARDS=$(SHARD_BENCH_SHARDS) \
+		go test -run '^$$' -bench BenchmarkShardSweep -benchtime 1x -timeout 60m ./internal/shard/ > .bench-shard.out
+	cat .bench-shard.out | go run ./cmd/benchjson -note "$(SHARD_BENCH_NOTE)" > $(SHARD_BENCH_OUT)
+	rm -f .bench-shard.out
+	@cat $(SHARD_BENCH_OUT)

@@ -15,6 +15,15 @@
 // ten-million-node runs. The header's exact-diameter column is computed
 // only for graphs small enough for its O(n·m) sweep; huge graphs print
 // D=- instead of stalling before the run starts.
+//
+// -shards K (K > 0) runs the multi-process sharded engine instead: K
+// worker processes (re-execs of this binary) compute multi-source BFS hop
+// distances by monotone relaxation under the same seeded delay adversary.
+// That is a different algorithm from the default run's synchronizer-stack
+// BFS — it reports exact distances but no parent/threshold structure, and
+// its message count is the relaxation volume, not Theorem 4.23's — so the
+// two modes print distances that agree while the rest of the summary
+// differs by design.
 package main
 
 import (
@@ -26,9 +35,11 @@ import (
 
 	dsync "repro"
 	"repro/internal/apps"
+	"repro/internal/shard"
 )
 
 func main() {
+	shard.MaybeWorker() // -shards worker re-execs never return from this
 	os.Exit(run())
 }
 
@@ -43,6 +54,7 @@ func run() int {
 		sources = flag.String("sources", "0", "comma-separated source IDs")
 		mode    = flag.String("mode", "auto", "async engine execution mode: auto|single|multi|spec")
 		quiet   = flag.Bool("quiet", false, "suppress per-node output")
+		shards  = flag.Int("shards", 0, "run multi-source BFS on K sharded worker processes instead of the synchronizer stack (0 = off)")
 	)
 	flag.Parse()
 	var execMode dsync.AsyncExecutionMode
@@ -71,6 +83,9 @@ func run() int {
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		return 2
+	}
+	if *shards > 0 {
+		return runSharded(g, *kind, *n, *m, *rows, *cols, *seed, srcs, *shards, *quiet)
 	}
 	res := dsync.AsyncBFSMode(g, srcs, dsync.RandomDelays(*seed), execMode)
 	// The exact diameter is an O(n·m) all-pairs sweep — a header nicety on
@@ -101,6 +116,64 @@ func run() int {
 // maxDiameterNodes bounds the graphs whose exact diameter the header
 // reports; above it the O(n·m) sweep would dwarf the BFS being measured.
 const maxDiameterNodes = 1 << 14
+
+// runSharded computes the distances on K worker processes via the
+// shard coordinator's monotone-relaxation BFS workload.
+func runSharded(g *dsync.Graph, kind string, n, m, rows, cols int, seed uint64, srcs []dsync.NodeID, k int, quiet bool) int {
+	spec, err := specFor(kind, n, m, rows, cols, seed)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		return 2
+	}
+	rep, err := shard.Run(shard.Config{
+		GraphSpec: spec,
+		Workload:  "bfs",
+		Adversary: fmt.Sprintf("random:%d", seed),
+		Sources:   srcs,
+		Shards:    k,
+		Launch:    shard.LaunchProcess,
+	})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		return 1
+	}
+	res := rep.Result
+	fmt.Printf("graph=%s n=%d m=%d sources=%v shards=%d cuts=%v\n", spec, g.N(), g.M(), srcs, rep.Stats.Shards, rep.Cuts)
+	fmt.Printf("time=%.1f msgs=%d windows=%d frames=%d (relaxation BFS: distances only)\n",
+		res.Time, res.Msgs, rep.Stats.Windows, rep.Stats.Frames)
+	if quiet {
+		return 0
+	}
+	for v := 0; v < g.N(); v++ {
+		if d, ok := res.Outputs[dsync.NodeID(v)].(int64); ok {
+			fmt.Printf("node %3d: dist=%d\n", v, d)
+		} else {
+			fmt.Printf("node %3d: unreached\n", v)
+		}
+	}
+	return 0
+}
+
+// specFor maps the classic flag form onto its graph.FromSpec equivalent,
+// the shape worker processes rebuild the graph from.
+func specFor(kind string, n, m, rows, cols int, seed uint64) (string, error) {
+	if strings.Contains(kind, ":") {
+		return kind, nil
+	}
+	switch kind {
+	case "path", "cycle", "tree":
+		return fmt.Sprintf("%s:%d", kind, n), nil
+	case "grid":
+		return fmt.Sprintf("grid:%dx%d", rows, cols), nil
+	case "er":
+		if m == 0 {
+			m = 3 * n
+		}
+		return fmt.Sprintf("er:n=%d,m=%d,seed=%d", n, m, seed), nil
+	default:
+		return "", fmt.Errorf("unknown graph kind %q", kind)
+	}
+}
 
 func buildGraph(kind string, n, m, rows, cols int, seed uint64) (*dsync.Graph, error) {
 	if strings.Contains(kind, ":") {

@@ -25,9 +25,14 @@ type Benchmark struct {
 	// Name is the benchmark name without the -GOMAXPROCS suffix.
 	Name string `json:"name"`
 	// Mode is the engine execution mode inferred from the name ("single",
-	// "multi", "spec", or "default" when the name carries none); the last
-	// sub-benchmark path segment takes precedence over substring matches.
+	// "multi", "spec", "shard", or "default" when the name carries none);
+	// the last sub-benchmark path segment takes precedence over substring
+	// matches, and a "shard"/"shards=K" segment anywhere in the path marks
+	// a multi-process run.
 	Mode string `json:"mode"`
+	// Shards is the worker-process count parsed from a "shards=K" path
+	// segment; 0 when the benchmark is not a sharded run.
+	Shards int `json:"shards,omitempty"`
 	// Gomaxprocs is the -N suffix go test appends to the name.
 	Gomaxprocs int     `json:"gomaxprocs"`
 	Iterations int64   `json:"iterations"`
@@ -111,7 +116,7 @@ func parseLine(line string) (Benchmark, bool) {
 			b.Name = b.Name[:i]
 		}
 	}
-	b.Mode = inferMode(b.Name)
+	b.Mode, b.Shards = inferMode(b.Name)
 	iters, err := strconv.ParseInt(fields[1], 10, 64)
 	if err != nil {
 		return Benchmark{}, false
@@ -145,26 +150,40 @@ func parseLine(line string) (Benchmark, bool) {
 	return b, true
 }
 
-// inferMode maps a benchmark name to the engine execution mode it ran. The
-// final sub-benchmark path segment wins when it names a mode exactly —
+// inferMode maps a benchmark name to the engine execution mode it ran,
+// plus the shard count for multi-process runs. The final sub-benchmark
+// path segment wins when it names a mode exactly —
 // BenchmarkSimFloodRandomModes/single must not be misread as "spec" just
-// because the parent name mentions a mode — and only then does the older
-// whole-name substring match apply.
-func inferMode(name string) string {
+// because the parent name mentions a mode. A "shard" or "shards=K"
+// segment anywhere in the path marks a sharded run; it is checked before
+// the whole-name substring fallback so BenchmarkShardSweep/spec=…/shards=2
+// is not misread as "spec". Only then does the older whole-name substring
+// match apply.
+func inferMode(name string) (string, int) {
 	if i := strings.LastIndex(name, "/"); i >= 0 {
 		switch seg := strings.ToLower(name[i+1:]); seg {
 		case "single", "multi", "spec":
-			return seg
+			return seg, 0
+		}
+	}
+	for _, seg := range strings.Split(strings.ToLower(name), "/") {
+		if seg == "shard" {
+			return "shard", 0
+		}
+		if rest, ok := strings.CutPrefix(seg, "shards="); ok {
+			if k, err := strconv.Atoi(rest); err == nil && k > 0 {
+				return "shard", k
+			}
 		}
 	}
 	lower := strings.ToLower(name)
 	switch {
 	case strings.Contains(lower, "spec"):
-		return "spec"
+		return "spec", 0
 	case strings.Contains(lower, "multi"):
-		return "multi"
+		return "multi", 0
 	case strings.Contains(lower, "single"):
-		return "single"
+		return "single", 0
 	}
-	return "default"
+	return "default", 0
 }

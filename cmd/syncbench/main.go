@@ -12,6 +12,7 @@
 //	syncbench -seed 42             # override every adversary seed
 //	syncbench -mode multi          # force an execution mode, both engines
 //	syncbench -exp E16 -graph grid3d:100x100x100   # add a million-node row
+//	syncbench -exp E14 -shards 2       # add multi-process shard-protocol rows
 //
 // Tables are byte-identical for any -parallel or -mode value; -json
 // replaces the tables with one syncbench/v1 JSON document of per-row
@@ -55,6 +56,7 @@ func run() int {
 	seed := flag.Uint64("seed", 0, "delay adversary seed; 0 keeps each experiment's default")
 	mode := flag.String("mode", "auto", "execution mode for both engines: auto|single|multi|spec")
 	graphSpec := flag.String("graph", "", "extra topology for E13/E14/E16, as a graph spec (e.g. grid3d:100x100x100)")
+	shards := flag.Int("shards", 0, "add E14 rows running the multi-process shard protocol with K workers (0 = off; 1 = degenerate single-shard run, byte-identical)")
 	flag.Parse()
 	if *list {
 		for _, info := range bench.List() {
@@ -86,7 +88,7 @@ func run() int {
 			ids = append(ids, strings.TrimSpace(id))
 		}
 	}
-	opts := bench.Options{Workers: *parallel, JSON: *jsonOut, Seed: *seed, Mode: execMode, AsyncMode: asyncMode, Graph: *graphSpec}
+	opts := bench.Options{Workers: *parallel, JSON: *jsonOut, Seed: *seed, Mode: execMode, AsyncMode: asyncMode, Graph: *graphSpec, Shards: *shards}
 	if err := bench.Run(os.Stdout, ids, opts); err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		return 2

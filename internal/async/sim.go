@@ -91,6 +91,18 @@ type Sim struct {
 	handlers  []Handler
 	nodes     []Node
 
+	// nodeBase mirrors g.NodeBase(): per-node arrays (handlers, nodes,
+	// hasOut, output slabs) are NLocal-sized and indexed by id - nodeBase.
+	// Whole graphs have base 0, so the subtraction is free noise there.
+	nodeBase graph.NodeID
+
+	// Shard-staged mode (see shard.go): direct-context schedule calls are
+	// appended to shardLog — keyed by the triggering event like ModeMulti
+	// staging — instead of entering the local queue, because event seqs
+	// are granted by the cross-process coordinator's merge.
+	shardMode bool
+	shardLog  []stagedEv
+
 	mode        ExecutionMode
 	workers     int
 	minParallel int
@@ -242,25 +254,30 @@ func New(g *graph.Graph, adv Adversary, mk func(id graph.NodeID) Handler) *Sim {
 		g:           g,
 		adv:         adv,
 		lookahead:   checkedLookahead(adv),
-		handlers:    make([]Handler, g.N()),
-		nodes:       make([]Node, g.N()),
+		nodeBase:    g.NodeBase(),
+		handlers:    make([]Handler, g.NLocal()),
+		nodes:       make([]Node, g.NLocal()),
 		busy:        make([]bool, g.Links()),
 		txSeq:       make([]uint32, g.Links()),
 		boxes:       make([]*outbox, g.Links()),
-		hasOut:      make([]bool, g.N()),
+		hasOut:      make([]bool, g.NLocal()),
 		maxEvents:   1 << 34,
 		workers:     execpolicy.DefaultWorkers(),
 		minParallel: defaultMinParallel,
 		specMk:      mk,
 	}
 	s.direct = execCtx{s: s, direct: true}
-	for i := 0; i < g.N(); i++ {
-		id := graph.NodeID(i)
+	for i := 0; i < g.NLocal(); i++ {
+		id := s.nodeBase + graph.NodeID(i)
 		s.nodes[i] = Node{id: id, sim: s}
 		s.handlers[i] = mk(id)
 	}
 	return s
 }
+
+// li maps a global node id to its slot in the per-node arrays (identity
+// on whole graphs).
+func (s *Sim) li(id graph.NodeID) graph.NodeID { return id - s.nodeBase }
 
 // checkedLookahead validates the adversary's declared delay lower bound.
 func checkedLookahead(adv Adversary) float64 {
@@ -336,7 +353,7 @@ func (s *Sim) DenseOutputs() *Sim { s.denseOut = true; return s }
 func (s *Sim) SetMaxEvents(limit uint64) { s.maxEvents = limit }
 
 // Handler returns node v's handler (tests use this to inspect final state).
-func (s *Sim) Handler(v graph.NodeID) Handler { return s.handlers[v] }
+func (s *Sim) Handler(v graph.NodeID) Handler { return s.handlers[s.li(v)] }
 
 // Graph returns the simulated topology.
 func (s *Sim) Graph() *graph.Graph { return s.g }
@@ -384,7 +401,7 @@ func (s *Sim) outBodies() []wire.Body {
 	if p := s.outBodyP.Load(); p != nil {
 		return *p
 	}
-	sl := make([]wire.Body, s.g.N())
+	sl := make([]wire.Body, s.g.NLocal())
 	s.outBodyP.Store(&sl)
 	return sl
 }
@@ -399,7 +416,7 @@ func (s *Sim) outAnys() []any {
 	if p := s.outAnyP.Load(); p != nil {
 		return *p
 	}
-	sl := make([]any, s.g.N())
+	sl := make([]any, s.g.NLocal())
 	s.outAnyP.Store(&sl)
 	return sl
 }
@@ -506,9 +523,11 @@ func (s *Sim) Reset(adv Adversary, mk func(id graph.NodeID) Handler) {
 	s.specStats = SpecStats{}
 	s.specMk = mk
 	s.arena.Reset()
+	s.shardMode = false
+	s.shardLog = s.shardLog[:0]
 	for i := range s.handlers {
 		s.nodes[i].ctxIdx = ctxDirect
-		s.handlers[i] = mk(graph.NodeID(i))
+		s.handlers[i] = mk(s.nodeBase + graph.NodeID(i))
 	}
 }
 
@@ -516,6 +535,9 @@ func (s *Sim) Reset(adv Adversary, mk func(id graph.NodeID) Handler) {
 func (s *Sim) Run() Result {
 	if s.running {
 		panic("async: Run called twice (use Reset to rearm)")
+	}
+	if s.g.Sub() {
+		panic("async: Run on a Subrange view; shard engines are driven by the internal/shard protocol")
 	}
 	s.running = true
 	mode := s.mode
@@ -837,7 +859,7 @@ func (s *Sim) result() Result {
 	outputs := make(map[graph.NodeID]any, s.outCount)
 	for i, has := range s.hasOut {
 		if has {
-			outputs[graph.NodeID(i)] = outval.DecodeSlot(bodyAt(i), anyAt(i))
+			outputs[s.nodeBase+graph.NodeID(i)] = outval.DecodeSlot(bodyAt(i), anyAt(i))
 		}
 	}
 	res.Outputs = outputs
@@ -938,7 +960,16 @@ func (c *execCtx) processEvent(ev *event) {
 		} else {
 			c.acks++
 		}
-		back := s.g.ReverseLink(ev.link)
+		// The return path. A negative link marks a remote-injected delivery
+		// (shard mode): the forward link lives on the sender's shard, so the
+		// injector encoded the local back link as its complement instead of
+		// relying on ReverseLink (which is -1 across a shard boundary).
+		back := ev.link
+		if back >= 0 {
+			back = s.g.ReverseLink(back)
+		} else {
+			back = ^back
+		}
 		d := s.adv.Delay(ev.dst, ev.src, uint64(s.txSeq[back]), ev.msg.Proto)
 		s.bumpTx(back)
 		s.checkDelay(d)
@@ -965,7 +996,8 @@ func (c *execCtx) invokeRecv(ev *event) {
 		return
 	}
 	s := c.s
-	s.handlers[ev.dst].Recv(&s.nodes[ev.dst], ev.src, ev.msg)
+	d := s.li(ev.dst)
+	s.handlers[d].Recv(&s.nodes[d], ev.src, ev.msg)
 }
 
 // invokeAck is invokeRecv's counterpart for ack-return events.
@@ -975,7 +1007,8 @@ func (c *execCtx) invokeAck(ev *event) {
 		return
 	}
 	s := c.s
-	s.handlers[ev.src].Ack(&s.nodes[ev.src], ev.dst, ev.msg)
+	src := s.li(ev.src)
+	s.handlers[src].Ack(&s.nodes[src], ev.dst, ev.msg)
 }
 
 // applyOps replays a logged handler-effect sequence through this context.
@@ -1088,7 +1121,15 @@ func (s *Sim) checkDelay(d float64) {
 
 func (c *execCtx) schedule(ev event) {
 	if c.direct {
-		c.s.schedule(ev)
+		s := c.s
+		if s.shardMode {
+			// Event seqs are assigned by the coordinator's cross-shard
+			// merge; park the call keyed by its triggering event, exactly
+			// like ModeMulti worker staging.
+			s.shardLog = append(s.shardLog, stagedEv{ev: ev, trigT: c.now, trigSeq: c.curSeq})
+			return
+		}
+		s.schedule(ev)
 		return
 	}
 	c.staged = append(c.staged, stagedEv{ev: ev, trigT: c.now, trigSeq: c.curSeq})
@@ -1152,13 +1193,14 @@ func (c *execCtx) setOutputBody(id graph.NodeID, b wire.Body) {
 		s.specOutSaved[id] = true
 		return
 	}
-	if !s.hasOut[id] {
-		s.hasOut[id] = true
+	i := s.li(id)
+	if !s.hasOut[i] {
+		s.hasOut[i] = true
 		c.noteFirstOutput()
 	}
-	s.outBodies()[id] = b
+	s.outBodies()[i] = b
 	if outA := s.loadedOutAnys(); outA != nil {
-		outA[id] = nil
+		outA[i] = nil
 	}
 }
 
@@ -1177,14 +1219,15 @@ func (c *execCtx) setOutput(id graph.NodeID, v any) {
 		s.specOutSaved[id] = true
 		return
 	}
-	if !s.hasOut[id] {
-		s.hasOut[id] = true
+	i := s.li(id)
+	if !s.hasOut[i] {
+		s.hasOut[i] = true
 		c.noteFirstOutput()
 	}
 	if outB := s.loadedOutBodies(); outB != nil {
-		outB[id] = wire.Body{}
+		outB[i] = wire.Body{}
 	}
-	s.outAnys()[id] = v
+	s.outAnys()[i] = v
 }
 
 // hasOutput answers Node.HasOutput through the node's execution context:
@@ -1208,7 +1251,7 @@ func (c *execCtx) hasOutput(id graph.NodeID) bool {
 		}
 		return s.hasOut[id]
 	}
-	return s.hasOut[id]
+	return s.hasOut[s.li(id)]
 }
 
 // bumpProtoBy adds n to the dense per-proto counter, growing the slice to

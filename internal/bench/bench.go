@@ -22,6 +22,7 @@ import (
 
 	"repro/internal/async"
 	"repro/internal/core"
+	"repro/internal/execpolicy"
 	"repro/internal/graph"
 	"repro/internal/syncrun"
 )
@@ -126,6 +127,14 @@ type Options struct {
 	// million-node rows without every default run paying for them. Other
 	// experiments ignore it. Invalid specs fail Run before anything runs.
 	Graph string
+	// Shards, when >= 1, makes E14 add multi-process-protocol rows: each
+	// case also runs through the sharded coordinator (in-process workers,
+	// K = Shards) with its det column holding the byte-identity check
+	// against the serial engine. Shards = 1 exercises the full shard
+	// protocol degenerately and must change nothing else in the run
+	// (cmd/syncbench -shards). Out-of-range values fail Run before
+	// anything runs, like an invalid Graph spec.
+	Shards int
 }
 
 // ExpRecords is the JSON shape of one experiment's output.
@@ -154,6 +163,8 @@ type Ctx struct {
 	// graph itself, built once up front so E13 and E14 share it.
 	gspec  string
 	custom *graph.Graph
+	// shards carries Options.Shards: E14's sharded-coordinator row count.
+	shards int
 	cur    *ExpRecords
 	exps   []ExpRecords
 }
@@ -284,7 +295,10 @@ func Run(w io.Writer, ids []string, opts Options) error {
 	if opts.JSON {
 		tw = io.Discard
 	}
-	c := &Ctx{w: tw, workers: opts.Workers, seed: opts.Seed, mode: opts.Mode, amode: opts.AsyncMode, gspec: opts.Graph}
+	if opts.Shards < 0 || opts.Shards > execpolicy.MaxShards {
+		return fmt.Errorf("shards = %d out of range [0, %d]", opts.Shards, execpolicy.MaxShards)
+	}
+	c := &Ctx{w: tw, workers: opts.Workers, seed: opts.Seed, mode: opts.Mode, amode: opts.AsyncMode, gspec: opts.Graph, shards: opts.Shards}
 	if opts.Graph != "" {
 		g, err := graph.FromSpec(opts.Graph)
 		if err != nil {

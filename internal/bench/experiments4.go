@@ -1,11 +1,13 @@
 package bench
 
 import (
+	"fmt"
 	"reflect"
 	"time"
 
 	"repro/internal/async"
 	"repro/internal/graph"
+	"repro/internal/shard"
 )
 
 // e14AsyncEngineThroughput measures the asynchronous engine itself: one
@@ -22,6 +24,12 @@ import (
 // non-reproducible; the det column must always read true. On a single-core
 // host the multi column measures pure staging overhead — the honest
 // baseline for the speedup the same binary gets on real hardware.
+//
+// With Options.Shards >= 1 each case gets one extra "shards=K" row that
+// runs the same flood through the multi-process window protocol
+// (in-process workers over unix sockets): the single(ms) column is then
+// the serial engine on the shard package's flood workload, multi(ms) the
+// sharded wall clock, and det the byte-identity of the merged Result.
 func e14AsyncEngineThroughput(c *Ctx) {
 	t := c.table("flood from node 0, Fixed{1} delays; events = 4m; modes must agree exactly (det column).")
 	t.head("graph", "n", "links", "single(ms)", "multi(ms)", "Kev/s", "det")
@@ -61,6 +69,47 @@ func e14AsyncEngineThroughput(c *Ctx) {
 					"deterministic": det},
 			})
 		}
+		if c.shards >= 1 {
+			for _, r := range cases {
+				rows = append(rows, e14ShardRow(c, r))
+			}
+		}
 		return rows
 	}))
+}
+
+// e14ShardRow runs one E14 case through the sharded coordinator and its
+// serial reference, or nothing when Options.Shards is off.
+func e14ShardRow(c *Ctx, r namedGraph) row {
+	g := r.mk()
+	mk, err := shard.NewWorkload("flood", shard.WorkloadConfig{Sources: []graph.NodeID{0}})
+	if err != nil {
+		panic(err) // unreachable: "flood" is a registered workload
+	}
+	simSerial := async.New(g, async.Fixed{D: 1}, mk).WithMode(async.ModeSingle)
+	t0 := time.Now()
+	serial := simSerial.Run()
+	dSerial := time.Since(t0)
+	t1 := time.Now()
+	rep, err := shard.Run(shard.Config{
+		Graph:     g,
+		Workload:  "flood",
+		Adversary: "fixed:1",
+		Sources:   []graph.NodeID{0},
+		Shards:    c.shards,
+		Launch:    shard.LaunchInProc,
+	})
+	dShard := time.Since(t1)
+	det := err == nil && reflect.DeepEqual(serial, rep.Result) // err short-circuits before rep is touched
+	name := fmt.Sprintf("%s shards=%d", r.name, c.shards)
+	events := serial.Msgs + serial.Acks
+	serialMs := float64(dSerial.Microseconds()) / 1000
+	shardMs := float64(dShard.Microseconds()) / 1000
+	kevs := float64(events) / dShard.Seconds() / 1000
+	return row{
+		cols: []any{name, g.N(), g.Links(), serialMs, shardMs, kevs, det},
+		rec: Rec{"graph": name, "n": g.N(), "links": g.Links(), "shards": c.shards,
+			"singleMs": serialMs, "multiMs": shardMs, "kEvPerSec": kevs,
+			"deterministic": det},
+	}
 }

@@ -3,12 +3,14 @@ package bench
 import (
 	"os"
 	"runtime"
+	"strconv"
 	"testing"
 	"time"
 
 	"repro/internal/apps"
 	"repro/internal/async"
 	"repro/internal/graph"
+	"repro/internal/shard"
 	"repro/internal/syncrun"
 )
 
@@ -128,4 +130,43 @@ func TestTenMillionNodeRun(t *testing.T) {
 	t.Logf("BFS: T=%d, %d msgs in %.1fs (%.2f Mmsg/s), engine retained %.0f MB (%.1f B/node)",
 		bres.T, bres.M, bfsSec, float64(bres.M)/bfsSec/1e6, float64(sBytes)/(1<<20), float64(sBytes)/n)
 	runtime.KeepAlive(g)
+	totalLinks := uint64(g.Links())
+	g = nil // the shard phase re-derives everything from the spec; free ~1.2 GB first
+
+	// Sharded attribution: the same flood on K worker processes, each
+	// reporting its own graph plane (closed-form sub-CSR bytes), engine
+	// delta, and settled heap — the per-process split of the aggregate
+	// numbers above (SMOKE_10M_SHARDS overrides K, default 2).
+	k := 2
+	if s := os.Getenv("SMOKE_10M_SHARDS"); s != "" {
+		v, err := strconv.Atoi(s)
+		if err != nil || v < 1 {
+			t.Fatalf("bad SMOKE_10M_SHARDS %q", s)
+		}
+		k = v
+	}
+	t3 := time.Now()
+	rep, err := shard.Run(shard.Config{
+		GraphSpec: spec,
+		Workload:  "flood",
+		Adversary: "fixed:1",
+		Shards:    k,
+		Launch:    shard.LaunchProcess,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Result.Msgs != totalLinks {
+		t.Errorf("sharded flood msgs = %d, want %d", rep.Result.Msgs, totalLinks)
+	}
+	st := rep.Stats
+	t.Logf("sharded flood (K=%d): %d events in %.1fs wall — windows=%d frames=%d, startup=%.1fs worker=%.1fs comm=%.1fs merge=%.1fs",
+		k, st.TotalEvents, time.Since(t3).Seconds(), st.Windows, st.Frames,
+		float64(st.StartupNs)/1e9, float64(st.WorkerNs)/1e9, float64(st.CommNs)/1e9, float64(st.MergeNs)/1e9)
+	for i, si := range rep.Shards {
+		t.Logf("  shard %d: nodes=%d links=%d boundary=%d — graph %.0f MB (%.1f B/link), engine %.0f MB (%.1f B/link), settled heap %d MB",
+			i, si.Nodes, si.Links, si.Boundary,
+			float64(si.GraphBytes)/(1<<20), float64(si.GraphBytes)/float64(si.Links),
+			float64(si.EngineBytes)/(1<<20), float64(si.EngineBytes)/float64(si.Links), si.HeapMB)
+	}
 }

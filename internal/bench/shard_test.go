@@ -1,0 +1,145 @@
+package bench
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"testing"
+
+	"repro/internal/shard"
+)
+
+func TestMain(m *testing.M) {
+	// The sharded-footprint tests launch worker processes by re-execing
+	// this test binary; MaybeWorker turns those children into shard
+	// workers and never returns in them.
+	shard.MaybeWorker()
+	os.Exit(m.Run())
+}
+
+// TestShardOptionsInvariance is the -shards=1 contract: turning the shard
+// option on must change nothing outside E14's extra rows, so the
+// deterministic experiments' tables and JSON are byte-identical with and
+// without it.
+func TestShardOptionsInvariance(t *testing.T) {
+	if testing.Short() {
+		t.Skip("experiment sweeps")
+	}
+	var plain, sharded bytes.Buffer
+	if err := Run(&plain, deterministicSubset, Options{}); err != nil {
+		t.Fatal(err)
+	}
+	if err := Run(&sharded, deterministicSubset, Options{Shards: 1}); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(plain.Bytes(), sharded.Bytes()) {
+		t.Fatalf("-shards=1 changed deterministic tables:\n--- plain ---\n%s\n--- shards=1 ---\n%s",
+			plain.String(), sharded.String())
+	}
+
+	var plainJSON, shardedJSON bytes.Buffer
+	if err := Run(&plainJSON, deterministicSubset, Options{JSON: true}); err != nil {
+		t.Fatal(err)
+	}
+	if err := Run(&shardedJSON, deterministicSubset, Options{JSON: true, Shards: 1}); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(plainJSON.Bytes(), shardedJSON.Bytes()) {
+		t.Fatal("-shards=1 changed deterministic JSON records")
+	}
+
+	if err := Run(new(bytes.Buffer), nil, Options{Shards: -1}); err == nil {
+		t.Fatal("negative shards must fail Run")
+	}
+	if err := Run(new(bytes.Buffer), nil, Options{Shards: 99}); err == nil {
+		t.Fatal("out-of-range shards must fail Run")
+	}
+}
+
+// TestE14ShardRows runs E14 with the shard option and checks the extra
+// rows: one per case, labeled with the shard count, det (the DeepEqual of
+// the merged sharded Result against the serial engine) always true. K=1
+// is the degenerate full-protocol run whose byte-identity the -shards=1
+// flag promises.
+func TestE14ShardRows(t *testing.T) {
+	if testing.Short() {
+		t.Skip("engine sweeps with sharded reruns")
+	}
+	for _, k := range []int{1, 2} {
+		var buf bytes.Buffer
+		if err := Run(&buf, []string{"E14"}, Options{JSON: true, Shards: k}); err != nil {
+			t.Fatal(err)
+		}
+		var out Output
+		if err := json.Unmarshal(buf.Bytes(), &out); err != nil {
+			t.Fatal(err)
+		}
+		if len(out.Experiments) != 1 {
+			t.Fatalf("got %d experiments", len(out.Experiments))
+		}
+		shardRows := 0
+		for _, r := range out.Experiments[0].Rows {
+			ks, ok := r["shards"]
+			if !ok {
+				continue
+			}
+			shardRows++
+			if got := ks.(float64); int(got) != k {
+				t.Errorf("shard row has shards=%v, want %d", ks, k)
+			}
+			if det, _ := r["deterministic"].(bool); !det {
+				t.Errorf("shard row %v not byte-identical to the serial engine", r["graph"])
+			}
+		}
+		if shardRows == 0 {
+			t.Fatalf("E14 with Shards=%d produced no shard rows", k)
+		}
+	}
+}
+
+// TestFootprintPinsSharded is TestFootprintPins' multi-process companion:
+// with the graph split across K worker processes, each worker's
+// self-reported graph plane must still respect the per-link pin (the
+// sub-CSR view carries the same tables plus one boundary flag per link),
+// and each settled process heap must sit far below the smoke ceiling —
+// the per-process memory promise that makes K-way sharding a footprint
+// win rather than a K-fold copy.
+func TestFootprintPinsSharded(t *testing.T) {
+	if testing.Short() {
+		t.Skip("spawns worker processes")
+	}
+	const spec = "grid3d:32x32x32"
+	rep, err := shard.Run(shard.Config{
+		GraphSpec: spec,
+		Workload:  "flood",
+		Adversary: "fixed:1",
+		Shards:    2,
+		Launch:    shard.LaunchProcess,
+		CeilingMB: smokeHeapCeilingMB,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := mustSpec(spec)
+	if rep.Result.Msgs != uint64(g.Links()) {
+		t.Errorf("sharded flood msgs = %d, want %d", rep.Result.Msgs, g.Links())
+	}
+	nodes := 0
+	for i, si := range rep.Shards {
+		nodes += si.Nodes
+		if si.Links == 0 {
+			t.Fatalf("shard %d reports no links", i)
+		}
+		perLink := float64(si.GraphBytes) / float64(si.Links)
+		if perLink > pinGraphBytesPerLink*footprintHeadroom {
+			t.Errorf("shard %d graph plane %.2f B/link, pin %.1f (+10%% ceiling %.1f)",
+				i, perLink, pinGraphBytesPerLink, pinGraphBytesPerLink*footprintHeadroom)
+		}
+		if si.HeapMB <= 0 || si.HeapMB > smokeHeapCeilingMB {
+			t.Errorf("shard %d settled heap %d MB outside (0, %d]", i, si.HeapMB, smokeHeapCeilingMB)
+		}
+	}
+	if nodes != g.N() {
+		t.Errorf("shards hold %d nodes, graph has %d", nodes, g.N())
+	}
+}

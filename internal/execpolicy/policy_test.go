@@ -135,3 +135,22 @@ func TestLockstepMulti(t *testing.T) {
 		}
 	})
 }
+
+func TestAutoShards(t *testing.T) {
+	cases := []struct {
+		procs, links, want int
+	}{
+		{8, 0, 1},
+		{8, AutoShardLinks - 1, 1},                   // below the gate: never shard
+		{8, AutoShardLinks, 2},                       // at the gate: 4M links = 2 shards
+		{8, 4 * AutoShardLinksPerShard, 4},           // grows with the graph
+		{2, 8 * AutoShardLinksPerShard, 2},           // clamped to processors
+		{64, 64 * AutoShardLinksPerShard, MaxShards}, // clamped to the process cap
+		{1, 1 << 30, 1},                              // single core: sharding never wins
+	}
+	for _, c := range cases {
+		if got := AutoShards(c.procs, c.links); got != c.want {
+			t.Errorf("AutoShards(procs=%d, links=%d) = %d, want %d", c.procs, c.links, got, c.want)
+		}
+	}
+}

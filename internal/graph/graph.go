@@ -68,6 +68,15 @@ type Graph struct {
 	n     int
 	final bool
 
+	// Sub-view window (Subrange): the CSR arrays cover only the nodes
+	// [nodeBase, nodeBase+nLocal) and their out-links, with local LinkIDs.
+	// Whole graphs have nodeBase == 0 and nLocal == n; the sub flag
+	// distinguishes a genuine sub-view from a whole graph (whose nLocal
+	// field is simply never set).
+	sub      bool
+	nodeBase NodeID
+	nLocal   int
+
 	// Edge table. weights is nil until the first nonzero weight.
 	edgeU, edgeV []NodeID
 	weights      []int64
@@ -76,8 +85,8 @@ type Graph struct {
 	adj [][]Neighbor
 
 	// CSR arrays, built by Finalize. Node v's adjacency row is
-	// flat[off[v]:off[v+1]], so the LinkID of adjacency entry i of node v
-	// is off[v]+i.
+	// flat[off[v-nodeBase]:off[v-nodeBase+1]], so the LinkID of adjacency
+	// entry i of node v is off[v-nodeBase]+i.
 	flat []Neighbor
 	off  []int32
 	rev  []LinkID // LinkID -> the opposite-direction link
@@ -94,8 +103,26 @@ func New(n int) *Graph {
 	return &Graph{n: n, adj: make([][]Neighbor, n)}
 }
 
-// N returns the number of nodes.
+// N returns the number of nodes. For a Subrange view this is still the
+// node count of the underlying whole graph: NodeIDs stay global.
 func (g *Graph) N() int { return g.n }
+
+// NLocal returns the number of nodes whose adjacency rows this graph
+// holds: N() for a whole graph, hi-lo for a Subrange view.
+func (g *Graph) NLocal() int {
+	if g.sub {
+		return g.nLocal
+	}
+	return g.n
+}
+
+// NodeBase returns the first node id covered by this graph's CSR arrays
+// (0 for whole graphs). A Subrange view holds rows for the global nodes
+// [NodeBase(), NodeBase()+NLocal()).
+func (g *Graph) NodeBase() NodeID { return g.nodeBase }
+
+// Sub reports whether this graph is a Subrange view of a larger graph.
+func (g *Graph) Sub() bool { return g.sub }
 
 // M returns the number of edges.
 func (g *Graph) M() int { return len(g.edgeU) }
@@ -216,6 +243,7 @@ func (g *Graph) Finalize() *Graph {
 // returned slice must not be mutated.
 func (g *Graph) Neighbors(v NodeID) []Neighbor {
 	if g.final {
+		v -= g.nodeBase
 		return g.flat[g.off[v]:g.off[v+1]]
 	}
 	return g.adj[v]
@@ -224,6 +252,7 @@ func (g *Graph) Neighbors(v NodeID) []Neighbor {
 // Degree returns the degree of v.
 func (g *Graph) Degree(v NodeID) int {
 	if g.final {
+		v -= g.nodeBase
 		return int(g.off[v+1] - g.off[v])
 	}
 	return len(g.adj[v])
@@ -295,7 +324,7 @@ func (g *Graph) LinkBetween(u, v NodeID) LinkID {
 	if i < 0 {
 		return -1
 	}
-	return LinkID(int(g.off[u]) + i)
+	return LinkID(int(g.off[u-g.nodeBase]) + i)
 }
 
 // LinkOffset returns the first LinkID out of v; v's out-links are the
@@ -305,7 +334,7 @@ func (g *Graph) LinkOffset(v NodeID) LinkID {
 	if !g.final {
 		panic("graph: LinkOffset before Finalize")
 	}
-	return LinkID(g.off[v])
+	return LinkID(g.off[v-g.nodeBase])
 }
 
 // LinkSrc returns the source node of directed link l: the unique v with
@@ -316,7 +345,7 @@ func (g *Graph) LinkSrc(l LinkID) NodeID {
 	if !g.final {
 		panic("graph: LinkSrc before Finalize")
 	}
-	lo, hi := 0, g.n-1
+	lo, hi := 0, g.NLocal()-1
 	for lo < hi {
 		mid := int(uint(lo+hi+1) >> 1)
 		if g.off[mid] <= int32(l) {
@@ -325,7 +354,7 @@ func (g *Graph) LinkSrc(l LinkID) NodeID {
 			hi = mid - 1
 		}
 	}
-	return NodeID(lo)
+	return NodeID(lo) + g.nodeBase
 }
 
 // LinkDst returns the destination node of directed link l.

@@ -1,0 +1,70 @@
+package shard
+
+import (
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+	"testing"
+)
+
+// BenchmarkShardSweep measures the multi-process engine across shard
+// counts. The default graph is a small smoke so `go test -bench` stays
+// cheap; the committed BENCH_7 sweep sets
+//
+//	SHARD_BENCH_SPEC=grid3d:100x100x100 SHARD_BENCH_SHARDS=1,2,4,8
+//
+// (the million-node smoke graph; see `make bench-shard`). Reported
+// metrics break each
+// run's wall clock into the coordinator's ledger: worker execution
+// (critical path), barrier/communication wait, and merge time, all
+// per-window, plus startup (process spawn + graph generation).
+func BenchmarkShardSweep(b *testing.B) {
+	spec := os.Getenv("SHARD_BENCH_SPEC")
+	if spec == "" {
+		spec = "grid3d:16x16x16"
+	}
+	shards := []int{1, 2}
+	if s := os.Getenv("SHARD_BENCH_SHARDS"); s != "" {
+		shards = shards[:0]
+		for _, f := range strings.Split(s, ",") {
+			k, err := strconv.Atoi(strings.TrimSpace(f))
+			if err != nil {
+				b.Fatalf("SHARD_BENCH_SHARDS: %v", err)
+			}
+			shards = append(shards, k)
+		}
+	}
+	for _, k := range shards {
+		b.Run(fmt.Sprintf("spec=%s/shards=%d", spec, k), func(b *testing.B) {
+			var last *Report
+			for i := 0; i < b.N; i++ {
+				rep, err := Run(Config{
+					GraphSpec: spec,
+					Workload:  "flood",
+					// fixed:1 gives full-unit lookahead (~300 windows on the
+					// million-node grid); random's 2^-20 MinDelay would
+					// degenerate every window to a handful of events and
+					// measure only barrier overhead.
+					Adversary: "fixed:1",
+					Shards:    k,
+					Launch:    LaunchProcess,
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+				last = rep
+			}
+			st := last.Stats
+			b.ReportMetric(float64(st.TotalEvents)*float64(b.N)/(b.Elapsed().Seconds()*1e6), "events/µs")
+			b.ReportMetric(float64(st.Windows), "windows")
+			if st.Windows > 0 {
+				b.ReportMetric(float64(st.WorkerNs)/float64(st.Windows), "workerNs/win")
+				b.ReportMetric(float64(st.CommNs)/float64(st.Windows), "commNs/win")
+				b.ReportMetric(float64(st.MergeNs)/float64(st.Windows), "mergeNs/win")
+			}
+			b.ReportMetric(float64(st.StartupNs)/1e6, "startupMs")
+			b.ReportMetric(float64(st.Frames), "frames")
+		})
+	}
+}

@@ -1,0 +1,632 @@
+package shard
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"math"
+	"net"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"runtime"
+	"time"
+
+	"repro/internal/async"
+	"repro/internal/execpolicy"
+	"repro/internal/graph"
+	"repro/internal/outval"
+	"repro/internal/wire"
+)
+
+// Launch selects how workers come to life.
+type Launch int
+
+const (
+	// LaunchInProc serves every worker on a goroutine in this process,
+	// over real unix sockets — the full protocol with none of the process
+	// management, which is what determinism tests race-detect.
+	LaunchInProc Launch = iota
+	// LaunchProcess re-execs this binary once per shard (MaybeWorker in
+	// the child's main turns it into a worker).
+	LaunchProcess
+)
+
+// Config parameterizes one sharded run.
+type Config struct {
+	// GraphSpec is the graph.FromSpec string every process builds
+	// independently — topologies ship as generator programs, not bytes.
+	GraphSpec string
+	// Graph optionally pre-builds the topology (LaunchInProc only, for
+	// tests over graphs with no spec string). GraphSpec wins when both
+	// are set; LaunchProcess requires GraphSpec.
+	Graph *graph.Graph
+	// Shards is K; 0 picks execpolicy.AutoShards.
+	Shards int
+	// Workload names a registered workload (see NewWorkload).
+	Workload string
+	// Adversary is the delay-adversary spec (see ParseAdversary).
+	Adversary string
+	// Sources are the workload's initiating nodes (default {0}).
+	Sources []graph.NodeID
+	// SegWords sizes segment payloads for segment-carrying workloads.
+	SegWords int
+	// KeepTrace records delivery traces (merged across shards).
+	KeepTrace bool
+	// Launch picks goroutine or process workers.
+	Launch Launch
+	// CeilingMB fails the run if any worker's settled heap exceeds it
+	// (LaunchProcess only; in-process workers share one heap). 0 = off.
+	CeilingMB int64
+	// WorkerArgs, when set, provides extra argv for spawned workers (the
+	// environment variables are always set; cmd/shardsim passes
+	// ["-shard-worker"] so process listings identify workers).
+	WorkerArgs []string
+}
+
+// ShardInfo is one worker's self-report.
+type ShardInfo struct {
+	Nodes, Links, Boundary int
+	Steps                  uint64
+	SegLive                int
+	// GraphBytes is the exact retained size of the shard's sub-CSR view
+	// (closed form). EngineBytes/HeapMB are settled-heap probes, only
+	// meaningful for process workers (0 in-process).
+	GraphBytes  int64
+	EngineBytes int64
+	HeapMB      int64
+}
+
+// Stats is the coordinator's accounting of where wall-clock went.
+type Stats struct {
+	Shards      int
+	Windows     uint64
+	Frames      uint64
+	FrameBytes  uint64
+	CrossLinks  int
+	TotalEvents uint64
+	// StartupNs spans launch to the last init flush: process spawn, graph
+	// generation, partition carving, handler Init.
+	StartupNs int64
+	// WorkerNs sums each window's slowest worker's execution time —
+	// the critical path spent simulating.
+	WorkerNs int64
+	// CommNs sums each window's barrier overhead: time from OPEN writes
+	// to the last FLUSH arrival, minus that window's WorkerNs share.
+	CommNs int64
+	// MergeNs sums coordinator-side merge + routing + OPEN serialization.
+	MergeNs int64
+}
+
+// Report is a completed sharded run.
+type Report struct {
+	Result async.Result
+	Stats  Stats
+	Shards []ShardInfo
+	Cuts   []graph.NodeID
+}
+
+// Run executes cfg to completion and merges the shards' executions. The
+// merged Result is byte-identical to running the same workload through
+// the serial single-process engine.
+func Run(cfg Config) (*Report, error) {
+	full := cfg.Graph
+	if cfg.GraphSpec != "" {
+		g, err := graph.FromSpec(cfg.GraphSpec)
+		if err != nil {
+			return nil, err
+		}
+		full = g
+	}
+	if full == nil {
+		return nil, fmt.Errorf("shard: config names no graph")
+	}
+	if cfg.Launch == LaunchProcess && cfg.GraphSpec == "" {
+		return nil, fmt.Errorf("shard: process workers need a GraphSpec to rebuild the topology")
+	}
+	k := cfg.Shards
+	if k == 0 {
+		k = execpolicy.AutoShards(runtime.GOMAXPROCS(0), full.Links())
+	}
+	if k < 1 {
+		return nil, fmt.Errorf("shard: %d shards", k)
+	}
+	if k > full.N() {
+		k = full.N()
+	}
+	if _, err := ParseAdversary(cfg.Adversary); err != nil {
+		return nil, err
+	}
+	if _, err := NewWorkload(cfg.Workload, WorkloadConfig{Sources: cfg.Sources, SegWords: cfg.SegWords}); err != nil {
+		return nil, err
+	}
+	part := graph.PartitionContiguous(full, k)
+	k = part.K()
+
+	c := &coord{
+		cfg:  cfg,
+		part: part,
+		stats: Stats{
+			Shards:     k,
+			CrossLinks: part.CrossLinks(full),
+		},
+	}
+	return c.run(full)
+}
+
+// coord is the coordinator's per-run state.
+type coord struct {
+	cfg   Config
+	part  graph.Partition
+	stats Stats
+
+	conns []workerConn
+}
+
+// workerConn is one connected worker.
+type workerConn struct {
+	conn net.Conn
+	r    *bufio.Reader
+	w    *bufio.Writer
+	buf  []byte // receive buffer, reused across windows
+
+	// Decoded current flush.
+	hasMin  bool
+	minT    float64
+	execNs  uint64
+	entries []flushEntry
+
+	// OPEN under construction.
+	grants  []uint64
+	inbound []byte
+	inCount uint32
+
+	err error // in-proc worker outcome
+}
+
+// flushEntry is one staged schedule call as received; frame views the
+// connection's receive buffer and is copied during routing.
+type flushEntry struct {
+	trigT   float64
+	trigSeq uint64
+	evT     float64
+	owner   graph.NodeID
+	frame   []byte // nil for local entries
+}
+
+func (c *coord) run(full *graph.Graph) (rep *Report, err error) {
+	dir, err := os.MkdirTemp("", "shardsim")
+	if err != nil {
+		return nil, err
+	}
+	defer os.RemoveAll(dir)
+	sockPath := filepath.Join(dir, "coord.sock")
+	ln, err := net.Listen("unix", sockPath)
+	if err != nil {
+		return nil, err
+	}
+	defer ln.Close()
+
+	k := c.part.K()
+	c.conns = make([]workerConn, k)
+	t0 := time.Now()
+
+	// Launch. In-process workers share the already-built graph read-only;
+	// process workers regenerate from the spec. Any launch or serve error
+	// surfaces through the protocol reads below (a dead worker's socket
+	// read fails), and the deferred cleanup reaps children.
+	var procs []*exec.Cmd
+	defer func() {
+		for _, p := range procs {
+			if p.Process != nil {
+				p.Process.Kill()
+				p.Wait()
+			}
+		}
+	}()
+	if c.cfg.Launch == LaunchProcess {
+		exe, err := os.Executable()
+		if err != nil {
+			return nil, err
+		}
+		for i := 0; i < k; i++ {
+			cmd := exec.Command(exe, c.cfg.WorkerArgs...)
+			cmd.Env = append(os.Environ(),
+				EnvSocket+"="+sockPath,
+				fmt.Sprintf("%s=%d", EnvIndex, i))
+			cmd.Stderr = os.Stderr
+			if err := cmd.Start(); err != nil {
+				return nil, err
+			}
+			procs = append(procs, cmd)
+		}
+	} else {
+		for i := 0; i < k; i++ {
+			go func(i int) {
+				conn, derr := net.Dial("unix", sockPath)
+				if derr != nil {
+					return
+				}
+				defer conn.Close()
+				if serr := serveWorker(conn, i, full, false); serr != nil {
+					// Surfaces as a protocol read error coordinator-side;
+					// keep the cause for the error message.
+					c.conns[i].err = serr
+				}
+			}(i)
+		}
+	}
+
+	// Accept and identify the K workers.
+	type accepted struct {
+		conn net.Conn
+		r    *bufio.Reader
+		idx  int
+		err  error
+	}
+	if dl, ok := ln.(*net.UnixListener); ok {
+		dl.SetDeadline(time.Now().Add(60 * time.Second))
+	}
+	for i := 0; i < k; i++ {
+		conn, aerr := ln.Accept()
+		if aerr != nil {
+			return nil, c.workerError(fmt.Errorf("shard: accepting workers: %v", aerr))
+		}
+		r := bufio.NewReaderSize(conn, 1<<16)
+		typ, payload, merr := readMsg(r, nil)
+		if merr != nil || typ != msgJoin || len(payload) != 4 {
+			conn.Close()
+			return nil, c.workerError(fmt.Errorf("shard: bad JOIN handshake (%v)", merr))
+		}
+		idx := int(uint32(payload[0]) | uint32(payload[1])<<8 | uint32(payload[2])<<16 | uint32(payload[3])<<24)
+		if idx < 0 || idx >= k || c.conns[idx].conn != nil {
+			conn.Close()
+			return nil, fmt.Errorf("shard: worker joined with bad index %d", idx)
+		}
+		c.conns[idx].conn = conn
+		c.conns[idx].r = r
+		c.conns[idx].w = bufio.NewWriterSize(conn, 1<<16)
+	}
+	defer func() {
+		for i := range c.conns {
+			if c.conns[i].conn != nil {
+				c.conns[i].conn.Close()
+			}
+		}
+	}()
+
+	// HELLO.
+	hcfg := hello{
+		GraphSpec: c.cfg.GraphSpec,
+		Cuts:      c.part.Cuts(),
+		Adversary: c.cfg.Adversary,
+		Workload:  c.cfg.Workload,
+		Sources:   sortNodeIDs(append([]graph.NodeID(nil), c.cfg.Sources...)),
+		SegWords:  c.cfg.SegWords,
+		KeepTrace: c.cfg.KeepTrace,
+	}
+	for i := range c.conns {
+		hcfg.Self = i
+		payload, jerr := json.Marshal(&hcfg)
+		if jerr != nil {
+			return nil, jerr
+		}
+		if werr := writeMsg(c.conns[i].w, msgHello, payload); werr != nil {
+			return nil, c.workerError(werr)
+		}
+	}
+
+	// Window protocol: alternate (read all flushes) / (merge, open).
+	nextSeq := uint64(0)
+	windowStart := time.Time{}
+	first := true
+	for {
+		maxExec := uint64(0)
+		for i := range c.conns {
+			if err := c.readFlush(&c.conns[i]); err != nil {
+				return nil, c.workerError(err)
+			}
+			if c.conns[i].execNs > maxExec {
+				maxExec = c.conns[i].execNs
+			}
+		}
+		if first {
+			c.stats.StartupNs = int64(time.Since(t0))
+			first = false
+		} else {
+			wait := int64(time.Since(windowStart))
+			c.stats.WorkerNs += int64(maxExec)
+			if over := wait - int64(maxExec); over > 0 {
+				c.stats.CommNs += over
+			}
+		}
+
+		mergeT := time.Now()
+		wStart, pending := c.merge(&nextSeq)
+		if !pending {
+			break
+		}
+		for i := range c.conns {
+			if err := c.writeOpen(&c.conns[i], wStart); err != nil {
+				return nil, c.workerError(err)
+			}
+		}
+		c.stats.MergeNs += int64(time.Since(mergeT))
+		c.stats.Windows++
+		windowStart = time.Now()
+	}
+
+	// FINISH + merge results.
+	for i := range c.conns {
+		if err := writeMsg(c.conns[i].w, msgFinish, nil); err != nil {
+			return nil, c.workerError(err)
+		}
+	}
+	rep = &Report{Cuts: c.part.Cuts(), Shards: make([]ShardInfo, k)}
+	var traces [][]async.TraceEntry
+	for i := range c.conns {
+		if err := c.readResult(&c.conns[i], rep, i, &traces); err != nil {
+			return nil, c.workerError(err)
+		}
+	}
+	if c.cfg.KeepTrace {
+		rep.Result.Trace = mergeTraces(traces)
+	}
+	rep.Stats = c.stats
+	for i := range rep.Shards {
+		si := &rep.Shards[i]
+		rep.Stats.TotalEvents += si.Steps
+		if si.SegLive != 0 {
+			return nil, fmt.Errorf("shard: worker %d leaked %d arena segments", i, si.SegLive)
+		}
+		if c.cfg.CeilingMB > 0 && c.cfg.Launch == LaunchProcess && si.HeapMB > c.cfg.CeilingMB {
+			return nil, fmt.Errorf("shard: worker %d settled heap %d MB exceeds %d MB ceiling",
+				i, si.HeapMB, c.cfg.CeilingMB)
+		}
+	}
+	if c.cfg.Launch == LaunchProcess {
+		for _, p := range procs {
+			if werr := p.Wait(); werr != nil {
+				return nil, fmt.Errorf("shard: worker exited: %v", werr)
+			}
+		}
+		procs = nil
+	}
+	return rep, nil
+}
+
+// workerError augments a protocol error with any in-process worker cause.
+func (c *coord) workerError(err error) error {
+	for i := range c.conns {
+		if c.conns[i].err != nil {
+			return fmt.Errorf("%v (worker %d: %v)", err, i, c.conns[i].err)
+		}
+	}
+	return err
+}
+
+// readFlush decodes one worker's flush into its connection state.
+func (c *coord) readFlush(wc *workerConn) error {
+	typ, payload, err := readMsg(wc.r, wc.buf)
+	if err != nil {
+		return err
+	}
+	wc.buf = payload[:0]
+	if typ != msgFlush {
+		return fmt.Errorf("shard: expected FLUSH, got message type %d", typ)
+	}
+	rd := reader{b: payload}
+	wc.hasMin = rd.u8() != 0
+	wc.minT = rd.f64()
+	wc.execNs = rd.u64()
+	n := int(rd.u32())
+	wc.entries = wc.entries[:0]
+	for i := 0; i < n; i++ {
+		e := flushEntry{
+			trigT:   rd.f64(),
+			trigSeq: rd.u64(),
+			evT:     rd.f64(),
+			owner:   graph.NodeID(rd.i32()),
+		}
+		if rd.u8() != 0 {
+			e.frame = rd.take(int(rd.u32()))
+		}
+		if rd.bad {
+			break
+		}
+		wc.entries = append(wc.entries, e)
+	}
+	return rd.err("FLUSH")
+}
+
+// merge k-way merges the flushed logs by (trigT, trigSeq) — the serial
+// engine's schedule-call order — granting seqs in merge order and routing
+// remote entries' frames to their destination shard. Returns the next
+// window's start (the global minimum pending timestamp) and whether any
+// event is pending anywhere.
+func (c *coord) merge(nextSeq *uint64) (wStart float64, pending bool) {
+	for i := range c.conns {
+		wc := &c.conns[i]
+		wc.grants = wc.grants[:0]
+		wc.inbound = wc.inbound[:0]
+		wc.inCount = 0
+	}
+	cur := make([]int, len(c.conns))
+	newMin := math.Inf(1)
+	for {
+		best := -1
+		for i := range c.conns {
+			es := c.conns[i].entries
+			if cur[i] == len(es) {
+				continue
+			}
+			if best < 0 || entryLess(&es[cur[i]], &c.conns[best].entries[cur[best]]) {
+				best = i
+			}
+		}
+		if best < 0 {
+			break
+		}
+		e := &c.conns[best].entries[cur[best]]
+		cur[best]++
+		seq := *nextSeq
+		*nextSeq++
+		c.conns[best].grants = append(c.conns[best].grants, seq)
+		if e.evT < newMin {
+			newMin = e.evT
+		}
+		if e.frame != nil {
+			dst := &c.conns[c.part.Owner(e.owner)]
+			dst.inbound = appendU64(dst.inbound, seq)
+			dst.inbound = appendF64(dst.inbound, e.evT)
+			dst.inbound = appendU32(dst.inbound, uint32(len(e.frame)))
+			dst.inbound = append(dst.inbound, e.frame...)
+			dst.inCount++
+			c.stats.Frames++
+			c.stats.FrameBytes += uint64(len(e.frame))
+		}
+	}
+	wStart = newMin
+	for i := range c.conns {
+		if wc := &c.conns[i]; wc.hasMin && wc.minT < wStart {
+			wStart = wc.minT
+		}
+	}
+	return wStart, !math.IsInf(wStart, 1)
+}
+
+func entryLess(a, b *flushEntry) bool {
+	if a.trigT != b.trigT {
+		return a.trigT < b.trigT
+	}
+	return a.trigSeq < b.trigSeq
+}
+
+// writeOpen sends one worker its grants and routed inbound events.
+func (c *coord) writeOpen(wc *workerConn, wStart float64) error {
+	out := appendF64(nil, wStart)
+	out = appendU32(out, uint32(len(wc.grants)))
+	for _, s := range wc.grants {
+		out = appendU64(out, s)
+	}
+	out = appendU32(out, wc.inCount)
+	out = append(out, wc.inbound...)
+	return writeMsg(wc.w, msgOpen, out)
+}
+
+// readResult decodes one worker's RESULT and folds it into the report.
+func (c *coord) readResult(wc *workerConn, rep *Report, idx int, traces *[][]async.TraceEntry) error {
+	typ, payload, err := readMsg(wc.r, wc.buf)
+	if err != nil {
+		return err
+	}
+	wc.buf = payload[:0]
+	if typ != msgResult {
+		return fmt.Errorf("shard: expected RESULT, got message type %d", typ)
+	}
+	rd := reader{b: payload}
+	res := &rep.Result
+	if t := rd.f64(); t > res.Time {
+		res.Time = t
+	}
+	if q := rd.f64(); q > res.QuiesceTime {
+		res.QuiesceTime = q
+	}
+	res.Msgs += rd.u64()
+	res.Acks += rd.u64()
+	si := &rep.Shards[idx]
+	si.Steps = rd.u64()
+	si.SegLive = int(rd.u64())
+	si.Nodes = int(rd.u32())
+	si.Links = int(rd.u32())
+	si.Boundary = int(rd.u32())
+	si.GraphBytes = int64(rd.u64())
+	si.EngineBytes = int64(rd.u64())
+	si.HeapMB = int64(rd.u64())
+	np := int(rd.u32())
+	for i := 0; i < np; i++ {
+		p := async.Proto(rd.i32())
+		n := rd.u64()
+		if rd.bad {
+			break
+		}
+		if res.PerProto == nil {
+			res.PerProto = make(map[async.Proto]uint64)
+		}
+		res.PerProto[p] += n
+	}
+	no := int(rd.u32())
+	for i := 0; i < no; i++ {
+		id := graph.NodeID(rd.i32())
+		raw := rd.take(wire.BodyWireSize)
+		if rd.bad {
+			break
+		}
+		if res.Outputs == nil {
+			res.Outputs = make(map[graph.NodeID]any)
+		}
+		if _, dup := res.Outputs[id]; dup {
+			return fmt.Errorf("shard: node %d reported an output from two shards", id)
+		}
+		res.Outputs[id] = outval.DecodeSlot(wire.DecodeBody(raw), nil)
+	}
+	nt := int(rd.u32())
+	var tr []async.TraceEntry
+	if nt > 0 {
+		tr = make([]async.TraceEntry, 0, nt)
+	}
+	for i := 0; i < nt; i++ {
+		te := async.TraceEntry{
+			T:    rd.f64(),
+			Seq:  rd.u64(),
+			From: graph.NodeID(rd.i32()),
+			To:   graph.NodeID(rd.i32()),
+		}
+		te.Msg.Proto = async.Proto(rd.i32())
+		te.Msg.Stage = int(rd.i32())
+		raw := rd.take(wire.BodyWireSize)
+		if rd.bad {
+			break
+		}
+		te.Msg.Body = wire.DecodeBody(raw)
+		tr = append(tr, te)
+	}
+	if c.cfg.KeepTrace {
+		*traces = append(*traces, tr)
+	}
+	return rd.err("RESULT")
+}
+
+// mergeTraces k-way merges per-shard delivery traces by (T, Seq); shards
+// record their local deliveries in that order already.
+func mergeTraces(traces [][]async.TraceEntry) []async.TraceEntry {
+	total := 0
+	for _, tr := range traces {
+		total += len(tr)
+	}
+	out := make([]async.TraceEntry, 0, total)
+	cur := make([]int, len(traces))
+	for {
+		best := -1
+		for i, tr := range traces {
+			if cur[i] == len(tr) {
+				continue
+			}
+			if best < 0 || traceEntryLess(&tr[cur[i]], &traces[best][cur[best]]) {
+				best = i
+			}
+		}
+		if best < 0 {
+			return out
+		}
+		out = append(out, traces[best][cur[best]])
+		cur[best]++
+	}
+}
+
+func traceEntryLess(a, b *async.TraceEntry) bool {
+	if a.T != b.T {
+		return a.T < b.T
+	}
+	return a.Seq < b.Seq
+}

@@ -1,0 +1,319 @@
+package shard
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"net"
+	"os"
+	"runtime"
+	"strconv"
+	"time"
+
+	"repro/internal/async"
+	"repro/internal/graph"
+	"repro/internal/wire"
+)
+
+// Worker entry points. A worker process is a re-exec of the coordinator's
+// own binary: the coordinator sets EnvSocket/EnvIndex and the child's
+// main calls MaybeWorker before anything else. Test binaries hook the
+// same pair in TestMain, and cmd/shardsim additionally accepts the
+// -shard-worker flag form for debuggability (ps shows what the process
+// is).
+
+// EnvSocket names the coordinator's unix socket in a worker's
+// environment; its presence is what makes a process a worker.
+const EnvSocket = "REPRO_SHARD_SOCKET"
+
+// EnvIndex is the worker's shard index.
+const EnvIndex = "REPRO_SHARD_INDEX"
+
+// MaybeWorker turns the current process into a shard worker when the
+// environment says so, never returning in that case (the process exits
+// when its shard completes). A no-op otherwise.
+func MaybeWorker() {
+	sock := os.Getenv(EnvSocket)
+	if sock == "" {
+		return
+	}
+	idx, err := strconv.Atoi(os.Getenv(EnvIndex))
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "shard worker: bad %s: %v\n", EnvIndex, err)
+		os.Exit(1)
+	}
+	if err := RunWorker(sock, idx); err != nil {
+		fmt.Fprintf(os.Stderr, "shard worker %d: %v\n", idx, err)
+		os.Exit(1)
+	}
+	os.Exit(0)
+}
+
+// RunWorker dials the coordinator and serves one shard to completion.
+func RunWorker(socket string, idx int) error {
+	conn, err := net.Dial("unix", socket)
+	if err != nil {
+		return err
+	}
+	defer conn.Close()
+	return serveWorker(conn, idx, nil, true)
+}
+
+// hello is the coordinator→worker configuration message (JSON: it is
+// sent once, so schema clarity beats byte-shaving).
+type hello struct {
+	GraphSpec string
+	Cuts      []graph.NodeID
+	Self      int
+	Adversary string
+	Workload  string
+	Sources   []graph.NodeID
+	SegWords  int
+	KeepTrace bool
+}
+
+// settledHeap is the worker-side twin of the bench probe: heap bytes
+// retained after consecutive collections.
+func settledHeap() int64 {
+	runtime.GC()
+	runtime.GC()
+	var ms runtime.MemStats
+	runtime.ReadMemStats(&ms)
+	return int64(ms.HeapAlloc)
+}
+
+// serveWorker runs the worker side of the window protocol. full, when
+// non-nil, is a pre-built whole graph (in-process launch: the
+// coordinator's graph is shared read-only instead of re-generated);
+// ownProcess enables the settled-heap probes, which are only meaningful
+// when this worker is alone on its heap.
+func serveWorker(conn net.Conn, idx int, full *graph.Graph, ownProcess bool) error {
+	r := bufio.NewReaderSize(conn, 1<<16)
+	w := bufio.NewWriterSize(conn, 1<<16)
+
+	if err := writeMsg(w, msgJoin, appendU32(nil, uint32(idx))); err != nil {
+		return err
+	}
+	typ, payload, err := readMsg(r, nil)
+	if err != nil {
+		return err
+	}
+	if typ != msgHello {
+		return fmt.Errorf("shard: worker expected HELLO, got message type %d", typ)
+	}
+	var cfg hello
+	if err := json.Unmarshal(payload, &cfg); err != nil {
+		return fmt.Errorf("shard: bad HELLO: %v", err)
+	}
+	if cfg.Self != idx {
+		return fmt.Errorf("shard: HELLO for shard %d reached worker %d", cfg.Self, idx)
+	}
+
+	startNs := time.Now()
+	if full == nil {
+		full, err = graph.FromSpec(cfg.GraphSpec)
+		if err != nil {
+			return fmt.Errorf("shard: worker %d: %v", idx, err)
+		}
+	}
+	part := graph.PartitionFromCuts(cfg.Cuts)
+	if idx >= part.K() {
+		return fmt.Errorf("shard: worker index %d outside %d-way partition", idx, part.K())
+	}
+	sub := full
+	if part.K() > 1 {
+		lo, hi := part.Range(idx)
+		sub = full.Subrange(lo, hi)
+		full = nil // the whole graph was transient scaffolding; let it go
+	}
+	adv, err := ParseAdversary(cfg.Adversary)
+	if err != nil {
+		return err
+	}
+	mk, err := NewWorkload(cfg.Workload, WorkloadConfig{Sources: cfg.Sources, SegWords: cfg.SegWords})
+	if err != nil {
+		return err
+	}
+	graphHeap := int64(0)
+	if ownProcess {
+		graphHeap = settledHeap()
+	}
+	sim := async.New(sub, adv, mk)
+	if cfg.KeepTrace {
+		sim.KeepTrace()
+	}
+	sim.BeginShard()
+
+	// The window loop. remoteFlags stays aligned with the staged log
+	// between flush and grant; out/scratch are reused across windows.
+	var (
+		out     []byte
+		scratch []byte
+		seqs    []uint64
+		remote  []bool
+		inBuf   []byte
+	)
+	sim.ShardInit()
+	// The first flush's exec time covers startup + graph build + Init so
+	// the coordinator can report startup separately from steady windows.
+	execNs := uint64(time.Since(startNs))
+	for {
+		// FLUSH: wheel minimum, exec time, then the staged log.
+		out = out[:0]
+		minT, hasMin := sim.ShardPendingMinT()
+		if hasMin {
+			out = appendU8(out, 1)
+		} else {
+			out = appendU8(out, 0)
+		}
+		out = appendF64(out, minT)
+		out = appendU64(out, execNs)
+		n := sim.ShardStagedCount()
+		out = appendU32(out, uint32(n))
+		remote = remote[:0]
+		for i := 0; i < n; i++ {
+			v := sim.ShardStaged(i)
+			isRemote := part.Owner(v.Owner) != idx
+			remote = append(remote, isRemote)
+			out = appendF64(out, v.TrigT)
+			out = appendU64(out, v.TrigSeq)
+			out = appendF64(out, v.T)
+			out = appendI32(out, int32(v.Owner))
+			if isRemote {
+				out = appendU8(out, 1)
+				scratch = appendEventFrame(scratch[:0], v.Kind, v.Src, v.Dst, v.Msg, sim.Arena())
+				out = appendU32(out, uint32(len(scratch)))
+				out = append(out, scratch...)
+				// The frame now owns the payload; the local segment's
+				// lifecycle ends here, exactly where the serial engine's
+				// ack-side Release would have been reached remotely.
+				sim.Arena().Release(v.Msg.Body.Seg)
+			} else {
+				out = appendU8(out, 0)
+			}
+		}
+		if err := writeMsg(w, msgFlush, out); err != nil {
+			return err
+		}
+
+		typ, payload, err := readMsg(r, inBuf)
+		if err != nil {
+			return err
+		}
+		inBuf = payload[:0]
+		if typ == msgFinish {
+			break
+		}
+		if typ != msgOpen {
+			return fmt.Errorf("shard: worker expected OPEN/FINISH, got message type %d", typ)
+		}
+		rd := reader{b: payload}
+		wStart := rd.f64()
+		ng := int(rd.u32())
+		seqs = seqs[:0]
+		for i := 0; i < ng; i++ {
+			seqs = append(seqs, rd.u64())
+		}
+		if rd.bad {
+			return rd.err("OPEN")
+		}
+		sim.ShardGrant(seqs, remote)
+		ni := int(rd.u32())
+		for i := 0; i < ni; i++ {
+			seq := rd.u64()
+			t := rd.f64()
+			fl := int(rd.u32())
+			fb := rd.take(fl)
+			if rd.bad {
+				return rd.err("OPEN")
+			}
+			kind, src, dst, m, used, err := decodeEventFrame(fb, sim.Arena())
+			if err != nil {
+				return err
+			}
+			if used != fl {
+				return fmt.Errorf("shard: inbound frame has %d trailing bytes", fl-used)
+			}
+			sim.ShardInject(seq, t, kind, src, dst, m)
+		}
+		if err := rd.err("OPEN"); err != nil {
+			return err
+		}
+		t0 := time.Now()
+		sim.ShardRunWindow(wStart)
+		execNs = uint64(time.Since(t0))
+	}
+
+	// RESULT: counters, footprint, outputs, trace.
+	res := sim.ShardResult()
+	engineHeap := int64(0)
+	heapMB := int64(0)
+	if ownProcess {
+		settled := settledHeap()
+		engineHeap = settled - graphHeap
+		heapMB = (settled + (1 << 20) - 1) >> 20 // round up: a live process is never 0 MB
+	}
+	out = out[:0]
+	out = appendF64(out, res.Time)
+	out = appendF64(out, res.QuiesceTime)
+	out = appendU64(out, res.Msgs)
+	out = appendU64(out, res.Acks)
+	out = appendU64(out, sim.ShardSteps())
+	out = appendU64(out, uint64(sim.Arena().Live()))
+	out = appendU32(out, uint32(sub.NLocal()))
+	out = appendU32(out, uint32(sub.Links()))
+	out = appendU32(out, uint32(len(sub.BoundaryLinks())))
+	out = appendU64(out, uint64(sub.Footprint()))
+	out = appendU64(out, uint64(engineHeap))
+	out = appendU64(out, uint64(heapMB))
+	out = appendU32(out, uint32(len(res.PerProto)))
+	for _, p := range sortedProtos(res.PerProto) {
+		out = appendI32(out, int32(p))
+		out = appendU64(out, res.PerProto[p])
+	}
+	nOut := 0
+	mark := len(out)
+	out = appendU32(out, 0)
+	err = sim.ShardRawOutputs(func(id graph.NodeID, b wire.Body) error {
+		out = appendI32(out, int32(id))
+		out = wire.AppendBody(out, b)
+		nOut++
+		return nil
+	})
+	if err != nil {
+		return err
+	}
+	putU32At(out, mark, uint32(nOut))
+	out = appendU32(out, uint32(len(res.Trace)))
+	for i := range res.Trace {
+		te := &res.Trace[i]
+		out = appendF64(out, te.T)
+		out = appendU64(out, te.Seq)
+		out = appendI32(out, int32(te.From))
+		out = appendI32(out, int32(te.To))
+		out = appendI32(out, int32(te.Msg.Proto))
+		out = appendI32(out, int32(te.Msg.Stage))
+		out = wire.AppendBody(out, te.Msg.Body)
+	}
+	return writeMsg(w, msgResult, out)
+}
+
+func putU32At(b []byte, off int, v uint32) {
+	b[off] = byte(v)
+	b[off+1] = byte(v >> 8)
+	b[off+2] = byte(v >> 16)
+	b[off+3] = byte(v >> 24)
+}
+
+func sortedProtos(pp map[async.Proto]uint64) []async.Proto {
+	out := make([]async.Proto, 0, len(pp))
+	for p := range pp {
+		out = append(out, p)
+	}
+	for i := 1; i < len(out); i++ {
+		for j := i; j > 0 && out[j] < out[j-1]; j-- {
+			out[j], out[j-1] = out[j-1], out[j]
+		}
+	}
+	return out
+}

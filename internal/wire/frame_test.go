@@ -1,0 +1,77 @@
+package wire
+
+import (
+	"bytes"
+	"testing"
+)
+
+func TestBodyRawRoundTrip(t *testing.T) {
+	b := Body{Kind: 7, Sub: 9, P: -3, A: 1, B: -2, C: 1 << 40, D: -1 << 50}
+	enc := AppendBody(nil, b)
+	if len(enc) != BodyWireSize {
+		t.Fatalf("encoded %d bytes, want %d", len(enc), BodyWireSize)
+	}
+	if got := DecodeBody(enc); got != b {
+		t.Fatalf("round trip %+v -> %+v", b, got)
+	}
+	// Decoding from an odd offset must still work: frames land at
+	// arbitrary positions in a socket read buffer.
+	shifted := append(make([]byte, 3), enc...)
+	if got := DecodeBody(shifted[3:]); got != b {
+		t.Fatalf("unaligned round trip %+v -> %+v", b, got)
+	}
+}
+
+func TestBodySegRoundTrip(t *testing.T) {
+	var src, dst Arena
+	for _, n := range []int{0, 1, 5, 1000} {
+		b := Body{Kind: 3, A: int64(n)}
+		if n > 0 {
+			seg, w := src.Alloc(n)
+			for i := range w {
+				w[i] = int32(i * 3)
+			}
+			b.Seg = seg
+		}
+		enc := AppendBodySeg(nil, b, &src)
+		if len(enc) != FrameLen(b) {
+			t.Fatalf("n=%d: encoded %d bytes, FrameLen says %d", n, len(enc), FrameLen(b))
+		}
+		got, used, err := DecodeBodySeg(enc, &dst)
+		if err != nil || used != len(enc) {
+			t.Fatalf("n=%d: decode used %d/%d, err %v", n, used, len(enc), err)
+		}
+		if got.Seg.Len() != n {
+			t.Fatalf("n=%d: re-homed seg has %d words", n, got.Seg.Len())
+		}
+		if n > 0 {
+			w := dst.Data(got.Seg)
+			for i := range w {
+				if w[i] != int32(i*3) {
+					t.Fatalf("n=%d: word %d = %d after re-homing", n, i, w[i])
+				}
+			}
+			dst.Release(got.Seg)
+		}
+		got.Seg, b.Seg = Seg{}, Seg{}
+		if got != b {
+			t.Fatalf("n=%d: scalar fields %+v -> %+v", n, b, got)
+		}
+	}
+	if dst.Live() != 0 {
+		t.Fatalf("receiving arena leaks %d segments", dst.Live())
+	}
+	// Truncated buffers error instead of panicking.
+	b := Body{Kind: 1}
+	seg, _ := src.Alloc(4)
+	b.Seg = seg
+	enc := AppendBodySeg(nil, b, &src)
+	for _, cut := range []int{0, BodyWireSize - 1, BodyWireSize + 3, len(enc) - 1} {
+		if _, _, err := DecodeBodySeg(enc[:cut], &dst); err == nil {
+			t.Fatalf("cut=%d: truncated frame decoded without error", cut)
+		}
+	}
+	if !bytes.Equal(AppendBody(nil, Body{}), make([]byte, BodyWireSize)) {
+		t.Fatal("zero Body does not encode to zero bytes")
+	}
+}
