@@ -19,6 +19,15 @@ BENCH_CPUS       ?= 1,2,4,8
 BENCH_OUT         = BENCH_6.json
 BENCH_NOTE       ?= engine microbenchmark suite plus retained-footprint probe (graphB/link, asyncB/link, syncB/node; includes the grid3d 1M-node row); mode benchmarks sweep -cpu 1,2,4,8 — parallel rows at cpu counts beyond the host's cores measure oversubscribed coordination overhead, not speedup
 
+# The fault-plane sweep committed as BENCH_8.json: the synchronized BFS
+# under a crash × drop × budget grid of deterministic fault schedules,
+# with the delivery ledger (delivered/dropped/retrans/undeliv), the pulse
+# watchdog's stall verdict, and — on crash rows — incremental cover
+# repair vs from-scratch rebuild cost; see internal/bench's
+# BenchmarkFaultSweep and experiment E17.
+FAULT_BENCH_OUT   = BENCH_8.json
+FAULT_BENCH_NOTE ?= fault-plane sweep: synchronized BFS on grid16x16 under crash×drop×budget schedules (seed 7); delivered/dropped/retrans/undeliv ledger, watchdog stall verdict, and incremental layered-cover repair vs masked rebuild cost on crash rows — repair is checked deep-equal to the rebuild before metrics are reported
+
 # The multi-process shard sweep committed as BENCH_7.json: one flood over
 # the million-node smoke graph per shard count, real worker processes,
 # with the coordinator's per-window ledger (workerNs/commNs/mergeNs per
@@ -29,7 +38,7 @@ SHARD_BENCH_SHARDS ?= 1,2,4,8
 SHARD_BENCH_OUT     = BENCH_7.json
 SHARD_BENCH_NOTE   ?= multi-process shard sweep: flood on $(SHARD_BENCH_SPEC), K=$(SHARD_BENCH_SHARDS) worker processes over unix sockets, fixed:1 delays; per-window workerNs (critical path), commNs (barrier wait), mergeNs (coordinator) metrics — on hosts with fewer cores than K the extra processes timeshare and the comm column absorbs the oversubscription
 
-.PHONY: build test race bench bench-shard fmt vet
+.PHONY: build test race bench bench-shard bench-faults fmt vet
 
 build:
 	go build ./...
@@ -58,6 +67,12 @@ bench:
 	cat .bench-async.out .bench-async-modes.out .bench-abfs-modes.out .bench-sync.out .bench-footprint.out | go run ./cmd/benchjson -note "$(BENCH_NOTE)" > $(BENCH_OUT)
 	rm -f .bench-async.out .bench-async-modes.out .bench-abfs-modes.out .bench-sync.out .bench-footprint.out
 	@cat $(BENCH_OUT)
+
+bench-faults:
+	go test -run '^$$' -bench BenchmarkFaultSweep -benchtime 1x -timeout 30m ./internal/bench/ > .bench-faults.out
+	cat .bench-faults.out | go run ./cmd/benchjson -note "$(FAULT_BENCH_NOTE)" > $(FAULT_BENCH_OUT)
+	rm -f .bench-faults.out
+	@cat $(FAULT_BENCH_OUT)
 
 bench-shard:
 	SHARD_BENCH_SPEC=$(SHARD_BENCH_SPEC) SHARD_BENCH_SHARDS=$(SHARD_BENCH_SHARDS) \

@@ -55,6 +55,7 @@ func run() int {
 		mode    = flag.String("mode", "auto", "async engine execution mode: auto|single|multi|spec")
 		quiet   = flag.Bool("quiet", false, "suppress per-node output")
 		shards  = flag.Int("shards", 0, "run multi-source BFS on K sharded worker processes instead of the synchronizer stack (0 = off)")
+		faults  = flag.String("faults", "", "fault schedule (e.g. drop:p=0.05,budget=3,seed=7); empty = fault-free")
 	)
 	flag.Parse()
 	var execMode dsync.AsyncExecutionMode
@@ -84,10 +85,15 @@ func run() int {
 		fmt.Fprintln(os.Stderr, err)
 		return 2
 	}
-	if *shards > 0 {
-		return runSharded(g, *kind, *n, *m, *rows, *cols, *seed, srcs, *shards, *quiet)
+	fs, err := dsync.ParseFaultSpec(*faults)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		return 2
 	}
-	res := dsync.AsyncBFSMode(g, srcs, dsync.RandomDelays(*seed), execMode)
+	if *shards > 0 {
+		return runSharded(g, *kind, *n, *m, *rows, *cols, *seed, srcs, *shards, *quiet, *faults)
+	}
+	res := dsync.AsyncBFSMode(g, srcs, dsync.WithFaults(dsync.RandomDelays(*seed), fs), execMode)
 	// The exact diameter is an O(n·m) all-pairs sweep — a header nicety on
 	// small graphs, hours of preamble on ten million nodes. Skip it there.
 	diam := "-"
@@ -119,7 +125,7 @@ const maxDiameterNodes = 1 << 14
 
 // runSharded computes the distances on K worker processes via the
 // shard coordinator's monotone-relaxation BFS workload.
-func runSharded(g *dsync.Graph, kind string, n, m, rows, cols int, seed uint64, srcs []dsync.NodeID, k int, quiet bool) int {
+func runSharded(g *dsync.Graph, kind string, n, m, rows, cols int, seed uint64, srcs []dsync.NodeID, k int, quiet bool, faults string) int {
 	spec, err := specFor(kind, n, m, rows, cols, seed)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
@@ -129,6 +135,7 @@ func runSharded(g *dsync.Graph, kind string, n, m, rows, cols int, seed uint64, 
 		GraphSpec: spec,
 		Workload:  "bfs",
 		Adversary: fmt.Sprintf("random:%d", seed),
+		Faults:    faults,
 		Sources:   srcs,
 		Shards:    k,
 		Launch:    shard.LaunchProcess,

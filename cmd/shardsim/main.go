@@ -8,6 +8,7 @@
 //	shardsim -graph pa:n=200000,m=3,seed=7 -shards 4 -workload bfs -adv random:9
 //	shardsim -graph grid3d:32x32x32 -shards 2 -verify     # compare vs serial
 //	shardsim -graph grid3d:100x100x100 -shards 2 -ceiling-mb 1024
+//	shardsim -graph grid3d:32x32x32 -shards 2 -faults drop:p=0.05,budget=3,seed=7 -verify
 //
 // Workers are re-execs of this binary: the coordinator spawns K copies
 // with REPRO_SHARD_SOCKET/REPRO_SHARD_INDEX set (plus a cosmetic
@@ -48,6 +49,7 @@ func run() int {
 		shards   = flag.Int("shards", 0, "worker count K; 0 picks execpolicy.AutoShards for the graph")
 		workload = flag.String("workload", "flood", "workload: "+strings.Join(shard.Workloads(), "|"))
 		adv      = flag.String("adv", "fixed:1", "delay adversary: fixed:<d>|random:<seed>|skew:cut=<n>,fast=<d>|flaky:<seed>|edge:<seed>")
+		faults   = flag.String("faults", "", "fault schedule (e.g. crash:p=0.01,drop:p=0.05,budget=3,seed=7); empty = fault-free")
 		sources  = flag.String("sources", "0", "comma-separated source node ids")
 		segWords = flag.Int("seg-words", 0, "segment words per message (segflood; 0 = workload default)")
 		inproc   = flag.Bool("inproc", false, "serve workers on goroutines instead of spawned processes")
@@ -67,6 +69,7 @@ func run() int {
 		Shards:    *shards,
 		Workload:  *workload,
 		Adversary: *adv,
+		Faults:    *faults,
 		Sources:   srcs,
 		SegWords:  *segWords,
 		// Traces are only needed for -verify, and segment-carrying traces
@@ -90,6 +93,10 @@ func run() int {
 	st := rep.Stats
 	fmt.Printf("graph=%s workload=%s adv=%s shards=%d cuts=%v crossLinks=%d\n",
 		*spec, *workload, *adv, st.Shards, rep.Cuts, st.CrossLinks)
+	if *faults != "" {
+		fmt.Printf("faults=%s dropped=%d retrans=%d undeliverable=%d\n",
+			*faults, res.Dropped, res.Retrans, res.Undeliverable)
+	}
 	fmt.Printf("time=%.3f quiesce=%.3f msgs=%d acks=%d events=%d outputs=%d\n",
 		res.Time, res.QuiesceTime, res.Msgs, res.Acks, st.TotalEvents, len(res.Outputs))
 	protos := make([]int, 0, len(res.PerProto))
@@ -146,6 +153,11 @@ func serialReference(cfg shard.Config) (async.Result, error) {
 	if err != nil {
 		return async.Result{}, err
 	}
+	fs, err := async.ParseFaultSpec(cfg.Faults)
+	if err != nil {
+		return async.Result{}, err
+	}
+	a = async.WithFaults(a, fs)
 	mk, err := shard.NewWorkload(cfg.Workload, shard.WorkloadConfig{Sources: cfg.Sources, SegWords: cfg.SegWords})
 	if err != nil {
 		return async.Result{}, err

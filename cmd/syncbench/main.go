@@ -3,7 +3,7 @@
 // Usage:
 //
 //	syncbench                      # run every experiment
-//	syncbench -exp E5              # run one experiment (E1..E15)
+//	syncbench -exp E5              # run one experiment (E1..E17)
 //	syncbench -exp E2,E3,E4        # run a subset, in the given order
 //	syncbench -list                # list experiment ids and titles
 //	syncbench -parallel 8          # run independent trials on 8 workers
@@ -13,6 +13,7 @@
 //	syncbench -mode multi          # force an execution mode, both engines
 //	syncbench -exp E16 -graph grid3d:100x100x100   # add a million-node row
 //	syncbench -exp E14 -shards 2       # add multi-process shard-protocol rows
+//	syncbench -exp E17 -faults crash:p=0.01,drop:p=0.05,budget=3,seed=7
 //
 // Tables are byte-identical for any -parallel or -mode value; -json
 // replaces the tables with one syncbench/v1 JSON document of per-row
@@ -31,6 +32,13 @@
 // to the engine-facing experiments E13, E14, and E16; other experiments
 // ignore it. The implicit generators build sorted CSR directly, so a
 // ten-million-node spec is a few hundred megabytes, not a hash-map blowup.
+//
+// -faults takes a fault-schedule spec (async.ParseFaultSpec form:
+// crash:p=…, drop:p=…, link:p=…, budget=…, backoff=…, epoch=…, seed=…)
+// and wraps every experiment's delay adversary in it — the tables then
+// measure behavior under deterministic message loss and crash blackouts
+// instead of the published fault-free shapes. E17 additionally appends
+// the spec as an extra row after its built-in schedule grid.
 package main
 
 import (
@@ -49,7 +57,7 @@ func main() {
 }
 
 func run() int {
-	exp := flag.String("exp", "", "comma-separated experiment ids (E1..E15); empty = all")
+	exp := flag.String("exp", "", "comma-separated experiment ids (E1..E17); empty = all")
 	parallel := flag.Int("parallel", 1, "worker-pool size for independent trials (1 = serial)")
 	jsonOut := flag.Bool("json", false, "emit structured JSON records instead of text tables")
 	list := flag.Bool("list", false, "list experiment ids and titles, then exit")
@@ -57,6 +65,7 @@ func run() int {
 	mode := flag.String("mode", "auto", "execution mode for both engines: auto|single|multi|spec")
 	graphSpec := flag.String("graph", "", "extra topology for E13/E14/E16, as a graph spec (e.g. grid3d:100x100x100)")
 	shards := flag.Int("shards", 0, "add E14 rows running the multi-process shard protocol with K workers (0 = off; 1 = degenerate single-shard run, byte-identical)")
+	faults := flag.String("faults", "", "fault schedule wrapped around every adversary (e.g. crash:p=0.01,drop:p=0.05,budget=3,seed=7); empty = fault-free")
 	flag.Parse()
 	if *list {
 		for _, info := range bench.List() {
@@ -88,7 +97,7 @@ func run() int {
 			ids = append(ids, strings.TrimSpace(id))
 		}
 	}
-	opts := bench.Options{Workers: *parallel, JSON: *jsonOut, Seed: *seed, Mode: execMode, AsyncMode: asyncMode, Graph: *graphSpec, Shards: *shards}
+	opts := bench.Options{Workers: *parallel, JSON: *jsonOut, Seed: *seed, Mode: execMode, AsyncMode: asyncMode, Graph: *graphSpec, Shards: *shards, Faults: *faults}
 	if err := bench.Run(os.Stdout, ids, opts); err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		return 2

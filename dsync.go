@@ -48,6 +48,11 @@ type (
 	Adversary = async.Adversary
 	// AsyncResult summarizes an asynchronous run.
 	AsyncResult = async.Result
+	// TraceEntry is one delivery-trace record; its Kind distinguishes
+	// delivered messages from ones abandoned by the fault plane.
+	TraceEntry = async.TraceEntry
+	// TraceKind tags a TraceEntry (TraceDeliver / TraceUndeliverable).
+	TraceKind = async.TraceKind
 	// SyncResult summarizes a lockstep synchronous run.
 	SyncResult = syncrun.Result
 	// ExecutionMode selects how the lockstep runner steps each pulse
@@ -109,6 +114,32 @@ func RandomDelays(seed uint64) Adversary { return async.SeededRandom{Seed: seed}
 func StandardAdversaries(n int, seed uint64) []Adversary {
 	return async.StandardAdversaries(n, seed)
 }
+
+// Fault plane: seeded, pure-function crash/link/drop schedules wrapped
+// around any delay adversary. Fault decisions are byte-identical across
+// every execution mode and shard count.
+type FaultSchedule = async.FaultSchedule
+
+// ParseFaultSpec parses a fault-schedule spec such as
+// "crash:p=0.01,drop:p=0.05,budget=3,seed=7"; "" and "none" yield nil
+// (fault-free).
+func ParseFaultSpec(spec string) (*FaultSchedule, error) { return async.ParseFaultSpec(spec) }
+
+// WithFaults wraps adv in the fault schedule (returns adv unchanged when
+// fs is nil or inert).
+func WithFaults(adv Adversary, fs *FaultSchedule) Adversary { return async.WithFaults(adv, fs) }
+
+// StandardFaultSchedules returns the deterministic fault-schedule matrix
+// the cross-mode tests and E17 sweep share.
+func StandardFaultSchedules(seed uint64) []*FaultSchedule {
+	return async.StandardFaultSchedules(seed)
+}
+
+// Trace-entry kinds.
+const (
+	TraceDeliver       = async.TraceDeliver
+	TraceUndeliverable = async.TraceUndeliverable
+)
 
 // Lockstep execution modes. ModeAuto picks the worker pool for large
 // graphs; ModeSingle and ModeMulti force one path. All three produce

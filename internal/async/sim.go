@@ -88,8 +88,13 @@ type Sim struct {
 	g         *graph.Graph
 	adv       Adversary
 	lookahead float64 // adv.MinDelay(), validated at New/Reset
-	handlers  []Handler
-	nodes     []Node
+	// faults is the schedule unwrapped from a Faulty adversary at New/Reset
+	// (nil when absent). It is consulted once per transmission attempt at
+	// dispatch — the same point in the event order in every execution mode,
+	// so fault decisions are byte-identical across Single/Multi/Spec/shard.
+	faults   *FaultSchedule
+	handlers []Handler
+	nodes    []Node
 
 	// nodeBase mirrors g.NodeBase(): per-node arrays (handlers, nodes,
 	// hasOut, output slabs) are NLocal-sized and indexed by id - nodeBase.
@@ -142,6 +147,12 @@ type Sim struct {
 	msgs     uint64
 	acks     uint64
 	perProto []uint64 // dense, indexed by Proto
+
+	// Fault-plane accounting: transmissions lost to the schedule, retries
+	// scheduled, and messages abandoned with their budget exhausted.
+	dropped uint64
+	retrans uint64
+	undeliv uint64
 
 	keepTrace bool
 	trace     []TraceEntry
@@ -202,6 +213,20 @@ type SpecStats struct {
 	FellBack  bool
 }
 
+// TraceKind distinguishes delivery-trace entry types. The zero value is a
+// normal delivery, so fault-free traces are unchanged by the field.
+type TraceKind uint8
+
+const (
+	// TraceDeliver is a delivered message (the zero value).
+	TraceDeliver TraceKind = iota
+	// TraceUndeliverable records a message abandoned after its retransmit
+	// budget was exhausted by the fault schedule — typed evidence instead
+	// of a hang. Its (T, Seq) key is the event that issued the final failed
+	// attempt.
+	TraceUndeliverable
+)
+
 // TraceEntry records one delivered message (KeepTrace). Entries appear in
 // delivery order — the engine's (t, seq) event order — and are identical
 // across execution modes. Note that for segment-carrying bodies the Seg
@@ -213,6 +238,7 @@ type TraceEntry struct {
 	Seq      uint64
 	From, To graph.NodeID
 	Msg      Msg
+	Kind     TraceKind
 }
 
 // Result summarizes one asynchronous run. Every field is safe to retain
@@ -228,6 +254,17 @@ type Result struct {
 	Msgs uint64
 	// Acks counts link-level acknowledgments (the model's 2x factor).
 	Acks uint64
+	// Dropped counts transmission attempts lost to the fault schedule
+	// (wire drops, crashed receivers, down links). Zero without faults.
+	Dropped uint64
+	// Retrans counts retransmission attempts the delivery layer scheduled
+	// for lost transmissions (each consumes budget and a fresh adversary
+	// delay).
+	Retrans uint64
+	// Undeliverable counts messages abandoned with their retransmit budget
+	// exhausted; each also appears as a TraceUndeliverable entry in traced
+	// runs.
+	Undeliverable uint64
 	// PerProto breaks Msgs down by protocol tag (materialized from the
 	// engine's dense counters at this boundary).
 	PerProto map[Proto]uint64
@@ -254,6 +291,7 @@ func New(g *graph.Graph, adv Adversary, mk func(id graph.NodeID) Handler) *Sim {
 		g:           g,
 		adv:         adv,
 		lookahead:   checkedLookahead(adv),
+		faults:      faultsOf(adv),
 		nodeBase:    g.NodeBase(),
 		handlers:    make([]Handler, g.NLocal()),
 		nodes:       make([]Node, g.NLocal()),
@@ -379,6 +417,15 @@ func (s *Sim) Stats() (now float64, msgs, acks uint64, perProto map[Proto]uint64
 	return s.now, s.msgs, s.acks, s.perProtoMap()
 }
 
+// FaultStats snapshots the fault-plane counters, under the same
+// committed-prefix contract as Stats.
+func (s *Sim) FaultStats() (dropped, retrans, undeliverable uint64) {
+	if s.inWindow {
+		panic("async: FaultStats called while a parallel window is in flight")
+	}
+	return s.dropped, s.retrans, s.undeliv
+}
+
 func (s *Sim) perProtoMap() map[Proto]uint64 {
 	pp := make(map[Proto]uint64)
 	for p, n := range s.perProto {
@@ -447,6 +494,7 @@ func (s *Sim) loadedOutAnys() []any {
 func (s *Sim) Reset(adv Adversary, mk func(id graph.NodeID) Handler) {
 	s.adv = adv
 	s.lookahead = checkedLookahead(adv)
+	s.faults = faultsOf(adv)
 	s.running = false
 	s.events.reset()
 	for k := range s.shards {
@@ -482,6 +530,7 @@ func (s *Sim) Reset(adv Adversary, mk func(id graph.NodeID) Handler) {
 	s.outCount = 0
 	s.lastOutputTime = 0
 	s.msgs, s.acks = 0, 0
+	s.dropped, s.retrans, s.undeliv = 0, 0, 0
 	for i := range s.perProto {
 		s.perProto[i] = 0
 	}
@@ -493,6 +542,7 @@ func (s *Sim) Reset(adv Adversary, mk func(id graph.NodeID) Handler) {
 		c := &s.wctx[k]
 		c.now, c.maxT, c.lastOut = 0, 0, 0
 		c.curSeq, c.msgs, c.acks, c.steps = 0, 0, 0, 0
+		c.dropped, c.retrans, c.undeliv = 0, 0, 0
 		c.outCount = 0
 		for i := range c.perProto {
 			c.perProto[i] = 0
@@ -734,8 +784,12 @@ func (s *Sim) mergeWindow() {
 		s.msgs += c.msgs
 		s.acks += c.acks
 		s.steps += c.steps
+		s.dropped += c.dropped
+		s.retrans += c.retrans
+		s.undeliv += c.undeliv
 		s.outCount += c.outCount
 		c.msgs, c.acks, c.steps, c.outCount = 0, 0, 0, 0
+		c.dropped, c.retrans, c.undeliv = 0, 0, 0
 		if c.lastOut > s.lastOutputTime {
 			s.lastOutputTime = c.lastOut
 		}
@@ -817,11 +871,14 @@ func traceLess(a, b *TraceEntry) bool {
 // result materializes the run's Result at the engine boundary.
 func (s *Sim) result() Result {
 	res := Result{
-		Time:        s.lastOutputTime,
-		QuiesceTime: s.now,
-		Msgs:        s.msgs,
-		Acks:        s.acks,
-		PerProto:    s.perProtoMap(),
+		Time:          s.lastOutputTime,
+		QuiesceTime:   s.now,
+		Msgs:          s.msgs,
+		Acks:          s.acks,
+		Dropped:       s.dropped,
+		Retrans:       s.retrans,
+		Undeliverable: s.undeliv,
+		PerProto:      s.perProtoMap(),
 	}
 	if s.keepTrace {
 		res.Trace = append([]TraceEntry(nil), s.trace...)
@@ -908,6 +965,9 @@ type execCtx struct {
 	// Worker-private effect staging, merged at the window barrier.
 	msgs, acks uint64
 	steps      uint64
+	dropped    uint64
+	retrans    uint64
+	undeliv    uint64
 	outCount   int
 	lastOut    float64
 	maxT       float64
@@ -982,6 +1042,11 @@ func (c *execCtx) processEvent(ev *event) {
 		// The ack ends the message's lifecycle; recycle any segment
 		// (receivers copy data out if they keep it). No-op without one.
 		s.arena.Release(ev.msg.Body.Seg)
+	case evRetrans:
+		// A backoff timer fired: retry the lost transmission. The link has
+		// stayed in flight since the original send, so the attempt re-enters
+		// at transmit, not send — no handler runs for this event.
+		s.transmit(c, ev.src, ev.dst, ev.link, ev.msg, ev.attempt)
 	}
 }
 
@@ -1072,13 +1137,74 @@ func (c *execCtx) send(from, to graph.NodeID, m Msg) {
 	ob.push(m)
 }
 
-// inject marks the link in flight and schedules the delivery.
+// inject marks the link in flight and performs the first transmission
+// attempt.
 func (s *Sim) inject(c *execCtx, from, to graph.NodeID, l graph.LinkID, m Msg) {
 	s.busy[l] = true
-	d := s.adv.Delay(from, to, uint64(s.txSeq[l]), m.Proto)
+	s.transmit(c, from, to, l, m, 0)
+}
+
+// transmit performs transmission attempt `attempt` on an in-flight link:
+// consult the adversary for the hop delay as always, then ask the fault
+// schedule — once, with the attempt's transmission sequence and computed
+// arrival time — whether this attempt is lost. A lost attempt schedules a
+// deterministic-backoff retransmission while budget remains; an exhausted
+// budget surfaces as Undeliverable. Each retransmission consumes a fresh
+// transmission sequence, so the adversary and the drop hash both see it as
+// a new transmission. With no fault schedule this is exactly the old
+// single-attempt dispatch.
+func (s *Sim) transmit(c *execCtx, from, to graph.NodeID, l graph.LinkID, m Msg, attempt uint8) {
+	txs := uint64(s.txSeq[l])
+	d := s.adv.Delay(from, to, txs, m.Proto)
 	s.bumpTx(l)
 	s.checkDelay(d)
-	c.schedule(event{t: c.now + d, kind: evDeliver, link: l, src: from, dst: to, msg: m})
+	td := c.now + d
+	if s.faults == nil || !s.faults.Lost(from, to, txs, td) {
+		c.schedule(event{t: td, kind: evDeliver, link: l, src: from, dst: to, msg: m})
+		return
+	}
+	if c.direct {
+		s.dropped++
+	} else {
+		c.dropped++
+	}
+	if int(attempt) >= s.faults.Budget {
+		c.undeliverable(from, to, l, m)
+		return
+	}
+	if c.direct {
+		s.retrans++
+	} else {
+		c.retrans++
+	}
+	b := s.faults.backoff(attempt, s.lookahead)
+	c.schedule(event{t: c.now + b, kind: evRetrans, link: l, src: from, dst: to, msg: m, attempt: attempt + 1})
+}
+
+// undeliverable abandons a message whose retransmit budget is exhausted:
+// record the typed trace entry under the triggering event's (t, seq) key,
+// release the payload segment (the lifecycle that would have ended at the
+// ack ends here), free the link, and dispatch its next queued message. The
+// engine always quiesces — protocol-level stalls under faults are surfaced
+// by watchdogs (core.StallReport), never as hangs.
+func (c *execCtx) undeliverable(from, to graph.NodeID, l graph.LinkID, m Msg) {
+	s := c.s
+	if c.direct {
+		s.undeliv++
+	} else {
+		c.undeliv++
+	}
+	if s.keepTrace {
+		te := TraceEntry{T: c.now, Seq: c.curSeq, From: from, To: to, Msg: m, Kind: TraceUndeliverable}
+		if c.direct {
+			s.trace = append(s.trace, te)
+		} else {
+			c.trace = append(c.trace, te)
+		}
+	}
+	s.arena.Release(m.Body.Seg)
+	s.busy[l] = false
+	c.dispatch(from, to, l)
 }
 
 // bumpTx advances a link's transmission sequence, failing loudly before
@@ -1271,17 +1397,22 @@ func bumpProtoBy(pp []uint64, p Proto, n uint64) []uint64 {
 const (
 	evDeliver uint8 = iota + 1
 	evAckArrive
+	// evRetrans is a fault-plane backoff timer: retry the lost message on
+	// its still-in-flight link. Owned by the sender (like evAckArrive), so
+	// it is always shard-local and never crosses a coordinator wire.
+	evRetrans
 )
 
-// event is one scheduled occurrence. Field order packs the 32-bit ids and
-// the 1-byte kind into one word, keeping the struct at 96 bytes — the
-// wheel slots hold these by value.
+// event is one scheduled occurrence. Field order packs the 32-bit ids, the
+// 1-byte kind, and the 1-byte retransmission attempt into one word, keeping
+// the struct at 96 bytes — the wheel slots hold these by value.
 type event struct {
-	t    float64
-	seq  uint64
-	link graph.LinkID // the forward link src→dst
-	src  graph.NodeID // sender of the original message
-	dst  graph.NodeID // receiver of the original message
-	kind uint8
-	msg  Msg
+	t       float64
+	seq     uint64
+	link    graph.LinkID // the forward link src→dst
+	src     graph.NodeID // sender of the original message
+	dst     graph.NodeID // receiver of the original message
+	kind    uint8
+	attempt uint8 // evRetrans: attempt number of the retry it triggers
+	msg     Msg
 }

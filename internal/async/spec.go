@@ -243,12 +243,15 @@ func (s *Sim) specWorker(k int, hEnd float64) {
 		}
 		c.specCur = ev
 		v := ownerOf(ev)
-		h := s.specHandlerFor(v)
+		// evRetrans runs no handler — it is pure engine mechanics (a new
+		// transmission attempt), which only the commit walk may perform. It
+		// still logs an empty-op entry so the walk merges it in order; the
+		// clone is untouched, so pass 1/2 of specFinishRound skip it.
 		switch ev.kind {
 		case evDeliver:
-			h.Recv(&s.nodes[v], ev.src, ev.msg)
+			s.specHandlerFor(v).Recv(&s.nodes[v], ev.src, ev.msg)
 		case evAckArrive:
-			h.Ack(&s.nodes[v], ev.dst, ev.msg)
+			s.specHandlerFor(v).Ack(&s.nodes[v], ev.dst, ev.msg)
 		}
 		c.specLog = append(c.specLog, specExec{ev: ev, opEnd: int32(len(c.specOps))})
 	}
@@ -381,10 +384,14 @@ func (s *Sim) specFinishRound() {
 	w := len(s.wctx)
 	round := s.specRoundEp
 	// Pass 1: mark every node owning a rejected event — its clone ran past
-	// the cut and is poisoned.
+	// the cut and is poisoned. evRetrans events never touch a clone, so a
+	// rejected one poisons nothing (it simply requeues in pass 3).
 	for k := 0; k < w; k++ {
 		c := &s.wctx[k]
 		for i := s.mergeCur[k]; i < len(c.specLog); i++ {
+			if c.specLog[i].ev.kind == evRetrans {
+				continue
+			}
 			s.specRejEp[ownerOf(c.specLog[i].ev)] = round
 		}
 		if c.specPanicked {
@@ -399,6 +406,12 @@ func (s *Sim) specFinishRound() {
 		c := &s.wctx[k]
 		for i := 0; i < s.mergeCur[k]; i++ {
 			e := &c.specLog[i]
+			if e.ev.kind == evRetrans {
+				// No handler ran and the clone was never refreshed for this
+				// event; promoting on its account would swap in a stale (or
+				// nil) clone.
+				continue
+			}
 			v := ownerOf(e.ev)
 			if s.specRejEp[v] == round {
 				s.specSwallowReplay(v, e)

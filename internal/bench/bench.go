@@ -1,5 +1,5 @@
 // Package bench implements the experiment harness: one function per
-// experiment in DESIGN.md's index (E1–E16), each regenerating its table of
+// experiment in DESIGN.md's index (E1–E17), each regenerating its table of
 // measured time/message complexities against the paper's predicted shape.
 // Root bench_test.go and cmd/syncbench both call into this package.
 //
@@ -62,6 +62,7 @@ var experiments = []experiment{
 	{"E14", "async engine throughput by execution mode (bounded-lag windows)", e14AsyncEngineThroughput},
 	{"E15", "speculative execution past the safe window (rollback accounting)", e15SpeculativeExecution},
 	{"E16", "retained footprint vs n (graph plane + engine state)", e16Footprint},
+	{"E17", "fault-plane overhead vs fault rate (crash × drop × budget)", e17FaultOverhead},
 }
 
 func byID(id string) *experiment {
@@ -135,6 +136,14 @@ type Options struct {
 	// (cmd/syncbench -shards). Out-of-range values fail Run before
 	// anything runs, like an invalid Graph spec.
 	Shards int
+	// Faults is an optional fault-schedule spec (async.ParseFaultSpec,
+	// e.g. "crash:p=0.01,drop:p=0.05,budget=3,seed=7"; cmd/syncbench
+	// -faults). When set, every experiment's delay adversary is wrapped in
+	// the schedule — tables then measure the algorithms under message loss
+	// and crash blackouts, not the published fault-free shapes — and E17
+	// appends the spec as an extra row after its built-in schedule grid.
+	// Invalid specs fail Run before anything runs.
+	Faults string
 }
 
 // ExpRecords is the JSON shape of one experiment's output.
@@ -165,6 +174,11 @@ type Ctx struct {
 	custom *graph.Graph
 	// shards carries Options.Shards: E14's sharded-coordinator row count.
 	shards int
+	// faults/fspec carry Options.Faults: the parsed schedule wrapped
+	// around every adversary c.adv hands out, and the raw spec string E17
+	// uses as its extra-row label.
+	faults *async.FaultSchedule
+	fspec  string
 	cur    *ExpRecords
 	exps   []ExpRecords
 }
@@ -179,9 +193,10 @@ func (c *Ctx) seedOr(def uint64) uint64 {
 }
 
 // adv returns the seeded random delay adversary an experiment should use,
-// honoring the -seed override.
+// honoring the -seed override and wrapping in the run-wide fault
+// schedule when one was given.
 func (c *Ctx) adv(def uint64) async.Adversary {
-	return async.SeededRandom{Seed: c.seedOr(def)}
+	return async.WithFaults(async.SeededRandom{Seed: c.seedOr(def)}, c.faults)
 }
 
 // runSync executes a lockstep baseline in the selected execution mode
@@ -298,7 +313,11 @@ func Run(w io.Writer, ids []string, opts Options) error {
 	if opts.Shards < 0 || opts.Shards > execpolicy.MaxShards {
 		return fmt.Errorf("shards = %d out of range [0, %d]", opts.Shards, execpolicy.MaxShards)
 	}
-	c := &Ctx{w: tw, workers: opts.Workers, seed: opts.Seed, mode: opts.Mode, amode: opts.AsyncMode, gspec: opts.Graph, shards: opts.Shards}
+	fs, err := async.ParseFaultSpec(opts.Faults)
+	if err != nil {
+		return err
+	}
+	c := &Ctx{w: tw, workers: opts.Workers, seed: opts.Seed, mode: opts.Mode, amode: opts.AsyncMode, gspec: opts.Graph, shards: opts.Shards, faults: fs, fspec: opts.Faults}
 	if opts.Graph != "" {
 		g, err := graph.FromSpec(opts.Graph)
 		if err != nil {
@@ -357,3 +376,4 @@ func E13EngineThroughput(w io.Writer)      { ByName(w, "E13") }
 func E14AsyncEngineThroughput(w io.Writer) { ByName(w, "E14") }
 func E15SpeculativeExecution(w io.Writer)  { ByName(w, "E15") }
 func E16Footprint(w io.Writer)             { ByName(w, "E16") }
+func E17FaultOverhead(w io.Writer)         { ByName(w, "E17") }

@@ -1,0 +1,110 @@
+package bench
+
+import (
+	"fmt"
+	"reflect"
+	"testing"
+	"time"
+
+	"repro/internal/async"
+	"repro/internal/core"
+	"repro/internal/cover"
+	"repro/internal/graph"
+	"repro/internal/syncrun"
+)
+
+// BenchmarkFaultSweep is the committed BENCH_8 sweep: the synchronized
+// BFS under a crash × drop × budget grid of fault schedules (E17's
+// benchmark sibling). Each row reports the delivery ledger — delivered,
+// dropped, retransmitted, undeliverable — plus the pulse watchdog's
+// stalled-node count, and for crash schedules the self-healing cost:
+// incremental layered-cover repair vs a from-scratch masked rebuild
+// (repairMs must stay below rebuildMs; the repaired cover is checked
+// deep-equal to the rebuild before any metric is reported).
+func BenchmarkFaultSweep(b *testing.B) {
+	g := graph.Grid(16, 16)
+	mk := bfsMk([]graph.NodeID{0})
+	bound := syncrun.New(g, mk).Run().Rounds + 2
+	specs := []string{
+		"none",
+		"drop:p=0.02,budget=3",
+		"drop:p=0.1,budget=3",
+		"drop:p=0.1,budget=1",
+		"drop:p=0.1,budget=0",
+		"crash:p=0.01,budget=3",
+		"crash:p=0.01,drop:p=0.1,budget=3",
+		"crash:p=0.02,drop:p=0.1,budget=1",
+	}
+	for _, spec := range specs {
+		b.Run(fmt.Sprintf("grid16x16/faults=%s", spec), func(b *testing.B) {
+			fs, err := async.ParseFaultSpec(spec)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if fs != nil && fs.Seed == 0 {
+				fs.Seed = 7
+			}
+			adv := async.WithFaults(async.SeededRandom{Seed: 7}, fs)
+			var res async.Result
+			var rep core.StallReport
+			for i := 0; i < b.N; i++ {
+				res, rep = core.SynchronizeWatched(core.Config{Graph: g, Bound: bound, Adversary: adv}, mk)
+			}
+			b.ReportMetric(float64(res.Msgs-res.Undeliverable), "delivered")
+			b.ReportMetric(float64(res.Dropped), "dropped")
+			b.ReportMetric(float64(res.Retrans), "retrans")
+			b.ReportMetric(float64(res.Undeliverable), "undeliv")
+			stalled := 0.0
+			if rep.IsStalled() {
+				stalled = 1
+			}
+			b.ReportMetric(stalled, "stalled")
+			b.ReportMetric(float64(len(res.Outputs)), "outputs")
+			b.ReportMetric(res.Time, "simTime")
+			if fs.Active() && fs.CrashP > 0 {
+				repairMs, rebuildMs, reuse := faultRepairMetrics(b, g, fs)
+				b.ReportMetric(repairMs, "repairMs")
+				b.ReportMetric(rebuildMs, "rebuildMs")
+				b.ReportMetric(reuse, "clusterReuse")
+			}
+		})
+	}
+}
+
+// faultRepairMetrics prices incremental repair against a from-scratch
+// masked rebuild for the schedule's epoch-0 crashed set, failing the
+// benchmark if the two covers diverge.
+func faultRepairMetrics(b *testing.B, g *graph.Graph, fs *async.FaultSchedule) (repairMs, rebuildMs, reuse float64) {
+	b.Helper()
+	const d = 8
+	faulted := fs.CrashedSet(g.N(), 0)
+	if len(faulted) == 0 {
+		return 0, 0, 1
+	}
+	base := cover.BuildLayered(g, d, nil)
+	t0 := time.Now()
+	repaired, stats := cover.RepairLayered(base, faulted)
+	repairMs = float64(time.Since(t0).Microseconds()) / 1000
+	alive := make([]bool, g.N())
+	for i := range alive {
+		alive[i] = true
+	}
+	for _, v := range faulted {
+		alive[v] = false
+	}
+	t1 := time.Now()
+	rebuilt := cover.BuildLayeredMasked(g, d, nil, alive)
+	rebuildMs = float64(time.Since(t1).Microseconds()) / 1000
+	if !reflect.DeepEqual(repaired, rebuilt) {
+		b.Fatal("incremental repair diverged from the from-scratch rebuild")
+	}
+	var total, reused int
+	for _, st := range stats {
+		total += st.Reused + st.Dirty
+		reused += st.Reused
+	}
+	if total > 0 {
+		reuse = float64(reused) / float64(total)
+	}
+	return repairMs, rebuildMs, reuse
+}

@@ -26,20 +26,38 @@ import (
 // time-to-output); QuiesceTime adds only the final attempt's.
 func SynchronizeUnknownBound(g *graph.Graph, adv async.Adversary,
 	mk func(id graph.NodeID) syncrun.Handler) (async.Result, int) {
+	res, bound, _ := SynchronizeUnknownBoundWatched(g, adv, mk)
+	return res, bound
+}
+
+// SynchronizeUnknownBoundWatched is SynchronizeUnknownBound plus
+// fault-aware stall detection: when an attempt quiesces *without*
+// hitting its pulse bound but the watchdog shows fault-induced
+// starvation (undeliverable messages froze part of the pulse frontier),
+// doubling stops — a larger bound cannot resurrect a message whose
+// retransmit budget is spent, so continuing would bill unbounded retries
+// for no progress. The returned report is the final attempt's; billing
+// stays honest either way (every attempt's full costs are summed, the
+// stalled attempt's included).
+func SynchronizeUnknownBoundWatched(g *graph.Graph, adv async.Adversary,
+	mk func(id graph.NodeID) syncrun.Handler) (async.Result, int, StallReport) {
 	var total async.Result
 	total.PerProto = make(map[async.Proto]uint64)
 	for bound := 8; ; bound *= 2 {
-		res, ok := tryBound(g, bound, adv, mk)
+		res, rep, ok := tryBound(g, bound, adv, mk)
 		total.Time += res.Time
 		total.Msgs += res.Msgs
 		total.Acks += res.Acks
+		total.Dropped += res.Dropped
+		total.Retrans += res.Retrans
+		total.Undeliverable += res.Undeliverable
 		for p, n := range res.PerProto {
 			total.PerProto[p] += n
 		}
 		if ok {
 			total.QuiesceTime += res.QuiesceTime
 			total.Outputs = res.Outputs
-			return total, bound
+			return total, bound, rep
 		}
 		if bound > 64*g.N() {
 			panic("core: unknown-bound doubling ran away")
@@ -50,12 +68,14 @@ func SynchronizeUnknownBound(g *graph.Graph, adv async.Adversary,
 // tryBound attempts one synchronized run; ok=false when the algorithm hit
 // the pulse bound (the only recoverable panic; everything else re-panics).
 // A failed attempt still reports the costs it accrued up to the abort.
+// A quiesced-but-stalled attempt returns ok=true with the stall visible
+// in the report: the bound was not the problem, so doubling must stop.
 // Attempts run in ModeSingle: an abort unwinds mid-window in the parallel
 // mode, whose partially-merged counters would make the billed totals
 // depend on worker scheduling — serial event order is the definition of
 // what an aborted attempt cost.
 func tryBound(g *graph.Graph, bound int, adv async.Adversary,
-	mk func(id graph.NodeID) syncrun.Handler) (res async.Result, ok bool) {
+	mk func(id graph.NodeID) syncrun.Handler) (res async.Result, rep StallReport, ok bool) {
 	sim := newSynchronizedSim(Config{Graph: g, Bound: bound, Adversary: adv, Mode: async.ModeSingle}, mk)
 	defer func() {
 		r := recover()
@@ -70,8 +90,11 @@ func tryBound(g *graph.Graph, bound int, adv async.Adversary,
 		// counters are still readable. Time is the span the attempt ran
 		// (every event up to the abort really happened).
 		now, msgs, acks, perProto := sim.Stats()
-		res = async.Result{Time: now, Msgs: msgs, Acks: acks, PerProto: perProto}
+		dropped, retrans, undeliv := sim.FaultStats()
+		res = async.Result{Time: now, Msgs: msgs, Acks: acks, PerProto: perProto,
+			Dropped: dropped, Retrans: retrans, Undeliverable: undeliv}
 		ok = false
 	}()
-	return sim.Run(), true
+	res = sim.Run()
+	return res, watchdogReport(sim, &res, bound), true
 }

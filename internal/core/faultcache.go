@@ -1,0 +1,92 @@
+package core
+
+import (
+	"sync"
+
+	"repro/internal/async"
+	"repro/internal/cover"
+	"repro/internal/graph"
+)
+
+// Fault-aware cover caching. The fault plane partitions simulated time
+// into epochs (async.FaultSchedule.Epoch) and decides crashes per
+// (node, epoch) as a pure hash — so the set of alive nodes, and with it
+// the layered cover the synchronizer should run on, is a deterministic
+// function of (graph, radius, schedule, epoch). The cache below keys on
+// exactly that tuple. A miss does not rebuild from scratch: it repairs
+// the fault-free base cover (itself memoized by BuildLayeredFor),
+// rebuilding only the clusters whose BFS regions a crashed node touches
+// (cover.Repair's dirty certificate); everything else is shared with the
+// base cover structurally.
+
+type epochCoverKey struct {
+	g      *graph.Graph
+	radius int
+	fs     async.FaultSchedule // value key: the schedule is all-scalar
+	epoch  uint64
+}
+
+var epochCoverCache = struct {
+	sync.Mutex
+	entries map[epochCoverKey]*cover.Layered
+	order   []epochCoverKey
+}{entries: make(map[epochCoverKey]*cover.Layered)}
+
+const epochCoverCacheCap = 64
+
+// ResetEpochCoverCache drops every memoized fault-epoch cover.
+func ResetEpochCoverCache() {
+	epochCoverCache.Lock()
+	epochCoverCache.entries = make(map[epochCoverKey]*cover.Layered)
+	epochCoverCache.order = nil
+	epochCoverCache.Unlock()
+}
+
+// BuildLayeredForEpoch returns the layered covers for pulse bound b on g
+// under fs at the given fault epoch: the covers of the alive node set,
+// derived from the fault-free base covers by incremental repair. The
+// returned stats describe the repair that ran (nil on a cache hit, on a
+// fault-free schedule, and on an epoch with no crashes). Results are
+// memoized per (graph, radius, schedule, epoch) for finalized graphs.
+func BuildLayeredForEpoch(g *graph.Graph, b int, fs *async.FaultSchedule, epoch uint64) (*cover.Layered, []cover.RepairStats) {
+	if !fs.Active() || fs.CrashP == 0 {
+		return BuildLayeredFor(g, b), nil
+	}
+	faulted := fs.CrashedSet(g.N(), epoch)
+	if len(faulted) == 0 {
+		return BuildLayeredFor(g, b), nil
+	}
+	sched := NewSchedule(b)
+	radius := 1 << uint(sched.MaxCoverLevel)
+	if !g.Final() {
+		base := cover.BuildLayered(g, radius, nil)
+		l, stats := cover.RepairLayered(base, faulted)
+		return l, stats
+	}
+	key := epochCoverKey{g: g, radius: radius, fs: *fs, epoch: epoch}
+	epochCoverCache.Lock()
+	if l, ok := epochCoverCache.entries[key]; ok {
+		epochCoverCache.Unlock()
+		return l, nil
+	}
+	epochCoverCache.Unlock()
+	// Repair outside the lock (like BuildLayeredFor): repairs of
+	// independent epochs must not serialize, and a concurrent duplicate
+	// repair is deterministic, so last-write-wins is harmless.
+	base := BuildLayeredFor(g, b)
+	l, stats := cover.RepairLayered(base, faulted)
+	epochCoverCache.Lock()
+	if cached, ok := epochCoverCache.entries[key]; ok {
+		l = cached
+	} else {
+		if len(epochCoverCache.order) >= epochCoverCacheCap {
+			oldest := epochCoverCache.order[0]
+			epochCoverCache.order = epochCoverCache.order[1:]
+			delete(epochCoverCache.entries, oldest)
+		}
+		epochCoverCache.entries[key] = l
+		epochCoverCache.order = append(epochCoverCache.order, key)
+	}
+	epochCoverCache.Unlock()
+	return l, stats
+}

@@ -26,7 +26,16 @@ type Cluster struct {
 	ID      ClusterID
 	Root    graph.NodeID
 	Members []graph.NodeID // ascending
-	Tree    *decomp.Tree
+	// Seeds are the decomposition-cluster members the d-expansion grew
+	// from (the alive ones, under a masked build) — ascending. Repair's
+	// dirty certificate tests fault distance against this set.
+	Seeds []graph.NodeID
+	Tree  *decomp.Tree
+
+	// base is the decomposition cluster this cover cluster expands;
+	// Repair walks the decomposition in build order and matches reusable
+	// clusters through it.
+	base *decomp.Cluster
 }
 
 // Has reports whether v is a member (terminal) of the cluster.
@@ -61,6 +70,14 @@ type Cover struct {
 	treeOf [][]ClusterID
 	// home[v] is a cluster guaranteed to contain Ball(v, D).
 	home []ClusterID
+
+	// Retained for Repair: the fault-independent base decomposition, the
+	// covered node set, the alive mask this cover was built under (nil =
+	// no faults), and the graph.
+	g     *graph.Graph
+	dec   *decomp.Decomposition
+	inS   []bool
+	alive []bool
 }
 
 // MemberOf returns the clusters containing v, ascending by id. Do not
@@ -92,19 +109,26 @@ func (c *Cover) MaxTreeDepth() int {
 // Build constructs a sparse d-cover of the nodes in s (nil = all nodes) by
 // Theorem 4.21. Deterministic.
 func Build(g *graph.Graph, d int, s []graph.NodeID) *Cover {
+	return BuildMasked(g, d, s, nil)
+}
+
+// BuildMasked constructs the sparse d-cover of the alive nodes of s.
+// alive (nil = no faults) masks the *expansion* only: the base
+// decomposition is computed over the full set — it is fault-independent,
+// which is what lets Repair patch a faulted cover incrementally instead
+// of re-deriving the decomposition — while cluster seeds shrink to the
+// alive members, BFS relays route only through alive nodes, and clusters
+// whose seeds all died disappear. Separation only improves under a mask
+// (masked distances dominate true distances), so the cover properties
+// hold over the alive subgraph. Deterministic.
+func BuildMasked(g *graph.Graph, d int, s []graph.NodeID, alive []bool) *Cover {
 	if d < 1 {
 		panic(fmt.Sprintf("cover: d must be >= 1, got %d", d))
 	}
+	if alive != nil && len(alive) != g.N() {
+		panic(fmt.Sprintf("cover: alive mask has %d entries for %d nodes", len(alive), g.N()))
+	}
 	dec := decomp.Build(g, 2*d+1, s)
-	cov := &Cover{
-		D:        d,
-		memberOf: make([][]ClusterID, g.N()),
-		treeOf:   make([][]ClusterID, g.N()),
-		home:     make([]ClusterID, g.N()),
-	}
-	for i := range cov.home {
-		cov.home[i] = -1
-	}
 	inS := make([]bool, g.N())
 	if s == nil {
 		for i := range inS {
@@ -115,83 +139,87 @@ func Build(g *graph.Graph, d int, s []graph.NodeID) *Cover {
 			inS[v] = true
 		}
 	}
+	cov := &Cover{D: d, g: g, dec: dec, inS: inS, alive: alive}
 	// One epoch-stamped BFS scratch serves every cluster expansion.
 	ex := newExpander(g, d)
-	id := ClusterID(0)
 	for _, colorClusters := range dec.Colors {
 		for _, dc := range colorClusters {
-			cl := ex.expand(dc, inS)
-			cl.ID = id
+			seeds := aliveSeeds(dc.Members, alive)
+			if len(seeds) == 0 {
+				continue // every seed died; the cluster is gone
+			}
+			cl := ex.expand(dc, inS, alive, seeds)
+			cl.ID = ClusterID(len(cov.Clusters))
 			cov.Clusters = append(cov.Clusters, cl)
-			for _, v := range cl.Members {
-				cov.memberOf[v] = append(cov.memberOf[v], cl.ID)
-			}
-			for _, tv := range cl.Tree.Nodes() {
-				cov.treeOf[tv] = append(cov.treeOf[tv], cl.ID)
-			}
-			for _, v := range dc.Members {
-				cov.home[v] = cl.ID
-			}
-			id++
 		}
 	}
+	cov.reindex()
 	return cov
 }
 
-// expander holds the multi-source BFS scratch shared across all cluster
-// expansions of one Build: entries are valid iff stamp[v] == epoch, so no
-// per-cluster clearing or allocation happens.
+// aliveSeeds filters members (ascending) by the mask; a nil mask shares
+// the member slice itself.
+func aliveSeeds(members []graph.NodeID, alive []bool) []graph.NodeID {
+	if alive == nil {
+		return members
+	}
+	out := members[:0:0]
+	for _, v := range members {
+		if alive[v] {
+			out = append(out, v)
+		}
+	}
+	return out
+}
+
+// reindex rebuilds the per-node lookup tables from the cluster list.
+// Clusters are scanned in ascending ID order, so every per-node list
+// comes out ascending; home is written from each cluster's seeds —
+// every covered node seeds exactly one decomposition cluster.
+func (c *Cover) reindex() {
+	n := c.g.N()
+	c.memberOf = make([][]ClusterID, n)
+	c.treeOf = make([][]ClusterID, n)
+	c.home = make([]ClusterID, n)
+	for i := range c.home {
+		c.home[i] = -1
+	}
+	for _, cl := range c.Clusters {
+		for _, v := range cl.Members {
+			c.memberOf[v] = append(c.memberOf[v], cl.ID)
+		}
+		for _, tv := range cl.Tree.Nodes() {
+			c.treeOf[tv] = append(c.treeOf[tv], cl.ID)
+		}
+		for _, v := range cl.Seeds {
+			c.home[v] = cl.ID
+		}
+	}
+}
+
+// expander wraps the shared epoch-stamped BFS scratch (decomp.BFSScratch)
+// with the tree-splicing chain buffer.
 type expander struct {
-	g     *graph.Graph
 	d     int
-	epoch int32
-	stamp []int32
-	dist  []int32
-	par   []int32
-	queue []graph.NodeID
+	bfs   *decomp.BFSScratch
 	chain []graph.NodeID
 }
 
 func newExpander(g *graph.Graph, d int) *expander {
-	n := g.N()
-	return &expander{
-		g: g, d: d,
-		stamp: make([]int32, n),
-		dist:  make([]int32, n),
-		par:   make([]int32, n),
-	}
+	return &expander{d: d, bfs: decomp.NewBFSScratch(g)}
 }
 
-// expand grows dc to its d-neighborhood among nodes of s, extending the
-// Steiner tree along BFS paths (through any relay nodes in G).
-func (ex *expander) expand(dc *decomp.Cluster, inS []bool) *Cluster {
+// expand grows dc to its d-neighborhood among the alive nodes of s,
+// extending the Steiner tree along BFS paths (through alive relay nodes
+// in G). seeds must be dc's alive members, ascending. The cloned base
+// tree keeps dead members and Steiner nodes as nonterminal relics —
+// identically in full builds, masked builds, and repairs, which is what
+// makes repaired clusters byte-equal to from-scratch ones.
+func (ex *expander) expand(dc *decomp.Cluster, inS, alive []bool, seeds []graph.NodeID) *Cluster {
 	tree := dc.Tree.Clone()
-	// Multi-source BFS from the cluster members through all of G.
-	ex.epoch++
-	ex.queue = ex.queue[:0]
-	for _, v := range dc.Members {
-		ex.stamp[v] = ex.epoch
-		ex.dist[v] = 0
-		ex.par[v] = -1
-		ex.queue = append(ex.queue, v)
-	}
-	seeds := len(ex.queue)
-	for head := 0; head < len(ex.queue); head++ {
-		v := ex.queue[head]
-		if ex.dist[v] == int32(ex.d) {
-			continue
-		}
-		for _, nb := range ex.g.Neighbors(v) {
-			if ex.stamp[nb.Node] != ex.epoch {
-				ex.stamp[nb.Node] = ex.epoch
-				ex.dist[nb.Node] = ex.dist[v] + 1
-				ex.par[nb.Node] = int32(v)
-				ex.queue = append(ex.queue, nb.Node)
-			}
-		}
-	}
-	members := append([]graph.NodeID(nil), dc.Members...)
-	for _, v := range ex.queue[seeds:] {
+	visited := ex.bfs.Run(seeds, ex.d, alive)
+	members := append([]graph.NodeID(nil), seeds...)
+	for _, v := range visited[len(seeds):] {
 		if !inS[v] {
 			continue // only cover nodes of the target set
 		}
@@ -199,7 +227,7 @@ func (ex *expander) expand(dc *decomp.Cluster, inS []bool) *Cluster {
 		ex.attachPath(tree, v)
 	}
 	sort.Slice(members, func(i, j int) bool { return members[i] < members[j] })
-	return &Cluster{Root: tree.Root, Members: members, Tree: tree.Finalize()}
+	return &Cluster{Root: tree.Root, Members: members, Seeds: seeds, Tree: tree.Finalize(), base: dc}
 }
 
 // attachPath splices the BFS path from v back to the tree into the tree.
@@ -208,10 +236,11 @@ func (ex *expander) attachPath(tree *decomp.Tree, v graph.NodeID) {
 	w := v
 	for !tree.Has(w) {
 		ex.chain = append(ex.chain, w)
-		if ex.par[w] < 0 {
+		p := ex.bfs.Parent(w)
+		if p < 0 {
 			panic("cover: BFS path did not reach the cluster tree")
 		}
-		w = graph.NodeID(ex.par[w])
+		w = p
 	}
 	for i := len(ex.chain) - 1; i >= 0; i-- {
 		c := ex.chain[i]
@@ -229,13 +258,19 @@ type Layered struct {
 
 // BuildLayered constructs the layered sparse cover up to radius d.
 func BuildLayered(g *graph.Graph, d int, s []graph.NodeID) *Layered {
+	return BuildLayeredMasked(g, d, s, nil)
+}
+
+// BuildLayeredMasked constructs the layered sparse cover of the alive
+// nodes of s (see BuildMasked).
+func BuildLayeredMasked(g *graph.Graph, d int, s []graph.NodeID, alive []bool) *Layered {
 	if d < 1 {
 		panic(fmt.Sprintf("cover: layered d must be >= 1, got %d", d))
 	}
 	var levels []*Cover
 	for j := 0; ; j++ {
 		r := 1 << uint(j)
-		levels = append(levels, Build(g, r, s))
+		levels = append(levels, BuildMasked(g, r, s, alive))
 		if r >= d {
 			break
 		}

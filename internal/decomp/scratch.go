@@ -1,0 +1,85 @@
+package decomp
+
+import (
+	"repro/internal/graph"
+)
+
+// BFSScratch is an epoch-stamped multi-source bounded BFS over G — the
+// scratch discipline the decomposition builder uses per grow-step,
+// exported so the cover expander and the cover repair path share one
+// allocation-free traversal: entries are valid iff stamp[v] equals the
+// current epoch, so consecutive runs reuse the dense arrays with no
+// clearing.
+//
+// Run optionally masks the traversal by an alive set, which is what
+// makes incremental repair possible: a masked run from a cluster's
+// surviving seeds explores exactly the region a from-scratch masked
+// build would, and a masked run from the faulted nodes delimits the
+// clusters whose regions a fault can have touched.
+type BFSScratch struct {
+	g     *graph.Graph
+	epoch int32
+	stamp []int32
+	dist  []int32
+	par   []int32
+	queue []graph.NodeID
+}
+
+// NewBFSScratch returns scratch sized for g.
+func NewBFSScratch(g *graph.Graph) *BFSScratch {
+	n := g.N()
+	return &BFSScratch{
+		g:     g,
+		stamp: make([]int32, n),
+		dist:  make([]int32, n),
+		par:   make([]int32, n),
+	}
+}
+
+// Run grows a multi-source BFS from sources to the given depth. alive,
+// when non-nil, restricts the traversal: dead nodes are neither visited
+// nor relayed through (sources are assumed alive — pre-filter them).
+// Duplicate sources are admitted once. The returned slice lists visited
+// nodes in BFS order, sources first, and is only valid until the next
+// Run.
+func (b *BFSScratch) Run(sources []graph.NodeID, depth int, alive []bool) []graph.NodeID {
+	b.epoch++
+	b.queue = b.queue[:0]
+	for _, v := range sources {
+		if b.stamp[v] == b.epoch {
+			continue
+		}
+		b.stamp[v] = b.epoch
+		b.dist[v] = 0
+		b.par[v] = -1
+		b.queue = append(b.queue, v)
+	}
+	for head := 0; head < len(b.queue); head++ {
+		v := b.queue[head]
+		if b.dist[v] == int32(depth) {
+			continue
+		}
+		for _, nb := range b.g.Neighbors(v) {
+			u := nb.Node
+			if b.stamp[u] == b.epoch || (alive != nil && !alive[u]) {
+				continue
+			}
+			b.stamp[u] = b.epoch
+			b.dist[u] = b.dist[v] + 1
+			b.par[u] = int32(v)
+			b.queue = append(b.queue, u)
+		}
+	}
+	return b.queue
+}
+
+// Visited reports whether v was reached by the most recent Run.
+func (b *BFSScratch) Visited(v graph.NodeID) bool { return b.stamp[v] == b.epoch }
+
+// Dist returns v's BFS distance in the most recent Run; only valid when
+// Visited(v).
+func (b *BFSScratch) Dist(v graph.NodeID) int { return int(b.dist[v]) }
+
+// Parent returns v's BFS predecessor in the most recent Run (-1 at a
+// source); only valid when Visited(v).
+func (b *BFSScratch) Parent(v graph.NodeID) graph.NodeID { return graph.NodeID(b.par[v]) }

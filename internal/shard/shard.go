@@ -47,6 +47,12 @@ type Config struct {
 	Workload string
 	// Adversary is the delay-adversary spec (see ParseAdversary).
 	Adversary string
+	// Faults is the fault-schedule spec (see async.ParseFaultSpec); ""
+	// or "none" runs fault-free. Every worker wraps its adversary in the
+	// same schedule, and fault decisions are pure functions of
+	// (seed, link, txSeq, epoch), so the sharded run stays byte-identical
+	// to the serial faulty run.
+	Faults string
 	// Sources are the workload's initiating nodes (default {0}).
 	Sources []graph.NodeID
 	// SegWords sizes segment payloads for segment-carrying workloads.
@@ -135,6 +141,9 @@ func Run(cfg Config) (*Report, error) {
 		k = full.N()
 	}
 	if _, err := ParseAdversary(cfg.Adversary); err != nil {
+		return nil, err
+	}
+	if _, err := async.ParseFaultSpec(cfg.Faults); err != nil {
 		return nil, err
 	}
 	if _, err := NewWorkload(cfg.Workload, WorkloadConfig{Sources: cfg.Sources, SegWords: cfg.SegWords}); err != nil {
@@ -300,6 +309,7 @@ func (c *coord) run(full *graph.Graph) (rep *Report, err error) {
 		GraphSpec: c.cfg.GraphSpec,
 		Cuts:      c.part.Cuts(),
 		Adversary: c.cfg.Adversary,
+		Faults:    c.cfg.Faults,
 		Workload:  c.cfg.Workload,
 		Sources:   sortNodeIDs(append([]graph.NodeID(nil), c.cfg.Sources...)),
 		SegWords:  c.cfg.SegWords,
@@ -534,6 +544,9 @@ func (c *coord) readResult(wc *workerConn, rep *Report, idx int, traces *[][]asy
 	}
 	res.Msgs += rd.u64()
 	res.Acks += rd.u64()
+	res.Dropped += rd.u64()
+	res.Retrans += rd.u64()
+	res.Undeliverable += rd.u64()
 	si := &rep.Shards[idx]
 	si.Steps = rd.u64()
 	si.SegLive = int(rd.u64())
@@ -589,6 +602,7 @@ func (c *coord) readResult(wc *workerConn, rep *Report, idx int, traces *[][]asy
 			break
 		}
 		te.Msg.Body = wire.DecodeBody(raw)
+		te.Kind = async.TraceKind(rd.u8())
 		tr = append(tr, te)
 	}
 	if c.cfg.KeepTrace {

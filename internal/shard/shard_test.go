@@ -31,6 +31,11 @@ func serialRun(t testing.TB, cfg Config) async.Result {
 	if err != nil {
 		t.Fatal(err)
 	}
+	fs, err := async.ParseFaultSpec(cfg.Faults)
+	if err != nil {
+		t.Fatal(err)
+	}
+	adv = async.WithFaults(adv, fs)
 	mk, err := NewWorkload(cfg.Workload, WorkloadConfig{Sources: cfg.Sources, SegWords: cfg.SegWords})
 	if err != nil {
 		t.Fatal(err)
@@ -57,6 +62,11 @@ func compareResults(t *testing.T, got, want async.Result) {
 	}
 	if got.Acks != want.Acks {
 		t.Errorf("Acks = %d, want %d", got.Acks, want.Acks)
+	}
+	if got.Dropped != want.Dropped || got.Retrans != want.Retrans || got.Undeliverable != want.Undeliverable {
+		t.Errorf("fault counters = %d/%d/%d, want %d/%d/%d (dropped/retrans/undeliverable)",
+			got.Dropped, got.Retrans, got.Undeliverable,
+			want.Dropped, want.Retrans, want.Undeliverable)
 	}
 	if !reflect.DeepEqual(got.PerProto, want.PerProto) {
 		t.Errorf("PerProto = %v, want %v", got.PerProto, want.PerProto)
@@ -297,4 +307,88 @@ func TestShardAuto(t *testing.T) {
 		t.Errorf("K=%d exceeds the 5-node graph", rep.Stats.Shards)
 	}
 	compareResults(t, rep.Result, want)
+}
+
+// TestShardFaultMatrix extends the byte-identity matrix to the fault
+// plane: fault schedules × graphs × shard counts, every sharded run
+// compared field-for-field (counters, outputs, full trace including
+// Undeliverable entries) against the serial engine with the identical
+// schedule. Fault decisions are pure functions of (seed, endpoints,
+// txSeq, epoch), so shard boundaries must not shift a single drop.
+func TestShardFaultMatrix(t *testing.T) {
+	faults := []string{
+		"drop:p=0.1,budget=3,seed=5",
+		"drop:p=0.3,budget=0,seed=9",
+		"crash:p=0.02,drop:p=0.05,budget=2,seed=7",
+		"link:p=0.05,budget=2,seed=11",
+	}
+	graphs := []string{"grid:10x10", "pa:n=150,m=2,seed=5", "ring:k=8,c=4"}
+	for _, spec := range faults {
+		for _, gr := range graphs {
+			cfg := Config{
+				GraphSpec: gr,
+				Workload:  "flood",
+				Adversary: "random:13",
+				Faults:    spec,
+				KeepTrace: true,
+			}
+			want := serialRun(t, cfg)
+			for _, k := range []int{1, 2, 4} {
+				cfg := cfg
+				cfg.Shards = k
+				t.Run(fmt.Sprintf("%s/%s/k=%d", gr, spec, k), func(t *testing.T) {
+					rep, err := Run(cfg)
+					if err != nil {
+						t.Fatal(err)
+					}
+					compareResults(t, rep.Result, want)
+					if rep.Result.Dropped != rep.Result.Retrans+rep.Result.Undeliverable {
+						t.Errorf("dropped %d != retrans %d + undeliverable %d",
+							rep.Result.Dropped, rep.Result.Retrans, rep.Result.Undeliverable)
+					}
+				})
+			}
+			if want.Dropped == 0 {
+				t.Errorf("%s on %s dropped nothing — matrix row is vacuous", spec, gr)
+			}
+		}
+	}
+}
+
+// TestShardFaultProcess is the end-to-end cross-process check: real
+// worker processes under a combined crash+drop schedule, byte-identical
+// to serial. The fault counters and trace Kind bytes travel the RESULT
+// wire protocol, so this also pins their serialization.
+func TestShardFaultProcess(t *testing.T) {
+	if testing.Short() {
+		t.Skip("spawns worker processes")
+	}
+	cfg := Config{
+		GraphSpec: "grid3d:5x5x5",
+		Workload:  "flood",
+		Adversary: "skew:cut=60,fast=0.25",
+		Faults:    "crash:p=0.01,drop:p=0.1,budget=2,seed=3",
+		Shards:    2,
+		KeepTrace: true,
+		Launch:    LaunchProcess,
+		CeilingMB: 1024,
+	}
+	want := serialRun(t, cfg)
+	rep, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	compareResults(t, rep.Result, want)
+	if want.Dropped == 0 {
+		t.Error("process fault run dropped nothing — check the schedule")
+	}
+}
+
+// TestShardFaultConfigError pins Run's early validation of the fault
+// spec string.
+func TestShardFaultConfigError(t *testing.T) {
+	cfg := Config{GraphSpec: "grid:4x4", Workload: "flood", Adversary: "fixed:0.5", Faults: "drop:p=2"}
+	if _, err := Run(cfg); err == nil {
+		t.Fatal("invalid fault spec accepted")
+	}
 }

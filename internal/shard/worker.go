@@ -66,6 +66,7 @@ type hello struct {
 	Cuts      []graph.NodeID
 	Self      int
 	Adversary string
+	Faults    string
 	Workload  string
 	Sources   []graph.NodeID
 	SegWords  int
@@ -130,6 +131,11 @@ func serveWorker(conn net.Conn, idx int, full *graph.Graph, ownProcess bool) err
 	if err != nil {
 		return err
 	}
+	fs, err := async.ParseFaultSpec(cfg.Faults)
+	if err != nil {
+		return err
+	}
+	adv = async.WithFaults(adv, fs)
 	mk, err := NewWorkload(cfg.Workload, WorkloadConfig{Sources: cfg.Sources, SegWords: cfg.SegWords})
 	if err != nil {
 		return err
@@ -258,6 +264,9 @@ func serveWorker(conn net.Conn, idx int, full *graph.Graph, ownProcess bool) err
 	out = appendF64(out, res.QuiesceTime)
 	out = appendU64(out, res.Msgs)
 	out = appendU64(out, res.Acks)
+	out = appendU64(out, res.Dropped)
+	out = appendU64(out, res.Retrans)
+	out = appendU64(out, res.Undeliverable)
 	out = appendU64(out, sim.ShardSteps())
 	out = appendU64(out, uint64(sim.Arena().Live()))
 	out = appendU32(out, uint32(sub.NLocal()))
@@ -294,6 +303,7 @@ func serveWorker(conn net.Conn, idx int, full *graph.Graph, ownProcess bool) err
 		out = appendI32(out, int32(te.Msg.Proto))
 		out = appendI32(out, int32(te.Msg.Stage))
 		out = wire.AppendBody(out, te.Msg.Body)
+		out = appendU8(out, uint8(te.Kind))
 	}
 	return writeMsg(w, msgResult, out)
 }
