@@ -38,7 +38,19 @@ SHARD_BENCH_SHARDS ?= 1,2,4,8
 SHARD_BENCH_OUT     = BENCH_7.json
 SHARD_BENCH_NOTE   ?= multi-process shard sweep: flood on $(SHARD_BENCH_SPEC), K=$(SHARD_BENCH_SHARDS) worker processes over unix sockets, fixed:1 delays; per-window workerNs (critical path), commNs (barrier wait), mergeNs (coordinator) metrics — on hosts with fewer cores than K the extra processes timeshare and the comm column absorbs the oversubscription
 
-.PHONY: build test race bench bench-shard bench-faults fmt vet
+# The state-plane overhead sweep committed as BENCH_9.json: the flood
+# checkpointed at interval fractions of its event count, reporting frame
+# bytes, serialization cost per checkpoint, restore cost, and the
+# checkpointed run's wall-clock ratio against the uninterrupted baseline;
+# the SNAP_BENCH_SPEC case is the million-node row. Every row asserts the
+# round-trip invariant (restore-and-finish byte-identical to the baseline)
+# before reporting; see internal/bench's BenchmarkSnapshotSweep and
+# experiment E18.
+SNAP_BENCH_SPEC  ?= grid3d:100x100x100
+SNAP_BENCH_OUT    = BENCH_9.json
+SNAP_BENCH_NOTE  ?= state-plane overhead sweep: flood checkpointed at est/8, est/2, est event intervals on grid:40x40 and er:n=500 plus a single-interval $(SNAP_BENCH_SPEC) million-node row; frameBytes, saveMsPerSnap, restoreMs, timeX vs the uninterrupted baseline — every row requires the run restored from the last checkpoint to finish byte-identical to the baseline before metrics are reported
+
+.PHONY: build test race bench bench-shard bench-faults bench-snapshot fmt vet
 
 build:
 	go build ./...
@@ -80,3 +92,10 @@ bench-shard:
 	cat .bench-shard.out | go run ./cmd/benchjson -note "$(SHARD_BENCH_NOTE)" > $(SHARD_BENCH_OUT)
 	rm -f .bench-shard.out
 	@cat $(SHARD_BENCH_OUT)
+
+bench-snapshot:
+	SNAP_BENCH_SPEC=$(SNAP_BENCH_SPEC) \
+		go test -run '^$$' -bench BenchmarkSnapshotSweep -benchtime 1x -timeout 60m ./internal/bench/ > .bench-snapshot.out
+	cat .bench-snapshot.out | go run ./cmd/benchjson -note "$(SNAP_BENCH_NOTE)" > $(SNAP_BENCH_OUT)
+	rm -f .bench-snapshot.out
+	@cat $(SNAP_BENCH_OUT)

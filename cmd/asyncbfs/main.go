@@ -24,12 +24,19 @@
 // its message count is the relaxation volume, not Theorem 4.23's — so the
 // two modes print distances that agree while the rest of the summary
 // differs by design.
+//
+// Sharded runs checkpoint and resume: -snapshot-every N -snapshot-path F
+// writes a consistent distributed snapshot every N executed events, and
+// -resume F continues a checkpointed run — at the same shard count or any
+// other (-shards applies to the resumed run; the graph, adversary, fault
+// schedule, and sources come from the file).
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"sort"
 	"strconv"
 	"strings"
 
@@ -56,6 +63,9 @@ func run() int {
 		quiet   = flag.Bool("quiet", false, "suppress per-node output")
 		shards  = flag.Int("shards", 0, "run multi-source BFS on K sharded worker processes instead of the synchronizer stack (0 = off)")
 		faults  = flag.String("faults", "", "fault schedule (e.g. drop:p=0.05,budget=3,seed=7); empty = fault-free")
+		snapN   = flag.Uint64("snapshot-every", 0, "with -shards: checkpoint the run every N executed events (requires -snapshot-path)")
+		snapP   = flag.String("snapshot-path", "", "checkpoint file the sharded run writes (atomically replaced at each checkpoint)")
+		resume  = flag.String("resume", "", "resume a sharded run from a checkpoint file; graph/workload identity comes from the file, -shards stays yours")
 	)
 	flag.Parse()
 	var execMode dsync.AsyncExecutionMode
@@ -67,9 +77,9 @@ func run() int {
 	case "multi":
 		execMode = dsync.AsyncModeMulti
 	case "spec":
-		// The BFS synchronizer stack does not implement StateCloner yet, so
-		// this currently falls back to the bounded-lag executor; the flag
-		// exists so the fallback path is reachable from the CLI.
+		// The synchronizer stack's state codecs double as its StateCloner,
+		// so this runs genuinely speculatively (no fallback; the regression
+		// test on SpecStats().FellBack pins it).
 		execMode = dsync.AsyncModeSpec
 	default:
 		fmt.Fprintf(os.Stderr, "unknown mode %q (want auto|single|multi|spec)\n", *mode)
@@ -90,8 +100,15 @@ func run() int {
 		fmt.Fprintln(os.Stderr, err)
 		return 2
 	}
+	if *resume != "" {
+		return runResumed(*resume, *shards, *snapN, *snapP, *quiet)
+	}
+	if (*snapN > 0 || *snapP != "") && *shards <= 0 {
+		fmt.Fprintln(os.Stderr, "-snapshot-every/-snapshot-path checkpoint the sharded engine; add -shards K")
+		return 2
+	}
 	if *shards > 0 {
-		return runSharded(g, *kind, *n, *m, *rows, *cols, *seed, srcs, *shards, *quiet, *faults)
+		return runSharded(g, *kind, *n, *m, *rows, *cols, *seed, srcs, *shards, *quiet, *faults, *snapN, *snapP)
 	}
 	res := dsync.AsyncBFSMode(g, srcs, dsync.WithFaults(dsync.RandomDelays(*seed), fs), execMode)
 	// The exact diameter is an O(n·m) all-pairs sweep — a header nicety on
@@ -125,20 +142,22 @@ const maxDiameterNodes = 1 << 14
 
 // runSharded computes the distances on K worker processes via the
 // shard coordinator's monotone-relaxation BFS workload.
-func runSharded(g *dsync.Graph, kind string, n, m, rows, cols int, seed uint64, srcs []dsync.NodeID, k int, quiet bool, faults string) int {
+func runSharded(g *dsync.Graph, kind string, n, m, rows, cols int, seed uint64, srcs []dsync.NodeID, k int, quiet bool, faults string, snapN uint64, snapP string) int {
 	spec, err := specFor(kind, n, m, rows, cols, seed)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		return 2
 	}
 	rep, err := shard.Run(shard.Config{
-		GraphSpec: spec,
-		Workload:  "bfs",
-		Adversary: fmt.Sprintf("random:%d", seed),
-		Faults:    faults,
-		Sources:   srcs,
-		Shards:    k,
-		Launch:    shard.LaunchProcess,
+		GraphSpec:     spec,
+		Workload:      "bfs",
+		Adversary:     fmt.Sprintf("random:%d", seed),
+		Faults:        faults,
+		Sources:       srcs,
+		Shards:        k,
+		Launch:        shard.LaunchProcess,
+		SnapshotEvery: snapN,
+		SnapshotPath:  snapP,
 	})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
@@ -157,6 +176,40 @@ func runSharded(g *dsync.Graph, kind string, n, m, rows, cols int, seed uint64, 
 		} else {
 			fmt.Printf("node %3d: unreached\n", v)
 		}
+	}
+	return 0
+}
+
+// runResumed continues a checkpointed sharded run. The checkpoint file
+// carries the workload identity (graph, adversary, faults, sources), so
+// the topology flags are ignored; -shards picks the resumed shard count,
+// which may differ from the checkpoint's.
+func runResumed(path string, k int, snapN uint64, snapP string, quiet bool) int {
+	rep, err := shard.Run(shard.Config{
+		ResumeFrom:    path,
+		Shards:        k,
+		Launch:        shard.LaunchProcess,
+		SnapshotEvery: snapN,
+		SnapshotPath:  snapP,
+	})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		return 1
+	}
+	res := rep.Result
+	fmt.Printf("resumed=%s shards=%d cuts=%v\n", path, rep.Stats.Shards, rep.Cuts)
+	fmt.Printf("time=%.1f msgs=%d windows=%d frames=%d (relaxation BFS: distances only)\n",
+		res.Time, res.Msgs, rep.Stats.Windows, rep.Stats.Frames)
+	if quiet {
+		return 0
+	}
+	ids := make([]int, 0, len(res.Outputs))
+	for v := range res.Outputs {
+		ids = append(ids, int(v))
+	}
+	sort.Ints(ids)
+	for _, v := range ids {
+		fmt.Printf("node %3d: dist=%v\n", v, res.Outputs[dsync.NodeID(v)])
 	}
 	return 0
 }

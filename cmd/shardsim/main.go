@@ -9,6 +9,8 @@
 //	shardsim -graph grid3d:32x32x32 -shards 2 -verify     # compare vs serial
 //	shardsim -graph grid3d:100x100x100 -shards 2 -ceiling-mb 1024
 //	shardsim -graph grid3d:32x32x32 -shards 2 -faults drop:p=0.05,budget=3,seed=7 -verify
+//	shardsim -graph grid:200x200 -shards 2 -snapshot-every 50000 -snapshot-path run.ckpt
+//	shardsim -resume run.ckpt -shards 4    # continue at a different K
 //
 // Workers are re-execs of this binary: the coordinator spawns K copies
 // with REPRO_SHARD_SOCKET/REPRO_SHARD_INDEX set (plus a cosmetic
@@ -55,6 +57,9 @@ func run() int {
 		inproc   = flag.Bool("inproc", false, "serve workers on goroutines instead of spawned processes")
 		ceiling  = flag.Int64("ceiling-mb", 0, "fail if any worker's settled heap exceeds this many MB (process workers; 0 = off)")
 		verify   = flag.Bool("verify", false, "also run the serial single-process engine and require byte-identical results")
+		snapN    = flag.Uint64("snapshot-every", 0, "checkpoint the run every N executed events (requires -snapshot-path)")
+		snapP    = flag.String("snapshot-path", "", "checkpoint file (atomically replaced at each checkpoint)")
+		resume   = flag.String("resume", "", "resume from a checkpoint file; graph/workload/adversary/faults come from the file, -shards stays yours")
 		_        = flag.Bool("shard-worker", false, "(internal) cosmetic marker on re-exec'd worker argv; workers are configured via environment")
 	)
 	flag.Parse()
@@ -62,6 +67,10 @@ func run() int {
 	srcs, err := parseSources(*sources)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
+		return 2
+	}
+	if *resume != "" && *verify {
+		fmt.Fprintln(os.Stderr, "-verify needs the full workload spec, which a -resume run takes from the checkpoint file; run -verify on the uninterrupted configuration instead")
 		return 2
 	}
 	cfg := shard.Config{
@@ -75,10 +84,13 @@ func run() int {
 		// Traces are only needed for -verify, and segment-carrying traces
 		// hold arena-local handles that never compare equal across
 		// processes — the documented caveat — so they stay off for segflood.
-		KeepTrace:  *verify && *workload != "segflood",
-		CeilingMB:  *ceiling,
-		Launch:     shard.LaunchProcess,
-		WorkerArgs: []string{"-shard-worker"},
+		KeepTrace:     *verify && *workload != "segflood",
+		CeilingMB:     *ceiling,
+		Launch:        shard.LaunchProcess,
+		WorkerArgs:    []string{"-shard-worker"},
+		SnapshotEvery: *snapN,
+		SnapshotPath:  *snapP,
+		ResumeFrom:    *resume,
 	}
 	if *inproc {
 		cfg.Launch = shard.LaunchInProc
@@ -91,8 +103,13 @@ func run() int {
 
 	res := rep.Result
 	st := rep.Stats
-	fmt.Printf("graph=%s workload=%s adv=%s shards=%d cuts=%v crossLinks=%d\n",
-		*spec, *workload, *adv, st.Shards, rep.Cuts, st.CrossLinks)
+	if *resume != "" {
+		fmt.Printf("resumed=%s shards=%d cuts=%v crossLinks=%d\n",
+			*resume, st.Shards, rep.Cuts, st.CrossLinks)
+	} else {
+		fmt.Printf("graph=%s workload=%s adv=%s shards=%d cuts=%v crossLinks=%d\n",
+			*spec, *workload, *adv, st.Shards, rep.Cuts, st.CrossLinks)
+	}
 	if *faults != "" {
 		fmt.Printf("faults=%s dropped=%d retrans=%d undeliverable=%d\n",
 			*faults, res.Dropped, res.Retrans, res.Undeliverable)
@@ -108,6 +125,9 @@ func run() int {
 		fmt.Printf("  proto %d: %d msgs\n", p, res.PerProto[async.Proto(p)])
 	}
 	fmt.Printf("windows=%d frames=%d frameKB=%d\n", st.Windows, st.Frames, st.FrameBytes>>10)
+	if st.Snapshots > 0 {
+		fmt.Printf("snapshots=%d snapshotMs=%.1f path=%s\n", st.Snapshots, ms(st.SnapshotNs), *snapP)
+	}
 	fmt.Printf("startup=%.1fms worker=%.1fms comm=%.1fms merge=%.1fms", ms(st.StartupNs), ms(st.WorkerNs), ms(st.CommNs), ms(st.MergeNs))
 	if st.Windows > 0 {
 		fmt.Printf("  (per window: worker=%.1fµs comm=%.1fµs merge=%.1fµs)",

@@ -3,7 +3,7 @@
 // Usage:
 //
 //	syncbench                      # run every experiment
-//	syncbench -exp E5              # run one experiment (E1..E17)
+//	syncbench -exp E5              # run one experiment (E1..E18)
 //	syncbench -exp E2,E3,E4        # run a subset, in the given order
 //	syncbench -list                # list experiment ids and titles
 //	syncbench -parallel 8          # run independent trials on 8 workers
@@ -14,6 +14,8 @@
 //	syncbench -exp E16 -graph grid3d:100x100x100   # add a million-node row
 //	syncbench -exp E14 -shards 2       # add multi-process shard-protocol rows
 //	syncbench -exp E17 -faults crash:p=0.01,drop:p=0.05,budget=3,seed=7
+//	syncbench -exp E18 -snapshot-every 100000  # extra checkpoint-interval row
+//	syncbench -exp E18 -resume run.ckpt        # price restoring a real checkpoint
 //
 // Tables are byte-identical for any -parallel or -mode value; -json
 // replaces the tables with one syncbench/v1 JSON document of per-row
@@ -39,6 +41,11 @@
 // measure behavior under deterministic message loss and crash blackouts
 // instead of the published fault-free shapes. E17 additionally appends
 // the spec as an extra row after its built-in schedule grid.
+//
+// -snapshot-every appends an extra checkpoint interval to E18's sweep, and
+// -resume points E18 at a checkpoint file written by a sharded run
+// (shardsim/asyncbfs -snapshot-path), adding a row that prices a full
+// restore-to-completion; both are validated before any experiment runs.
 package main
 
 import (
@@ -57,7 +64,7 @@ func main() {
 }
 
 func run() int {
-	exp := flag.String("exp", "", "comma-separated experiment ids (E1..E17); empty = all")
+	exp := flag.String("exp", "", "comma-separated experiment ids (E1..E18); empty = all")
 	parallel := flag.Int("parallel", 1, "worker-pool size for independent trials (1 = serial)")
 	jsonOut := flag.Bool("json", false, "emit structured JSON records instead of text tables")
 	list := flag.Bool("list", false, "list experiment ids and titles, then exit")
@@ -66,6 +73,8 @@ func run() int {
 	graphSpec := flag.String("graph", "", "extra topology for E13/E14/E16, as a graph spec (e.g. grid3d:100x100x100)")
 	shards := flag.Int("shards", 0, "add E14 rows running the multi-process shard protocol with K workers (0 = off; 1 = degenerate single-shard run, byte-identical)")
 	faults := flag.String("faults", "", "fault schedule wrapped around every adversary (e.g. crash:p=0.01,drop:p=0.05,budget=3,seed=7); empty = fault-free")
+	snapEvery := flag.Uint64("snapshot-every", 0, "extra checkpoint interval for E18's sweep (0 = built-ins only)")
+	resume := flag.String("resume", "", "checkpoint file for E18's restore-to-completion row (from shardsim/asyncbfs -snapshot-path)")
 	flag.Parse()
 	if *list {
 		for _, info := range bench.List() {
@@ -97,7 +106,7 @@ func run() int {
 			ids = append(ids, strings.TrimSpace(id))
 		}
 	}
-	opts := bench.Options{Workers: *parallel, JSON: *jsonOut, Seed: *seed, Mode: execMode, AsyncMode: asyncMode, Graph: *graphSpec, Shards: *shards, Faults: *faults}
+	opts := bench.Options{Workers: *parallel, JSON: *jsonOut, Seed: *seed, Mode: execMode, AsyncMode: asyncMode, Graph: *graphSpec, Shards: *shards, Faults: *faults, SnapshotEvery: *snapEvery, Resume: *resume}
 	if err := bench.Run(os.Stdout, ids, opts); err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		return 2

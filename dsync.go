@@ -7,8 +7,10 @@
 //   - the lockstep synchronous runner for event-driven algorithms,
 //   - the paper's deterministic synchronizer plus Awerbuch's α/β/γ,
 //   - the asynchronous BFS family of §4,
-//   - and ready-made deterministic asynchronous leader election and MST
-//     (Corollaries 1.2–1.4).
+//   - ready-made deterministic asynchronous leader election and MST
+//     (Corollaries 1.2–1.4),
+//   - and the state plane: versioned snapshot / restore / replay of
+//     stepwise runs (NewSynchronizedRun, NewLockstepRun, Replay).
 //
 // See README.md for a quickstart and DESIGN.md for the system inventory.
 package dsync
@@ -304,4 +306,63 @@ func AsyncBFSMode(g *Graph, sources []NodeID, adv Adversary, mode AsyncExecution
 // nodes beyond τ output Unreachable.
 func ThresholdedBFS(g *Graph, sources []NodeID, tau int, adv Adversary) abfs.Result {
 	return abfs.Thresholded(abfs.Config{Graph: g, Sources: sources, Threshold: tau, Adversary: adv})
+}
+
+// State plane: versioned snapshot / restore / replay. A snapshot is a
+// sealed, pointer-free byte frame of a run's complete state, taken at an
+// event boundary (asynchronous engine) or pulse boundary (lockstep
+// runner). Restoring it into a handle built over the same graph and
+// algorithm continues the run byte-identically to the uninterrupted one,
+// in every execution mode — so checkpoints can also fork ("what happens
+// from here under a different engine?") and replay deterministically.
+// Handlers participate via StateCodec; every shipped algorithm and the
+// synchronizer stack implement it.
+type (
+	// SynchronizedRun is a stepwise synchronized execution handle
+	// (async.Sim): RunSteps / Snapshot / Restore / FinishResult, or plain
+	// Run to completion.
+	SynchronizedRun = async.Sim
+	// LockstepRun is a stepwise lockstep execution handle
+	// (syncrun.Runner): RunPulses / Snapshot / Restore / FinishResult.
+	LockstepRun = syncrun.Runner
+	// StateCodec is the per-handler serialization contract snapshots are
+	// built from (SaveState/LoadState over the wire codec).
+	StateCodec = wire.StateCodec
+)
+
+// NewLockstepRun builds a stepwise lockstep runner over the synchronous
+// algorithm: RunPulses(k) advances k pulses, Snapshot() checkpoints at the
+// pulse boundary, FinishResult() closes a quiescent run.
+func NewLockstepRun(g *Graph, mk func(NodeID) Algorithm) *LockstepRun {
+	return syncrun.New(g, mk)
+}
+
+// NewSynchronizedRun assembles the paper's synchronizer stack over the
+// synchronous algorithm without running it, for stepwise execution and
+// checkpointing: RunSteps(k) advances k engine events, Snapshot()
+// checkpoints between events, Run() finishes in any execution mode.
+func NewSynchronizedRun(g *Graph, bound int, adv Adversary, mk func(NodeID) Algorithm) *SynchronizedRun {
+	return core.NewSynchronizedSim(core.Config{Graph: g, Bound: bound, Adversary: adv}, mk)
+}
+
+// Replay restores a snapshot into the synchronized run handle and plays it
+// to completion. Restore discards any state the handle held, so the same
+// handle can replay the same snapshot repeatedly — deterministic replay
+// debugging — or run snapshots taken at different points of one run.
+func Replay(run *SynchronizedRun, snapshot []byte) (AsyncResult, error) {
+	if err := run.Restore(snapshot); err != nil {
+		return AsyncResult{}, err
+	}
+	return run.Run(), nil
+}
+
+// ReplayLockstep builds a fresh lockstep runner (a lockstep restore
+// requires a pristine runner), restores the snapshot, and plays it to
+// completion.
+func ReplayLockstep(g *Graph, mk func(NodeID) Algorithm, snapshot []byte) (SyncResult, error) {
+	r := syncrun.New(g, mk)
+	if err := r.Restore(snapshot); err != nil {
+		return SyncResult{}, err
+	}
+	return r.Run(), nil
 }

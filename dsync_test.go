@@ -123,3 +123,46 @@ func TestPublicAPIAsyncModes(t *testing.T) {
 		t.Fatal("AsyncBFSMode results differ across async execution modes")
 	}
 }
+
+func TestPublicAPISnapshotReplay(t *testing.T) {
+	g := Grid(5, 5)
+	mk := NewBFS([]NodeID{0})
+	sres := RunSync(g, mk)
+	bound := sres.Rounds + 2
+
+	// Synchronized (asynchronous-engine) checkpoint: step, snapshot,
+	// replay twice through the same handle.
+	want := Synchronize(g, bound, RandomDelays(2), mk)
+	run := NewSynchronizedRun(g, bound, RandomDelays(2), mk)
+	run.RunSteps(100)
+	snap, err := run.Snapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	replayer := NewSynchronizedRun(g, bound, RandomDelays(2), mk)
+	for i := 0; i < 2; i++ {
+		got, err := Replay(replayer, snap)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(got, want) {
+			t.Fatalf("replay %d diverged from the uninterrupted synchronized run", i)
+		}
+	}
+
+	// Lockstep checkpoint: snapshot at a pulse boundary, replay.
+	swant := RunSync(g, mk)
+	lr := NewLockstepRun(g, mk)
+	lr.RunPulses(2)
+	lsnap, err := lr.Snapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	sgot, err := ReplayLockstep(g, mk, lsnap)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(sgot, swant) {
+		t.Fatal("lockstep replay diverged from the uninterrupted run")
+	}
+}

@@ -69,6 +69,26 @@ type checkGlue struct {
 
 var _ async.Module = (*checkGlue)(nil)
 var _ gather.Callbacks = (*checkGlue)(nil)
+var _ wire.StateCodec = (*checkGlue)(nil)
+var _ async.Rebinder = (*checkGlue)(nil)
+
+// SaveState implements wire.StateCodec. The TBFS handler and the gather
+// module serialize themselves via their own codecs in the enclosing Mux;
+// the glue's own mutable state is just the source-echo verdict.
+func (cg *checkGlue) SaveState(e *wire.Enc) {
+	e.Bool(cg.srcDone)
+	e.Bool(cg.frontier)
+}
+
+// LoadState implements wire.StateCodec.
+func (cg *checkGlue) LoadState(d *wire.Dec) {
+	cg.srcDone = d.Bool()
+	cg.frontier = d.Bool()
+}
+
+// Rebind implements async.Rebinder: on a restored engine Start does not
+// run again, so re-capture the node handle onSourceDone needs.
+func (cg *checkGlue) Rebind(n *async.Node) { cg.node = n }
 
 // Start implements async.Module.
 func (cg *checkGlue) Start(n *async.Node) {

@@ -139,6 +139,20 @@ func (q *eventQueue) reset() {
 	q.cur = 0
 }
 
+// forEach visits every queued event in unspecified order (snapshot
+// serialization; restore re-pushes, and pop order depends only on the
+// events' own (t, seq) keys, not on insertion order).
+func (q *eventQueue) forEach(fn func(*event)) {
+	for i := range q.wheel {
+		for j := range q.wheel[i] {
+			fn(&q.wheel[i][j])
+		}
+	}
+	for j := range q.overflow {
+		fn(&q.overflow[j])
+	}
+}
+
 func evLess(a, b event) bool {
 	if a.t != b.t {
 		return a.t < b.t

@@ -161,6 +161,12 @@ type Sim struct {
 	steps     uint64
 	running   bool
 
+	// resumed marks an engine whose state was loaded from a snapshot
+	// (Restore/ShardRestoreFrame): the next run continues the interrupted
+	// one, so handlers are not re-initialized and pending events already
+	// populate the queue.
+	resumed bool
+
 	// inWindow is true while a parallel window or speculative round is in
 	// flight — between fan-out and barrier merge, the engine's counters are
 	// a committed prefix and Stats refuses to serve them as a snapshot.
@@ -496,6 +502,7 @@ func (s *Sim) Reset(adv Adversary, mk func(id graph.NodeID) Handler) {
 	s.lookahead = checkedLookahead(adv)
 	s.faults = faultsOf(adv)
 	s.running = false
+	s.resumed = false
 	s.events.reset()
 	for k := range s.shards {
 		s.shards[k].reset()
@@ -627,13 +634,18 @@ func (s *Sim) handlersCloneable() bool {
 		if _, ok := h.(StateCloner); !ok {
 			return false
 		}
+		if pr, ok := h.(StateCodecProbe); ok && !pr.StateCodecOK() {
+			return false
+		}
 	}
 	return true
 }
 
 func (s *Sim) runSerial() {
-	for i := range s.handlers {
-		s.handlers[i].Init(&s.nodes[i])
+	if !s.resumed {
+		for i := range s.handlers {
+			s.handlers[i].Init(&s.nodes[i])
+		}
 	}
 	for !s.events.empty() {
 		ev := s.events.pop()
@@ -670,9 +682,15 @@ func (s *Sim) runWindows() {
 		}
 	}()
 	// Init runs serially through the direct context (its schedules route
-	// to the shards), exactly as in ModeSingle.
-	for i := range s.handlers {
-		s.handlers[i].Init(&s.nodes[i])
+	// to the shards), exactly as in ModeSingle. A resumed run skips Init —
+	// its events were restored into the serial queue and are dealt to the
+	// owner shards instead, identities (t, seq) intact.
+	if s.resumed {
+		s.dealRestoredEvents()
+	} else {
+		for i := range s.handlers {
+			s.handlers[i].Init(&s.nodes[i])
+		}
 	}
 	for i := range s.nodes {
 		s.nodes[i].ctxIdx = int32(i%w) + 1
@@ -743,6 +761,17 @@ func (s *Sim) ensureWindowState(w int) {
 		c := &s.wctx[k]
 		c.maxT = 0
 		c.lastOut = 0
+	}
+}
+
+// dealRestoredEvents moves snapshot-restored events from the serial queue
+// into the owner shards of a parallel run. Sequence numbers survived the
+// snapshot, so shard pop order — and therefore the continuation — matches
+// the serial engine's exactly.
+func (s *Sim) dealRestoredEvents() {
+	for !s.events.empty() {
+		ev := s.events.pop()
+		s.shards[int(ownerOf(ev))%len(s.shards)].push(ev)
 	}
 }
 

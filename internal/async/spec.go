@@ -130,9 +130,14 @@ func (s *Sim) runSpec() {
 		}
 	}()
 	// Init runs serially through the direct context (its schedules route
-	// to the shards), exactly as in ModeSingle.
-	for i := range s.handlers {
-		s.handlers[i].Init(&s.nodes[i])
+	// to the shards), exactly as in ModeSingle. A resumed run deals its
+	// restored events to the owner shards instead.
+	if s.resumed {
+		s.dealRestoredEvents()
+	} else {
+		for i := range s.handlers {
+			s.handlers[i].Init(&s.nodes[i])
+		}
 	}
 	for i := range s.nodes {
 		s.nodes[i].ctxIdx = int32(i%w) + 1

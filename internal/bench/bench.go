@@ -1,5 +1,5 @@
 // Package bench implements the experiment harness: one function per
-// experiment in DESIGN.md's index (E1–E17), each regenerating its table of
+// experiment in DESIGN.md's index (E1–E18), each regenerating its table of
 // measured time/message complexities against the paper's predicted shape.
 // Root bench_test.go and cmd/syncbench both call into this package.
 //
@@ -17,6 +17,7 @@ import (
 	"encoding/json"
 	"fmt"
 	"io"
+	"os"
 	"sync"
 	"text/tabwriter"
 
@@ -25,6 +26,7 @@ import (
 	"repro/internal/execpolicy"
 	"repro/internal/graph"
 	"repro/internal/syncrun"
+	"repro/internal/wire"
 )
 
 // Rec is one structured per-row record: column name -> raw (unformatted)
@@ -63,6 +65,7 @@ var experiments = []experiment{
 	{"E15", "speculative execution past the safe window (rollback accounting)", e15SpeculativeExecution},
 	{"E16", "retained footprint vs n (graph plane + engine state)", e16Footprint},
 	{"E17", "fault-plane overhead vs fault rate (crash × drop × budget)", e17FaultOverhead},
+	{"E18", "state-plane snapshot overhead (frame bytes + time vs interval)", e18SnapshotOverheads},
 }
 
 func byID(id string) *experiment {
@@ -144,6 +147,17 @@ type Options struct {
 	// appends the spec as an extra row after its built-in schedule grid.
 	// Invalid specs fail Run before anything runs.
 	Faults string
+	// SnapshotEvery, when > 0, appends an extra checkpoint interval to
+	// every E18 case after its built-in sweep (cmd/syncbench
+	// -snapshot-every), the same extra-row pattern as Graph and Faults.
+	// Other experiments ignore it.
+	SnapshotEvery uint64
+	// Resume is an optional checkpoint file written by a sharded run
+	// (shardsim/asyncbfs -snapshot-path; cmd/syncbench -resume). E18
+	// appends a final row that resumes it through the sharded coordinator
+	// with in-process workers, pricing restore-to-completion on a real
+	// file. Missing or corrupt files fail Run before anything runs.
+	Resume string
 }
 
 // ExpRecords is the JSON shape of one experiment's output.
@@ -179,8 +193,12 @@ type Ctx struct {
 	// uses as its extra-row label.
 	faults *async.FaultSchedule
 	fspec  string
-	cur    *ExpRecords
-	exps   []ExpRecords
+	// snapEvery/resume carry Options.SnapshotEvery/Options.Resume: E18's
+	// extra checkpoint interval and its optional real-file resume row.
+	snapEvery uint64
+	resume    string
+	cur       *ExpRecords
+	exps      []ExpRecords
 }
 
 // seedOr returns the run-wide adversary-seed override, or the
@@ -317,7 +335,16 @@ func Run(w io.Writer, ids []string, opts Options) error {
 	if err != nil {
 		return err
 	}
-	c := &Ctx{w: tw, workers: opts.Workers, seed: opts.Seed, mode: opts.Mode, amode: opts.AsyncMode, gspec: opts.Graph, shards: opts.Shards, faults: fs, fspec: opts.Faults}
+	if opts.Resume != "" {
+		data, err := os.ReadFile(opts.Resume)
+		if err != nil {
+			return err
+		}
+		if _, err := wire.OpenSnapshot(data); err != nil {
+			return fmt.Errorf("resume %s: %v", opts.Resume, err)
+		}
+	}
+	c := &Ctx{w: tw, workers: opts.Workers, seed: opts.Seed, mode: opts.Mode, amode: opts.AsyncMode, gspec: opts.Graph, shards: opts.Shards, faults: fs, fspec: opts.Faults, snapEvery: opts.SnapshotEvery, resume: opts.Resume}
 	if opts.Graph != "" {
 		g, err := graph.FromSpec(opts.Graph)
 		if err != nil {

@@ -27,8 +27,8 @@ func TestByName(t *testing.T) {
 
 func TestRegistryOrdered(t *testing.T) {
 	ids := IDs()
-	if len(ids) != 17 {
-		t.Fatalf("registry has %d experiments, want 17", len(ids))
+	if len(ids) != 18 {
+		t.Fatalf("registry has %d experiments, want 18", len(ids))
 	}
 	for i, id := range ids {
 		if want := fmt.Sprintf("E%d", i+1); id != want {

@@ -1,0 +1,112 @@
+package bench
+
+import (
+	"fmt"
+	"os"
+	"reflect"
+	"testing"
+	"time"
+
+	"repro/internal/async"
+	"repro/internal/graph"
+)
+
+// BenchmarkSnapshotSweep is the committed BENCH_9 sweep: the state
+// plane's overhead (E18's benchmark sibling). Each row runs the flood
+// checkpointed at a fraction of its event count and reports the frame
+// size, serialization cost per checkpoint, restore cost, and the
+// checkpointed run's wall-clock ratio against the uninterrupted baseline.
+// Every row asserts the round-trip invariant before reporting — the run
+// restored from the last checkpoint must finish byte-identical to the
+// baseline.
+//
+// The default graphs are small so `go test -bench` stays cheap; the
+// committed sweep sets SNAP_BENCH_SPEC=grid3d:100x100x100 (the
+// million-node smoke graph; see `make bench-snapshot`) to append the
+// million-node row.
+func BenchmarkSnapshotSweep(b *testing.B) {
+	type snapCase struct {
+		spec  string
+		divs  []uint64 // checkpoint interval = eventEstimate/div + 1
+		bytes bool     // report per-node byte normalization
+	}
+	cases := []snapCase{
+		{"grid:40x40", []uint64{8, 2, 1}, false},
+		{"er:n=500,m=1500,seed=3", []uint64{8, 2, 1}, false},
+	}
+	if spec := os.Getenv("SNAP_BENCH_SPEC"); spec != "" {
+		cases = append(cases, snapCase{spec, []uint64{4}, true})
+	}
+	for _, tc := range cases {
+		g, err := graph.FromSpec(tc.spec)
+		if err != nil {
+			b.Fatalf("SNAP_BENCH_SPEC %q: %v", tc.spec, err)
+		}
+		mk := func(id graph.NodeID) async.Handler { return &e18Flood{root: id == 0} }
+		adv := async.Adversary(async.SeededRandom{Seed: 11})
+
+		t0 := time.Now()
+		base := async.New(g, adv, mk)
+		for !base.RunSteps(1 << 30) {
+		}
+		baseRes := base.FinishResult()
+		baseMs := float64(time.Since(t0)) / 1e6
+		est := baseRes.Msgs + baseRes.Acks
+
+		for _, div := range tc.divs {
+			iv := est/div + 1
+			b.Run(fmt.Sprintf("spec=%s/interval=%d", tc.spec, iv), func(b *testing.B) {
+				var (
+					snaps   uint64
+					saveNs  int64
+					frameB  int
+					runMs   float64
+					restoMs float64
+				)
+				for i := 0; i < b.N; i++ {
+					snaps, saveNs = 0, 0
+					t1 := time.Now()
+					sim := async.New(g, adv, mk)
+					var last []byte
+					for {
+						done := sim.RunSteps(iv)
+						s0 := time.Now()
+						snap, err := sim.Snapshot()
+						saveNs += int64(time.Since(s0))
+						if err != nil {
+							b.Fatal(err)
+						}
+						snaps++
+						last = snap
+						if done {
+							break
+						}
+					}
+					res := sim.FinishResult()
+					runMs = float64(time.Since(t1)) / 1e6
+					frameB = len(last)
+
+					r0 := time.Now()
+					cont := async.New(g, adv, mk)
+					if err := cont.Restore(last); err != nil {
+						b.Fatal(err)
+					}
+					restoMs = float64(time.Since(r0)) / 1e6
+					if !reflect.DeepEqual(res, baseRes) || !reflect.DeepEqual(cont.Run(), baseRes) {
+						b.Fatal("checkpointed or restored run diverged from the uninterrupted baseline")
+					}
+				}
+				b.ReportMetric(float64(snaps), "snaps")
+				b.ReportMetric(float64(frameB), "frameBytes")
+				b.ReportMetric(float64(saveNs)/1e6/float64(snaps), "saveMsPerSnap")
+				b.ReportMetric(restoMs, "restoreMs")
+				b.ReportMetric(runMs, "runMs")
+				b.ReportMetric(baseMs, "baseMs")
+				b.ReportMetric(runMs/baseMs, "timeX")
+				if tc.bytes {
+					b.ReportMetric(float64(frameB)/float64(g.N()), "frameB/node")
+				}
+			})
+		}
+	}
+}

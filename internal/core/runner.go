@@ -27,9 +27,9 @@ type Config struct {
 	Layered *cover.Layered
 	// Mode selects the asynchronous engine's execution mode (default
 	// ModeAuto). Results are byte-identical across modes; the parallel
-	// modes only change wall-clock. ModeSpec falls back to ModeMulti for
-	// the synchronizer stack (its handlers do not implement StateCloner
-	// yet — see ROADMAP).
+	// modes only change wall-clock. The stack's state codec doubles as its
+	// StateCloner, so ModeSpec runs the synchronizer speculatively like
+	// any other cloneable workload.
 	Mode async.ExecutionMode
 	// Workers caps the engine's parallel worker pool (0 = engine default;
 	// negative panics).
@@ -112,6 +112,14 @@ func BuildLayeredFor(g *graph.Graph, b int) *cover.Layered {
 // execution (Theorem 5.2).
 func Synchronize(cfg Config, mk func(id graph.NodeID) syncrun.Handler) async.Result {
 	return newSynchronizedSim(cfg, mk).Run()
+}
+
+// NewSynchronizedSim assembles the synchronizer stack without running it,
+// returning the engine handle for stepwise execution and the state plane:
+// RunSteps / Snapshot / Restore / FinishResult (or plain Run). This is the
+// root package's checkpointable synchronized run.
+func NewSynchronizedSim(cfg Config, mk func(id graph.NodeID) syncrun.Handler) *async.Sim {
+	return newSynchronizedSim(cfg, mk)
 }
 
 // newSynchronizedSim assembles the synchronizer stack without running it.

@@ -59,6 +59,12 @@ const (
 	msgOpen
 	msgFinish
 	msgResult
+	// msgSnapFrame carries one worker's engine frame to the coordinator
+	// when an OPEN's snapshot flag was set (worker → coordinator).
+	msgSnapFrame
+	// msgFrame ships one resumed worker its restored engine frame right
+	// after HELLO (coordinator → worker).
+	msgFrame
 )
 
 // maxMsgLen bounds a single protocol message; a 10M-node shard's flush

@@ -68,6 +68,18 @@ type Config struct {
 	// environment variables are always set; cmd/shardsim passes
 	// ["-shard-worker"] so process listings identify workers).
 	WorkerArgs []string
+	// SnapshotEvery, when > 0, checkpoints the run at the first FLUSH
+	// barrier after every N executed events (cumulative across shards),
+	// writing the sealed distributed snapshot to SnapshotPath.
+	SnapshotEvery uint64
+	// SnapshotPath is the checkpoint file (atomically replaced at each
+	// checkpoint). Required when SnapshotEvery > 0.
+	SnapshotPath string
+	// ResumeFrom resumes a checkpointed run from its snapshot file. The
+	// workload identity (graph, adversary, faults, workload, sources,
+	// trace flag) is taken from the file; Shards may differ from the
+	// checkpoint's K — frames are re-split across the new partition.
+	ResumeFrom string
 }
 
 // ShardInfo is one worker's self-report.
@@ -102,6 +114,10 @@ type Stats struct {
 	CommNs int64
 	// MergeNs sums coordinator-side merge + routing + OPEN serialization.
 	MergeNs int64
+	// Snapshots counts checkpoints written; SnapshotNs sums the time from
+	// the flagged OPEN writes to the sealed file landing on disk.
+	Snapshots  uint64
+	SnapshotNs int64
 }
 
 // Report is a completed sharded run.
@@ -116,6 +132,18 @@ type Report struct {
 // merged Result is byte-identical to running the same workload through
 // the serial single-process engine.
 func Run(cfg Config) (*Report, error) {
+	if cfg.SnapshotEvery > 0 && cfg.SnapshotPath == "" {
+		return nil, fmt.Errorf("shard: SnapshotEvery without a SnapshotPath")
+	}
+	var resumeHdr *snapHeader
+	var resumeFrames [][]byte
+	if cfg.ResumeFrom != "" {
+		var err error
+		cfg, resumeHdr, resumeFrames, err = loadResume(cfg)
+		if err != nil {
+			return nil, err
+		}
+	}
 	full := cfg.Graph
 	if cfg.GraphSpec != "" {
 		g, err := graph.FromSpec(cfg.GraphSpec)
@@ -160,6 +188,14 @@ func Run(cfg Config) (*Report, error) {
 			CrossLinks: part.CrossLinks(full),
 		},
 	}
+	if resumeHdr != nil {
+		frames, err := resplitForResume(resumeFrames, part, resumeHdr.NextSeq)
+		if err != nil {
+			return nil, err
+		}
+		c.resumeFrames = frames
+		c.resumeSeq = resumeHdr.NextSeq
+	}
 	return c.run(full)
 }
 
@@ -170,6 +206,11 @@ type coord struct {
 	stats Stats
 
 	conns []workerConn
+
+	// Resume state: per-shard engine frames to ship after HELLO, and the
+	// grant counter the checkpoint froze.
+	resumeFrames [][]byte
+	resumeSeq    uint64
 }
 
 // workerConn is one connected worker.
@@ -183,6 +224,7 @@ type workerConn struct {
 	hasMin  bool
 	minT    float64
 	execNs  uint64
+	steps   uint64
 	entries []flushEntry
 
 	// OPEN under construction.
@@ -304,7 +346,7 @@ func (c *coord) run(full *graph.Graph) (rep *Report, err error) {
 		}
 	}()
 
-	// HELLO.
+	// HELLO (plus the restored engine frame when resuming).
 	hcfg := hello{
 		GraphSpec: c.cfg.GraphSpec,
 		Cuts:      c.part.Cuts(),
@@ -314,6 +356,7 @@ func (c *coord) run(full *graph.Graph) (rep *Report, err error) {
 		Sources:   sortNodeIDs(append([]graph.NodeID(nil), c.cfg.Sources...)),
 		SegWords:  c.cfg.SegWords,
 		KeepTrace: c.cfg.KeepTrace,
+		Resume:    c.resumeFrames != nil,
 	}
 	for i := range c.conns {
 		hcfg.Self = i
@@ -324,14 +367,24 @@ func (c *coord) run(full *graph.Graph) (rep *Report, err error) {
 		if werr := writeMsg(c.conns[i].w, msgHello, payload); werr != nil {
 			return nil, c.workerError(werr)
 		}
+		if c.resumeFrames != nil {
+			if werr := writeMsg(c.conns[i].w, msgFrame, c.resumeFrames[i]); werr != nil {
+				return nil, c.workerError(werr)
+			}
+		}
 	}
 
-	// Window protocol: alternate (read all flushes) / (merge, open).
-	nextSeq := uint64(0)
+	// Window protocol: alternate (read all flushes) / (merge, open). A
+	// checkpoint rides a window boundary: when cumulative executed events
+	// cross the next SnapshotEvery multiple, the OPENs carry a snapshot
+	// flag and each worker sends its engine frame back before running.
+	nextSeq := c.resumeSeq
+	nextSnapAt := c.cfg.SnapshotEvery
 	windowStart := time.Time{}
 	first := true
 	for {
 		maxExec := uint64(0)
+		totalSteps := uint64(0)
 		for i := range c.conns {
 			if err := c.readFlush(&c.conns[i]); err != nil {
 				return nil, c.workerError(err)
@@ -339,6 +392,7 @@ func (c *coord) run(full *graph.Graph) (rep *Report, err error) {
 			if c.conns[i].execNs > maxExec {
 				maxExec = c.conns[i].execNs
 			}
+			totalSteps += c.conns[i].steps
 		}
 		if first {
 			c.stats.StartupNs = int64(time.Since(t0))
@@ -356,12 +410,22 @@ func (c *coord) run(full *graph.Graph) (rep *Report, err error) {
 		if !pending {
 			break
 		}
+		snap := c.cfg.SnapshotEvery > 0 && totalSteps >= nextSnapAt
 		for i := range c.conns {
-			if err := c.writeOpen(&c.conns[i], wStart); err != nil {
+			if err := c.writeOpen(&c.conns[i], wStart, snap); err != nil {
 				return nil, c.workerError(err)
 			}
 		}
 		c.stats.MergeNs += int64(time.Since(mergeT))
+		if snap {
+			snapT := time.Now()
+			if err := c.collectSnapshot(nextSeq, totalSteps); err != nil {
+				return nil, c.workerError(err)
+			}
+			c.stats.Snapshots++
+			c.stats.SnapshotNs += int64(time.Since(snapT))
+			nextSnapAt = (totalSteps/c.cfg.SnapshotEvery + 1) * c.cfg.SnapshotEvery
+		}
 		c.stats.Windows++
 		windowStart = time.Now()
 	}
@@ -429,6 +493,7 @@ func (c *coord) readFlush(wc *workerConn) error {
 	wc.hasMin = rd.u8() != 0
 	wc.minT = rd.f64()
 	wc.execNs = rd.u64()
+	wc.steps = rd.u64()
 	n := int(rd.u32())
 	wc.entries = wc.entries[:0]
 	for i := 0; i < n; i++ {
@@ -512,8 +577,9 @@ func entryLess(a, b *flushEntry) bool {
 	return a.trigSeq < b.trigSeq
 }
 
-// writeOpen sends one worker its grants and routed inbound events.
-func (c *coord) writeOpen(wc *workerConn, wStart float64) error {
+// writeOpen sends one worker its grants and routed inbound events, plus
+// the snapshot flag requesting an engine frame before the window runs.
+func (c *coord) writeOpen(wc *workerConn, wStart float64, snap bool) error {
 	out := appendF64(nil, wStart)
 	out = appendU32(out, uint32(len(wc.grants)))
 	for _, s := range wc.grants {
@@ -521,7 +587,43 @@ func (c *coord) writeOpen(wc *workerConn, wStart float64) error {
 	}
 	out = appendU32(out, wc.inCount)
 	out = append(out, wc.inbound...)
+	if snap {
+		out = appendU8(out, 1)
+	} else {
+		out = appendU8(out, 0)
+	}
 	return writeMsg(wc.w, msgOpen, out)
+}
+
+// collectSnapshot reads one engine frame per worker (the response to a
+// snapshot-flagged OPEN) and seals them, with the run's configuration and
+// the frozen grant counter, into the checkpoint file.
+func (c *coord) collectSnapshot(nextSeq, totalSteps uint64) error {
+	frames := make([][]byte, len(c.conns))
+	for i := range c.conns {
+		wc := &c.conns[i]
+		typ, payload, err := readMsg(wc.r, nil)
+		if err != nil {
+			return err
+		}
+		if typ != msgSnapFrame {
+			return fmt.Errorf("shard: expected SNAPFRAME, got message type %d", typ)
+		}
+		frames[i] = payload
+	}
+	hdr := snapHeader{
+		GraphSpec: c.cfg.GraphSpec,
+		Adversary: c.cfg.Adversary,
+		Faults:    c.cfg.Faults,
+		Workload:  c.cfg.Workload,
+		Sources:   sortNodeIDs(append([]graph.NodeID(nil), c.cfg.Sources...)),
+		SegWords:  c.cfg.SegWords,
+		KeepTrace: c.cfg.KeepTrace,
+		Shards:    c.part.K(),
+		NextSeq:   nextSeq,
+		Steps:     totalSteps,
+	}
+	return writeSnapshotFile(c.cfg.SnapshotPath, &hdr, frames)
 }
 
 // readResult decodes one worker's RESULT and folds it into the report.

@@ -1,0 +1,141 @@
+package shard
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// TestShardSnapshotResume is the distributed-snapshot identity matrix: a
+// checkpointed K-way run must (a) produce the same result as the
+// uncheckpointed run — snapshotting is observation, not perturbation —
+// and (b) resume from its last checkpoint at a different shard count K′
+// to the same final result, byte for byte (counters, outputs, PerProto,
+// full trace). Frames are relocatable, so the re-split across K′ is the
+// part under test.
+func TestShardSnapshotResume(t *testing.T) {
+	cases := []struct {
+		name     string
+		cfg      Config
+		every    uint64
+		resumeKs []int
+	}{
+		{
+			name: "flood",
+			cfg: Config{
+				GraphSpec: "grid:10x10",
+				Workload:  "flood",
+				Adversary: "random:7",
+				KeepTrace: true,
+				Shards:    3,
+			},
+			every:    150,
+			resumeKs: []int{1, 2, 3, 4},
+		},
+		{
+			name: "bfs-faults",
+			cfg: Config{
+				GraphSpec: "pa:n=150,m=2,seed=5",
+				Workload:  "bfs",
+				Adversary: "flaky:11",
+				Faults:    "drop:p=0.1,budget=3,seed=5",
+				KeepTrace: true,
+				Shards:    2,
+			},
+			every:    400,
+			resumeKs: []int{1, 3},
+		},
+		{
+			name: "segflood",
+			cfg: Config{
+				GraphSpec: "grid3d:4x4x4",
+				Workload:  "segflood",
+				Adversary: "random:5",
+				SegWords:  33,
+				Shards:    2,
+			},
+			every:    100,
+			resumeKs: []int{1, 4},
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			want := serialRun(t, tc.cfg)
+			path := filepath.Join(t.TempDir(), "ckpt.bin")
+			cfg := tc.cfg
+			cfg.SnapshotEvery = tc.every
+			cfg.SnapshotPath = path
+			rep, err := Run(cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			compareResults(t, rep.Result, want)
+			if rep.Stats.Snapshots == 0 {
+				t.Fatal("run completed without writing a checkpoint — raise the event count or lower SnapshotEvery")
+			}
+			if _, err := os.Stat(path); err != nil {
+				t.Fatal(err)
+			}
+			for _, k := range tc.resumeKs {
+				t.Run(fmt.Sprintf("resume-k=%d", k), func(t *testing.T) {
+					rrep, err := Run(Config{ResumeFrom: path, Shards: k})
+					if err != nil {
+						t.Fatal(err)
+					}
+					compareResults(t, rrep.Result, want)
+					if rrep.Stats.Shards != k {
+						t.Errorf("resumed at %d shards, asked for %d", rrep.Stats.Shards, k)
+					}
+				})
+			}
+		})
+	}
+}
+
+// TestShardSnapshotErrors pins the checkpoint configuration and file
+// validation: a cadence without a path, a resume from a missing file, and
+// a resume from a corrupted file all fail before any worker is spawned.
+func TestShardSnapshotErrors(t *testing.T) {
+	if _, err := Run(Config{GraphSpec: "grid:4x4", Workload: "flood",
+		Adversary: "fixed:0.5", SnapshotEvery: 10}); err == nil {
+		t.Error("SnapshotEvery without SnapshotPath accepted")
+	}
+	if _, err := Run(Config{ResumeFrom: filepath.Join(t.TempDir(), "absent.bin")}); err == nil {
+		t.Error("resume from a missing file accepted")
+	}
+
+	// Write a real checkpoint, then corrupt it.
+	dir := t.TempDir()
+	path := filepath.Join(dir, "ckpt.bin")
+	cfg := Config{
+		GraphSpec:     "grid:10x10",
+		Workload:      "flood",
+		Adversary:     "random:7",
+		Shards:        2,
+		SnapshotEvery: 100,
+		SnapshotPath:  path,
+	}
+	if _, err := Run(cfg); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for name, mutate := range map[string]func([]byte) []byte{
+		"truncated": func(b []byte) []byte { return b[:len(b)/2] },
+		"flipped":   func(b []byte) []byte { b[len(b)/2] ^= 0x40; return b },
+		"empty":     func([]byte) []byte { return nil },
+	} {
+		t.Run(name, func(t *testing.T) {
+			bad := filepath.Join(dir, name+".bin")
+			if err := os.WriteFile(bad, mutate(append([]byte(nil), data...)), 0o644); err != nil {
+				t.Fatal(err)
+			}
+			if _, err := Run(Config{ResumeFrom: bad}); err == nil {
+				t.Error("corrupted checkpoint accepted")
+			}
+		})
+	}
+}

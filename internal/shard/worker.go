@@ -71,6 +71,9 @@ type hello struct {
 	Sources   []graph.NodeID
 	SegWords  int
 	KeepTrace bool
+	// Resume announces that a FRAME message follows HELLO: the worker
+	// restores its engine from the frame instead of running ShardInit.
+	Resume bool
 }
 
 // settledHeap is the worker-side twin of the bench probe: heap bytes
@@ -159,7 +162,20 @@ func serveWorker(conn net.Conn, idx int, full *graph.Graph, ownProcess bool) err
 		remote  []bool
 		inBuf   []byte
 	)
-	sim.ShardInit()
+	if cfg.Resume {
+		typ, frame, ferr := readMsg(r, nil)
+		if ferr != nil {
+			return ferr
+		}
+		if typ != msgFrame {
+			return fmt.Errorf("shard: worker expected FRAME, got message type %d", typ)
+		}
+		if rerr := sim.ShardRestoreFrame(frame); rerr != nil {
+			return fmt.Errorf("shard: worker %d restore: %v", idx, rerr)
+		}
+	} else {
+		sim.ShardInit()
+	}
 	// The first flush's exec time covers startup + graph build + Init so
 	// the coordinator can report startup separately from steady windows.
 	execNs := uint64(time.Since(startNs))
@@ -174,6 +190,7 @@ func serveWorker(conn net.Conn, idx int, full *graph.Graph, ownProcess bool) err
 		}
 		out = appendF64(out, minT)
 		out = appendU64(out, execNs)
+		out = appendU64(out, sim.ShardSteps())
 		n := sim.ShardStagedCount()
 		out = appendU32(out, uint32(n))
 		remote = remote[:0]
@@ -242,8 +259,21 @@ func serveWorker(conn net.Conn, idx int, full *graph.Graph, ownProcess bool) err
 			}
 			sim.ShardInject(seq, t, kind, src, dst, m)
 		}
+		snap := rd.u8() != 0
 		if err := rd.err("OPEN"); err != nil {
 			return err
+		}
+		if snap {
+			// Grants applied, inbound injected: the staged log is empty and
+			// every pending event sits in the queue — serialize and ship the
+			// engine frame before running the window.
+			enc := wire.NewEnc(sim.Arena())
+			if serr := sim.ShardSnapshotFrame(enc); serr != nil {
+				return serr
+			}
+			if werr := writeMsg(w, msgSnapFrame, enc.Bytes()); werr != nil {
+				return werr
+			}
 		}
 		t0 := time.Now()
 		sim.ShardRunWindow(wStart)

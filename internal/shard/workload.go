@@ -91,6 +91,13 @@ func (f *floodNode) Init(n *async.Node) {
 	}
 }
 
+// SaveState implements wire.StateCodec (root is config, rebuilt by the
+// workload factory on every process).
+func (f *floodNode) SaveState(e *wire.Enc) { e.Bool(f.seen) }
+
+// LoadState implements wire.StateCodec.
+func (f *floodNode) LoadState(d *wire.Dec) { f.seen = d.Bool() }
+
 func (f *floodNode) Recv(n *async.Node, from graph.NodeID, m async.Msg) {
 	if f.seen {
 		return
@@ -122,6 +129,18 @@ func (b *bfsNode) Init(n *async.Node) {
 	for _, nb := range n.Neighbors() {
 		n.Send(nb.Node, async.Msg{Proto: bfsProto, Body: wire.Body{Kind: 1, A: 0}})
 	}
+}
+
+// SaveState implements wire.StateCodec.
+func (b *bfsNode) SaveState(e *wire.Enc) {
+	e.Bool(b.have)
+	e.I64(b.dist)
+}
+
+// LoadState implements wire.StateCodec.
+func (b *bfsNode) LoadState(d *wire.Dec) {
+	b.have = d.Bool()
+	b.dist = d.I64()
 }
 
 func (b *bfsNode) Recv(n *async.Node, from graph.NodeID, m async.Msg) {
@@ -170,6 +189,12 @@ func (s *segFloodNode) Init(n *async.Node) {
 	n.Output(int64(n.ID()))
 	s.relay(n)
 }
+
+// SaveState implements wire.StateCodec (words is config).
+func (s *segFloodNode) SaveState(e *wire.Enc) { e.Bool(s.seen) }
+
+// LoadState implements wire.StateCodec.
+func (s *segFloodNode) LoadState(d *wire.Dec) { s.seen = d.Bool() }
 
 func (s *segFloodNode) Recv(n *async.Node, from graph.NodeID, m async.Msg) {
 	w := n.Arena().Data(m.Body.Seg)

@@ -363,6 +363,13 @@ type Runner struct {
 	cur   pulseBuf // being processed this pulse
 	nxt   pulseBuf // being filled for next pulse
 
+	// started marks that Init ran (or was skipped on a resumed run); done
+	// marks quiescence; resumed marks state loaded from a snapshot, whose
+	// continuation skips Init (see snap.go).
+	started bool
+	done    bool
+	resumed bool
+
 	// sentAt is the CONGEST guard: per directed link, the stamp
 	// (pulse+1) of the last pulse a message was sent on it.
 	sentAt []int32
@@ -519,6 +526,16 @@ func (r *Runner) loadedOutAnys() []any {
 
 // Run executes to quiescence and returns measurements.
 func (r *Runner) Run() Result {
+	mode := r.start()
+	for r.stepPulse(mode) {
+	}
+	return r.finish()
+}
+
+// start resolves the execution mode and runs pulse 0 (Init) on the first
+// call — unless the runner resumed from a snapshot, whose pulse 0 already
+// happened in the interrupted run.
+func (r *Runner) start() ExecutionMode {
 	mode := r.mode
 	if mode == ModeAuto {
 		if execpolicy.LockstepMulti(r.workers, r.g.N()) {
@@ -527,25 +544,45 @@ func (r *Runner) Run() Result {
 			mode = ModeSingle
 		}
 	}
-	// Pulse 0: initiators act; their sends land in nxt.
-	for i := range r.handlers {
-		r.handlers[i].Init(&r.nodes[i])
-	}
-	for r.pulse = 1; ; r.pulse++ {
-		if r.pulse > r.maxRounds {
-			panic(fmt.Sprintf("syncrun: exceeded %d rounds", r.maxRounds))
-		}
-		if r.nxt.active == 0 {
-			break
-		}
-		r.cur, r.nxt = r.nxt, r.cur
-		r.nxt.refill()
-		if mode == ModeMulti && r.cur.active >= r.minParallel && r.workers > 1 {
-			r.stepParallel()
-		} else {
-			r.stepSerial()
+	if !r.started {
+		r.started = true
+		if !r.resumed {
+			// Pulse 0: initiators act; their sends land in nxt.
+			for i := range r.handlers {
+				r.handlers[i].Init(&r.nodes[i])
+			}
 		}
 	}
+	return mode
+}
+
+// stepPulse advances the clock and executes one pulse, reporting false
+// once the network is quiet (the clock still advances past the final
+// pulse, preserving Rounds = pulse-1).
+func (r *Runner) stepPulse(mode ExecutionMode) bool {
+	if r.done {
+		return false
+	}
+	r.pulse++
+	if r.pulse > r.maxRounds {
+		panic(fmt.Sprintf("syncrun: exceeded %d rounds", r.maxRounds))
+	}
+	if r.nxt.active == 0 {
+		r.done = true
+		return false
+	}
+	r.cur, r.nxt = r.nxt, r.cur
+	r.nxt.refill()
+	if mode == ModeMulti && r.cur.active >= r.minParallel && r.workers > 1 {
+		r.stepParallel()
+	} else {
+		r.stepSerial()
+	}
+	return true
+}
+
+// finish materializes the run's Result.
+func (r *Runner) finish() Result {
 	res := Result{
 		T:      r.lastOut,
 		Rounds: r.pulse - 1,
